@@ -1,0 +1,82 @@
+//! Criterion benches: wall time of the three test tiers and of the full
+//! structural fault campaign (the cost of regenerating Table I).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft::bist::Bist;
+use dft::campaign::FaultCampaign;
+use dft::dc_test::DcTest;
+use dft::scan_test::ScanTest;
+use msim::effects::AnalogEffect;
+use msim::params::DesignParams;
+use msim::units::Volt;
+
+fn sample_effects() -> Vec<AnalogEffect> {
+    use msim::effects::{Pump, PumpDir, WindowSide};
+    vec![
+        AnalogEffect::None,
+        AnalogEffect::ArmImbalance {
+            dv: Volt::from_mv(20.0),
+        },
+        AnalogEffect::DynamicImbalance {
+            dv: Volt::from_mv(21.0),
+        },
+        AnalogEffect::CpDead {
+            pump: Pump::Weak,
+            dir: PumpDir::Up,
+        },
+        AnalogEffect::WindowStuck {
+            side: WindowSide::High,
+            output: true,
+        },
+        AnalogEffect::CpBalanceDrift {
+            dv: Volt::from_mv(200.0),
+        },
+    ]
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    let p = DesignParams::paper();
+    let effects = sample_effects();
+
+    let dc = DcTest::new(&p);
+    c.bench_function("tier/dc_per_fault", |b| {
+        b.iter(|| {
+            effects
+                .iter()
+                .filter(|e| dc.detects(e))
+                .count()
+        })
+    });
+
+    let scan = ScanTest::new(&p);
+    c.bench_function("tier/scan_per_fault", |b| {
+        b.iter(|| {
+            effects
+                .iter()
+                .filter(|e| scan.detects(e))
+                .count()
+        })
+    });
+
+    let bist = Bist::new(&p);
+    c.bench_function("tier/bist_single_fault", |b| {
+        b.iter(|| bist.detects(&AnalogEffect::None))
+    });
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let p = DesignParams::paper();
+    let campaign = FaultCampaign::new(&p);
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("full_structural_universe", |b| {
+        b.iter(|| campaign.run().coverage_total())
+    });
+    g.bench_function("universe_enumeration", |b| {
+        b.iter(|| campaign.universe().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiers, bench_campaign);
+criterion_main!(benches);

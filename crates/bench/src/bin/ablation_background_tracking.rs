@@ -1,0 +1,94 @@
+//! Ablation of *background* phase tracking — the paper's §I criticism of
+//! foreground-calibrated receivers (ref \[4\]): "it cannot track
+//! environmental changes without breaking normal operation."
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_background_tracking
+//! ```
+//!
+//! A slow eye-center drift (supply/temperature changing the channel
+//! delay) is applied during operation. The foreground-calibrated receiver
+//! picks the best DLL phase once at startup and then free-runs; the
+//! paper's background coarse+fine loop keeps tracking.
+
+use dft::report::render_table;
+use link::pd::BangBangPd;
+use link::synchronizer::{RunConfig, Synchronizer};
+use msim::params::DesignParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampling errors of a foreground-calibrated receiver: phase frozen at
+/// the startup optimum while the eye drifts.
+fn foreground_errors(p: &DesignParams, rc: &RunConfig) -> u64 {
+    // Startup calibration: best DLL grid point for the initial eye.
+    let tau = (0..p.dll_phases)
+        .map(|i| i as f64 / p.dll_phases as f64)
+        .min_by(|a, b| {
+            BangBangPd::wrap_error(*a, rc.eye_center_ui)
+                .abs()
+                .total_cmp(&BangBangPd::wrap_error(*b, rc.eye_center_ui).abs())
+        })
+        .expect("at least one phase");
+    let mut rng = StdRng::seed_from_u64(rc.seed);
+    let mut errors = 0;
+    for cycle in 0..rc.cycles {
+        let center = rc.eye_center_ui + rc.eye_drift_ui_per_cycle * cycle as f64;
+        let jitter = {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * rc.jitter_rms_ui
+        };
+        let err = BangBangPd::wrap_error(tau, center) + jitter;
+        if err.abs() > rc.eye_half_width_ui {
+            errors += 1;
+        }
+    }
+    errors
+}
+
+fn main() {
+    let p = DesignParams::paper();
+    println!("=== Background tracking vs foreground calibration under drift ===\n");
+    println!("40 000 cycles (16 us); drift in UI per 1000 cycles:\n");
+    let mut rows = Vec::new();
+    for drift_per_kcycle in [0.0, 2e-3, 5e-3, 10e-3, 20e-3] {
+        let rc = RunConfig {
+            cycles: 40_000,
+            eye_drift_ui_per_cycle: drift_per_kcycle / 1000.0,
+            ..RunConfig::paper_bist()
+        };
+        let fg_errors = foreground_errors(&p, &rc);
+        let mut sync = Synchronizer::new(&p);
+        let out = sync.run(&rc, None);
+        rows.push(vec![
+            format!("{:.0} m-UI", drift_per_kcycle * 1000.0),
+            format!("{:.1} UI", rc.eye_drift_ui_per_cycle * rc.cycles as f64),
+            fg_errors.to_string(),
+            out.errors_after_lock.to_string(),
+            out.corrections.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Drift /kcycle",
+                "Total drift",
+                "Foreground errors",
+                "Background errors (post-lock)",
+                "Coarse steps"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nOnce the accumulated drift exceeds the eye margin, the frozen\n\
+         foreground receiver fails catastrophically while the paper's\n\
+         background loop walks the DLL phase along with the drift (see the\n\
+         coarse-step column) and keeps the error count at its jitter floor\n\
+         — without ever interrupting traffic. This is the §I argument for\n\
+         the mixed-signal synchronizer, and the reason its analog parts\n\
+         must be testable at all."
+    );
+}

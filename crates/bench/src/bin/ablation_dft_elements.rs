@@ -1,0 +1,80 @@
+//! Ablation of the DFT elements themselves: what each line of the paper's
+//! Table II overhead buys in structural coverage. The scheme is justified
+//! only if every observation element earns its cost.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_dft_elements
+//! ```
+
+use dft::ablation::{ablated_campaign, DftOptions};
+use dft::report::{percent, render_table};
+use msim::params::DesignParams;
+
+fn main() {
+    let p = DesignParams::paper();
+    let full = ablated_campaign(&p, DftOptions::all());
+
+    println!("=== Coverage cost of removing each DFT observation element ===\n");
+    let cases: Vec<(&str, DftOptions)> = vec![
+        ("full scheme (paper)", DftOptions::all()),
+        (
+            "- CP-BIST window comparator",
+            DftOptions {
+                cp_bist_comparator: false,
+                ..DftOptions::all()
+            },
+        ),
+        (
+            "- 100 MHz window comparators",
+            DftOptions {
+                dynamic_window: false,
+                ..DftOptions::all()
+            },
+        ),
+        (
+            "- retimed-data BIST check",
+            DftOptions {
+                bist_data_check: false,
+                ..DftOptions::all()
+            },
+        ),
+        (
+            "- FFE-plate probe FFs",
+            DftOptions {
+                probe_ffs: false,
+                ..DftOptions::all()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, options) in cases {
+        let r = ablated_campaign(&p, options);
+        let delta = (full.coverage_total() - r.coverage_total()) * 100.0;
+        rows.push(vec![
+            name.to_string(),
+            percent(r.coverage_dc_scan()),
+            percent(r.coverage_total()),
+            if delta.abs() < 0.005 {
+                "—".to_string()
+            } else {
+                format!("-{delta:.1} pts")
+            },
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(&["Scheme", "DC+scan", "Total", "Cost"], &rows)
+    );
+    println!(
+        "\nThe CP-BIST comparator guards a fault class nothing else sees\n\
+         (balance-arm drift inside a locked loop): dropping it costs 9\n\
+         points of total coverage. The retimed-data check owns the dead/\n\
+         degraded clock paths. The 100 MHz comparators do not change the\n\
+         *total* — the at-speed BIST also trips on dynamic mismatches —\n\
+         but they pull those detections forward to the cheap scan tier\n\
+         (DC+scan drops 2.6 points without them). The probe flip-flops\n\
+         are redundant for detection (DC and toggling checks also see a\n\
+         stuck plate); their value is diagnostic, localizing the defect\n\
+         through chain-A capture at one flip-flop per capacitor plate."
+    );
+}

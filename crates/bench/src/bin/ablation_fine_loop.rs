@@ -1,0 +1,73 @@
+//! Ablation of the fine (analog) correction loop — the paper's §I
+//! motivation: receivers with only digital phase selection "have the
+//! limitation of phase quantization error", which the background
+//! coarse+fine synchronizer of \[8\] (used here) removes.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_fine_loop
+//! ```
+//!
+//! Compares three receivers at several eye positions:
+//! coarse-only (quantized to the DLL grid), coarse+fine (the paper's),
+//! and the resulting BER at the paper's jitter.
+
+use dft::report::render_table;
+use link::ber::BerModel;
+use link::pd::BangBangPd;
+use link::synchronizer::{RunConfig, Synchronizer};
+use msim::params::DesignParams;
+
+fn main() {
+    let p = DesignParams::paper();
+    println!("=== Fine-loop ablation: quantization error vs closed-loop ===\n");
+    let mut rows = Vec::new();
+    for eye_center in [0.32, 0.37, 0.41, 0.45, 0.55] {
+        // Coarse-only receiver: best DLL phase, no VCDL trim.
+        let coarse_err = (0..p.dll_phases)
+            .map(|i| BangBangPd::wrap_error(i as f64 / p.dll_phases as f64, eye_center).abs())
+            .fold(f64::INFINITY, f64::min);
+
+        // The paper's receiver: run the loop and measure the residual.
+        let mut sync = Synchronizer::new(&p);
+        let rc = RunConfig {
+            eye_center_ui: eye_center,
+            ..RunConfig::paper_bist()
+        };
+        let out = sync.run(&rc, None);
+        let fine_err = BangBangPd::wrap_error(sync.sampling_tau_ui(), eye_center).abs();
+
+        // BER impact at the paper's jitter and eye width.
+        let ber = |err: f64| {
+            BerModel::new(eye_center, 0.30, 0.045).ber_at(eye_center + err)
+        };
+        rows.push(vec![
+            format!("{eye_center:.2} UI"),
+            format!("{:.1} m-UI", coarse_err * 1000.0),
+            format!("{:.1} m-UI", fine_err * 1000.0),
+            format!("{:.1e}", ber(coarse_err)),
+            format!("{:.1e}", ber(fine_err)),
+            out.locked.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Eye center",
+                "Coarse-only error",
+                "Coarse+fine error",
+                "BER (coarse)",
+                "BER (paper)",
+                "Locked"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nThe coarse-only receiver's residual error is bounded only by half\n\
+         a DLL phase step (up to 50 m-UI); the paper's fine loop drives it\n\
+         to the bang-bang dither floor, buying orders of magnitude of BER\n\
+         at eye positions that fall between grid points — the §I argument\n\
+         for the mixed-signal synchronizer this DFT scheme exists to test."
+    );
+}

@@ -1,0 +1,94 @@
+//! Crosstalk robustness: why the paper implements the interconnect
+//! differentially ("a single ended version is shown for brevity, but
+//! actual implementation used a differential interconnect"). A full-swing
+//! aggressor wire couples onto the 60 mV victim; single-ended signaling
+//! takes a signal-sized hit while the differential victim rejects the
+//! common-mode disturbance.
+//!
+//! ```text
+//! cargo run -p bench --release --bin crosstalk
+//! ```
+
+use dft::report::render_table;
+use link::channel::RcLine;
+use msim::units::{Farad, Ohm, Sec, Volt};
+
+fn victim() -> RcLine {
+    let mut line = RcLine::new(
+        Ohm::from_kohm(2.0),
+        Farad::from_pf(1.0),
+        10,
+        Ohm::from_kohm(2.0),
+    );
+    line.set_termination_bias(Volt(0.6));
+    line
+}
+
+/// Peak disturbance of a quiet single-ended victim, in mV.
+fn single_ended_hit(cc: Farad) -> f64 {
+    let mut line = victim();
+    let dt = Sec::from_ps(25.0);
+    let mut peak: f64 = 0.0;
+    let mut va_prev = Volt::ZERO;
+    for k in 0..300 {
+        let va = if k >= 20 { Volt(1.2) } else { Volt::ZERO };
+        let out = line.step_with_aggressor(Volt(0.6), dt, va, va_prev, cc);
+        peak = peak.max((out.value() - 0.6).abs() * 1e3);
+        va_prev = va;
+    }
+    peak
+}
+
+/// Peak *differential* disturbance of a driven differential victim, in mV.
+fn differential_hit(cc: Farad) -> f64 {
+    let mut plus = victim();
+    let mut minus = victim();
+    let dt = Sec::from_ps(25.0);
+    let mut peak: f64 = 0.0;
+    let mut va_prev = Volt::ZERO;
+    // Let the DC levels settle first, then fire the aggressor.
+    for k in 0..300 {
+        let va = if k >= 150 { Volt(1.2) } else { Volt::ZERO };
+        let op = plus.step_with_aggressor(Volt(0.63), dt, va, va_prev, cc);
+        let om = minus.step_with_aggressor(Volt(0.57), dt, va, va_prev, cc);
+        if k > 100 {
+            peak = peak.max(((op - om).mv() - 30.0).abs());
+        }
+        va_prev = va;
+    }
+    peak
+}
+
+fn main() {
+    println!("=== Crosstalk: 1.2 V aggressor edge onto the 60 mV line ===\n");
+    let mut rows = Vec::new();
+    for cc_ff in [25.0, 50.0, 100.0, 200.0] {
+        let cc = Farad::from_ff(cc_ff);
+        let se = single_ended_hit(cc);
+        let diff = differential_hit(cc);
+        rows.push(vec![
+            format!("{cc_ff} fF"),
+            format!("{se:.1} mV"),
+            format!("{diff:.3} mV"),
+            format!("{:.0}x", se / diff.max(1e-6)),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Coupling",
+                "Single-ended hit",
+                "Differential hit",
+                "Rejection"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nAgainst a 30 mV receiver input, single-ended crosstalk is a
+signal-sized disturbance at realistic coupling; the differential
+implementation cancels it as common mode — the robustness the
+paper buys by running both arms side by side."
+    );
+}

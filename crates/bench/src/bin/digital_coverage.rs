@@ -1,0 +1,71 @@
+//! Regenerates the paper's **Section IV digital claims**: the digital
+//! blocks are logically simple and reach 100 % single stuck-at coverage
+//! with scan — and, because the coarse loop runs at a divided clock
+//! within scan frequencies, 100 % transition (delay) fault coverage too.
+//!
+//! Three columns of evidence per block:
+//! random-pattern stuck-at, deterministic (PODEM) stuck-at with its
+//! compact vector count, and launch-on-capture transition coverage.
+//!
+//! ```text
+//! cargo run -p bench --release --bin digital_coverage
+//! ```
+
+use dft::architecture::TestableLink;
+use dft::report::{percent, render_table};
+use dsim::atpg::random_vectors;
+use dsim::circuit::Circuit;
+use dsim::podem::generate_all;
+use dsim::stuck_at::scan_coverage;
+use dsim::transition::{transition_coverage, two_pattern_tests};
+
+fn measure(name: &str, circuit: &Circuit, patterns: usize, seed: u64) -> Vec<String> {
+    let vectors = random_vectors(circuit, patterns, seed);
+    let stuck = scan_coverage(circuit, &vectors);
+    let (podem_vectors, untestable) = generate_all(circuit);
+    let podem_cov = scan_coverage(circuit, &podem_vectors);
+    let transition = transition_coverage(circuit, &two_pattern_tests(&vectors));
+    vec![
+        name.to_string(),
+        (2 * circuit.net_count()).to_string(),
+        percent(stuck.coverage()),
+        format!("{} ({} vec)", percent(podem_cov.coverage()), podem_vectors.len()),
+        untestable.len().to_string(),
+        percent(transition.coverage()),
+    ]
+}
+
+fn main() {
+    let link = TestableLink::paper();
+    println!("=== Section IV: digital fault coverage (stuck-at + delay) ===\n");
+    let rows = vec![
+        measure("UP/DN ring counter", link.ring_counter().circuit(), 256, 1),
+        measure("switch matrix", link.switch_matrix().circuit(), 512, 2),
+        measure("clock divider", link.divider().circuit(), 256, 3),
+        measure("lock detector", link.lock_detector().circuit(), 256, 4),
+        measure("control FSM", link.control_fsm().circuit(), 256, 5),
+        measure("Alexander PD", link.phase_detector().circuit(), 256, 6),
+    ];
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Block",
+                "Faults",
+                "Stuck-at (random)",
+                "Stuck-at (PODEM)",
+                "Untestable",
+                "Transition"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nPaper reference: \"Since the circuits are logically simple in\n\
+         nature, the stuck at fault coverage is 100%\" and \"the delay\n\
+         faults in this path are also tested with 100% coverage\" (the\n\
+         coarse loop runs at the divided clock). PODEM additionally proves\n\
+         the sets compact and every fault testable — no redundancy in the\n\
+         paper's control logic."
+    );
+}

@@ -1,0 +1,92 @@
+//! Ablation of the capacitive feed-forward equalizer (the paper's
+//! motivating premise, Section II / Fig. 3): on an RC-dominated line at
+//! 2.5 Gbps the unequalized eye collapses, and the series-capacitor FFE
+//! restores it.
+//!
+//! ```text
+//! cargo run -p bench --bin eye_ablation
+//! ```
+//!
+//! Sweeps the FFE boost (the `αCs`/`Cs` transition-tap strength) and the
+//! line RC, printing the worst-case vertical eye opening at the best
+//! sampling phase. Writes `results/eye_ablation.csv`.
+
+use bench::write_result;
+use dft::report::render_table;
+use link::config::LinkConfig;
+use link::LowSwingLink;
+use msim::units::{Farad, Ohm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn prbs(n: usize, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn eye_opening(cfg: LinkConfig, bits: &[bool]) -> (f64, f64) {
+    let mut link = LowSwingLink::new(cfg).expect("valid config");
+    let eye = link.eye(bits);
+    let (phase, opening) = eye.best();
+    (
+        opening.mv(),
+        phase as f64 / eye.oversample() as f64,
+    )
+}
+
+fn main() {
+    let bits = prbs(768, 42);
+    let mut csv = String::from("sweep,value,opening_mv,best_phase_ui\n");
+
+    println!("=== FFE ablation: eye opening vs equalizer boost ===\n");
+    let mut rows = Vec::new();
+    for boost in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0] {
+        let mut cfg = LinkConfig::paper();
+        cfg.ffe_boost = boost;
+        let (mv, phase) = eye_opening(cfg, &bits);
+        let marker = if (boost - 2.0).abs() < 1e-9 { " (paper)" } else { "" };
+        rows.push(vec![
+            format!("{boost}{marker}"),
+            format!("{mv:.1} mV"),
+            format!("{phase:.2} UI"),
+        ]);
+        csv.push_str(&format!("boost,{boost},{mv:.3},{phase:.3}\n"));
+    }
+    print!(
+        "{}",
+        render_table(&["FFE boost", "Worst eye opening", "Best phase"], &rows)
+    );
+
+    println!("\n=== Channel sweep: eye opening vs line RC (boost = 2) ===\n");
+    let mut rows = Vec::new();
+    for (r_kohm, c_pf) in [(0.5, 0.25), (1.0, 0.5), (2.0, 1.0), (3.0, 1.5), (4.0, 2.0)] {
+        let mut cfg = LinkConfig::paper();
+        cfg.channel.r_total = Ohm::from_kohm(r_kohm);
+        cfg.channel.c_total = Farad::from_pf(c_pf);
+        let (eq_mv, _) = eye_opening(cfg.clone(), &bits);
+        let mut plain = cfg;
+        plain.ffe_boost = 0.0;
+        let (plain_mv, _) = eye_opening(plain, &bits);
+        rows.push(vec![
+            format!("{r_kohm} kΩ / {c_pf} pF"),
+            format!("{plain_mv:.1} mV"),
+            format!("{eq_mv:.1} mV"),
+        ]);
+        csv.push_str(&format!("channel_eq,{r_kohm},{eq_mv:.3},\n"));
+        csv.push_str(&format!("channel_plain,{r_kohm},{plain_mv:.3},\n"));
+    }
+    print!(
+        "{}",
+        render_table(&["Line (R/C)", "Unequalized", "Equalized"], &rows)
+    );
+
+    match write_result("eye_ablation.csv", &csv) {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    println!(
+        "\nShape check (paper's premise): the unequalized eye collapses as\n\
+         the line RC grows past the bit time; the capacitive FFE holds it\n\
+         open — the reason the transmitter of Fig. 3 exists."
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates the content of the paper's **Fig. 1**: the instantiated
+//! block inventory of the testable link, the two scan chains and the DFT
+//! overhead.
+//!
+//! ```text
+//! cargo run -p bench --bin fig1_architecture
+//! ```
+
+use dft::architecture::TestableLink;
+
+fn main() {
+    let link = TestableLink::paper();
+    println!("=== Fig. 1: testable repeaterless low-swing link ===\n");
+    println!(
+        "Design point: {} supply, {} differential swing, {} data rate,",
+        link.params().supply,
+        link.params().swing,
+        link.params().data_rate
+    );
+    println!(
+        "{}-phase DLL, scan clock {}, BIST budget {} cycles\n",
+        link.params().dll_phases,
+        link.params().scan_clock,
+        link.params().bist_lock_budget
+    );
+    print!("{}", link.inventory());
+    let universe = link.fault_universe();
+    println!("\nStructural fault universe: {} faults", universe.len());
+
+    // The one schematic the paper draws transistor-for-transistor (Fig. 5)
+    // exports with full connectivity.
+    println!("\nFig. 5 DC-test comparator (SPICE-style export):");
+    print!("{}", link::netlists::dc_test_comparator().to_spice());
+}

@@ -1,0 +1,96 @@
+//! Regenerates the paper's **Fig. 2**: evolution of the fine-correction
+//! control voltage `Vc` and the coarse-correction DLL phase from startup
+//! to lock, with the window thresholds `VL`/`VH` overlaid.
+//!
+//! ```text
+//! cargo run -p bench --bin fig2_lock_acquisition
+//! ```
+//!
+//! Writes `results/fig2_lock_acquisition.csv`
+//! (`time_s,phase,vc,vh,vl`) and prints an ASCII rendering plus the lock
+//! summary the figure conveys (lock from startup well inside the 2 µs
+//! BIST budget after a handful of coarse corrections).
+
+use bench::write_result;
+use link::synchronizer::{RunConfig, Synchronizer};
+use msim::params::DesignParams;
+use msim::sim::Trace;
+
+fn main() {
+    let p = DesignParams::paper();
+    let mut sync = Synchronizer::new(&p);
+    let mut trace = Trace::new(p.ui());
+    let rc = RunConfig::paper_bist();
+    let outcome = sync.run(&rc, Some(&mut trace));
+
+    match write_result("fig2_lock_acquisition.csv", &trace.to_csv()) {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    match write_result(
+        "fig2_lock_acquisition.vcd",
+        &msim::vcd::to_vcd(&trace, "synchronizer"),
+    ) {
+        Ok(path) => println!("VCD written to {} (GTKWave-compatible)", path.display()),
+        Err(e) => eprintln!("could not write VCD: {e}"),
+    }
+
+    println!("\n=== Fig. 2: Vc and DLL phase from startup to lock ===\n");
+    // ASCII rendering: Vc as a column position, phase as an annotation.
+    let vc = trace.channel("vc").expect("vc traced");
+    let phase = trace.channel("phase").expect("phase traced");
+    let cols = 60usize;
+    let supply = p.supply.value();
+    println!(
+        "{:>10}  {:<4} 0 V {:-^width$} {:.1} V",
+        "time",
+        "ph",
+        "Vc",
+        supply,
+        width = cols - 8
+    );
+    let step = (vc.len() / 50).max(1);
+    let mut last_phase = -1.0;
+    for i in (0..vc.len()).step_by(step) {
+        let v = vc.get(i).unwrap().value();
+        let ph = phase.get(i).unwrap().value();
+        let col = ((v / supply) * cols as f64) as usize;
+        let mut bar: Vec<char> = vec![' '; cols + 1];
+        let vl_col = ((p.window_low.value() / supply) * cols as f64) as usize;
+        let vh_col = ((p.window_high.value() / supply) * cols as f64) as usize;
+        bar[vl_col] = '|';
+        bar[vh_col] = '|';
+        bar[col.min(cols)] = '*';
+        let marker = if ph != last_phase {
+            last_phase = ph;
+            format!("φ{}", ph as usize)
+        } else {
+            String::new()
+        };
+        println!(
+            "{:>8.0} ns {:<4} {}",
+            vc.time_at(i).ns(),
+            marker,
+            bar.iter().collect::<String>()
+        );
+    }
+
+    println!("\nOutcome:");
+    println!("  locked            : {}", outcome.locked);
+    println!(
+        "  lock time         : {:?} cycles ({:.2} us)",
+        outcome.lock_cycle,
+        outcome.lock_cycle.unwrap_or(0) as f64 * p.ui().us()
+    );
+    println!("  coarse corrections: {}", outcome.corrections);
+    println!("  final phase       : φ{}", outcome.final_phase);
+    println!("  final Vc          : {:.3} V", outcome.final_vc.value());
+    println!(
+        "\nPaper reference: lock within 2 us (5000 cycles at 2.5 Gbps), at\n\
+         most {} corrections (half the DLL phases), Vc settling between\n\
+         VL = {} and VH = {}.",
+        p.dll_phases / 2,
+        p.window_low,
+        p.window_high
+    );
+}

@@ -1,0 +1,61 @@
+//! Monte-Carlo validation of the paper's programmed-offset sizing claim
+//! (§II.A): the deliberate 0.8 µ / 0.5 µ input-pair mismatch programs a
+//! 15 mV offset that "is sufficient to overcome any mismatch due to the
+//! manufacturing process".
+//!
+//! ```text
+//! cargo run -p bench --release --bin mismatch_monte_carlo
+//! ```
+//!
+//! Sweeps the random input-referred mismatch sigma across virtual dies and
+//! reports the healthy false-failure rate and the escape inflation of a
+//! marginal 20 mV fault. Writes `results/mismatch_monte_carlo.csv`.
+
+use bench::write_result;
+use dft::mismatch::MonteCarlo;
+use dft::report::{percent, render_table};
+use msim::params::DesignParams;
+
+fn main() {
+    let p = DesignParams::paper();
+    const TRIALS: usize = 20_000;
+    let sigmas = [1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 15.0];
+
+    println!("=== Programmed 15 mV offset vs process mismatch ({TRIALS} dies/point) ===\n");
+    let sweep = MonteCarlo::sweep(&p, &sigmas, TRIALS);
+    let mut rows = Vec::new();
+    let mut csv = String::from("sigma_mv,false_failure_rate,escape_rate\n");
+    for (sigma, r) in &sweep {
+        rows.push(vec![
+            format!("{sigma} mV"),
+            percent(r.false_failure_rate()),
+            percent(r.escape_rate()),
+        ]);
+        csv.push_str(&format!(
+            "{sigma},{:.6},{:.6}\n",
+            r.false_failure_rate(),
+            r.escape_rate()
+        ));
+    }
+    print!(
+        "{}",
+        render_table(
+            &["Mismatch sigma", "Healthy false fails", "20 mV fault escapes"],
+            &rows
+        )
+    );
+
+    match write_result("mismatch_monte_carlo.csv", &csv) {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    println!(
+        "\nAt the few-mV sigma of a common-centroid 130 nm comparator the\n\
+         15 mV programmed offset never false-fails a healthy die — the\n\
+         paper's sizing claim. The scheme's limit is visible at >= 10 mV\n\
+         sigma, where the margin is no longer several sigma deep."
+    );
+    let realistic = &sweep[2].1; // 3 mV
+    assert_eq!(realistic.false_failures, 0);
+}

@@ -1,0 +1,48 @@
+//! Energy-per-bit comparison: the paper's opening premise that low-swing
+//! repeaterless signaling beats full-swing repeated wires on long on-chip
+//! routes (refs \[1\]-\[6\] report fractions of a pJ/b).
+//!
+//! ```text
+//! cargo run -p bench --release --bin power_comparison
+//! ```
+
+use dft::report::render_table;
+use link::power::{full_swing_repeated, low_swing_link};
+use msim::params::DesignParams;
+
+fn main() {
+    let p = DesignParams::paper();
+    let full = full_swing_repeated(&p);
+    let low = low_swing_link(&p);
+
+    println!("=== Energy per bit: 10 mm route at 2.5 Gbps, 1.2 V ===\n");
+    let mut rows = Vec::new();
+    for alpha in [0.5, 0.25, 0.1, 0.01] {
+        let e_full = full.energy_per_bit_pj(alpha);
+        let e_low = low.energy_per_bit_pj(alpha);
+        rows.push(vec![
+            format!("{alpha}"),
+            format!("{e_full:.3} pJ/b"),
+            format!("{e_low:.3} pJ/b"),
+            format!("{:.1}x", e_full / e_low),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["Activity", "Full-swing repeated", "Low-swing link", "Advantage"],
+            &rows
+        )
+    );
+    println!(
+        "\nAt realistic activity the low-swing link wins ~3x: the repeated\n\
+         bus pays CV^2 on its full wire + repeater capacitance per\n\
+         transition. The honest tradeoff is also visible: at very low\n\
+         activity the weak driver's static bias dominates and the\n\
+         advantage inverts — the weak driver exists for signal integrity\n\
+         at \"arbitrarily low data activity factors\" (the line never\n\
+         floats), not for idle power. The busy-link figures land in the\n\
+         fraction-of-a-pJ/b range of the transceivers the paper cites\n\
+         ([1]: 0.28 pJ/b)."
+    );
+}

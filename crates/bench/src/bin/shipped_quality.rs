@@ -1,0 +1,46 @@
+//! Shipped-quality (DPPM) consequence of the paper's coverage ladder —
+//! the quantitative form of its closing claim that the DFT scheme
+//! "enables the use of low swing interconnect in large scale high volume
+//! digital systems".
+//!
+//! ```text
+//! cargo run -p bench --release --bin shipped_quality
+//! ```
+//!
+//! Applies the Williams-Brown defect-level model to the measured per-tier
+//! coverage at several process yields.
+
+use dft::campaign::FaultCampaign;
+use dft::quality::quality_ladder;
+use dft::report::{percent, render_table};
+use msim::params::DesignParams;
+
+fn main() {
+    let result = FaultCampaign::new(&DesignParams::paper()).run();
+
+    println!("=== Williams-Brown shipped quality per test tier ===\n");
+    for yield_ in [0.95, 0.90, 0.80] {
+        println!("process yield {:.0} %:", yield_ * 100.0);
+        let rows: Vec<Vec<String>> = quality_ladder(&result, yield_)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.tier.to_string(),
+                    percent(r.coverage),
+                    format!("{:.0} DPPM", r.dppm),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(&["Flow", "Coverage", "Shipped defects"], &rows)
+        );
+        println!();
+    }
+    println!(
+        "Each tier of the paper's flow cuts shipped defects by an\n\
+         integer factor; the BIST tier alone removes the hard-to-reach\n\
+         clock-recovery faults that would otherwise ship at thousands of\n\
+         DPPM — untenable for the high-volume systems the paper targets."
+    );
+}

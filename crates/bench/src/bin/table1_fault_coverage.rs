@@ -1,0 +1,82 @@
+//! Regenerates the paper's **Table I**: structural fault coverage by
+//! defect type.
+//!
+//! ```text
+//! cargo run -p bench --bin table1_fault_coverage
+//! ```
+//!
+//! Paper reference values: gate open 87.8 %, drain open 93.9 %, source
+//! open 93.9 %, gate–drain short 93.9 %, gate–source short 100 %,
+//! drain–source short 100 %, capacitor short 100 %, total 94.8 %.
+
+use bench::write_result;
+use dft::campaign::FaultCampaign;
+use dft::report::{percent, render_table};
+use msim::fault::FaultKind;
+use msim::params::DesignParams;
+
+fn main() {
+    let paper: [(&str, f64); 7] = [
+        ("Gate open", 0.878),
+        ("Drain open", 0.939),
+        ("Source open", 0.939),
+        ("Gate drain short", 0.939),
+        ("Gate source short", 1.0),
+        ("Drain source short", 1.0),
+        ("Capacitor short", 1.0),
+    ];
+
+    let result = FaultCampaign::new(&DesignParams::paper()).run();
+
+    println!("=== Table I: coverage of different types of faults ===\n");
+    let mut rows = Vec::new();
+    let mut csv = String::from("defect,paper,measured,detected,total\n");
+    for (kind, (label, paper_cov)) in FaultKind::ALL.iter().zip(paper) {
+        let (total, detected) = result.by_kind(*kind);
+        let measured = result.coverage_of_kind(*kind);
+        rows.push(vec![
+            label.to_string(),
+            percent(paper_cov),
+            percent(measured),
+            format!("{detected}/{total}"),
+        ]);
+        csv.push_str(&format!(
+            "{label},{paper_cov:.3},{measured:.3},{detected},{total}\n"
+        ));
+    }
+    rows.push(vec![
+        "Total".into(),
+        "94.8 %".into(),
+        percent(result.coverage_total()),
+        format!(
+            "{}/{}",
+            result.total() - result.undetected().len(),
+            result.total()
+        ),
+    ]);
+    csv.push_str(&format!(
+        "Total,0.948,{:.3},{},{}\n",
+        result.coverage_total(),
+        result.total() - result.undetected().len(),
+        result.total()
+    ));
+    print!(
+        "{}",
+        render_table(&["Defect", "Paper", "Measured", "Detected"], &rows)
+    );
+
+    match write_result("table1_fault_coverage.csv", &csv) {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    println!(
+        "\nEscape anatomy (why the rows order the way they do):\n\
+         - opens isolate single fingers / float gates: partial, parametric\n\
+           effects that can hide inside the 15 mV comparator margin;\n\
+         - gate-drain shorts on already diode-connected devices are no\n\
+           structural change at all;\n\
+         - gate-source and drain-source shorts corrupt shared nets: gross\n\
+           and always caught, as in the paper."
+    );
+}

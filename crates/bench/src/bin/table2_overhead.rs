@@ -1,0 +1,33 @@
+//! Regenerates the paper's **Table II**: circuit and control-input
+//! overhead of the DFT scheme.
+//!
+//! ```text
+//! cargo run -p bench --bin table2_overhead
+//! ```
+
+use dft::overhead::{DftOverhead, Entity};
+use dft::report::render_table;
+
+fn main() {
+    let paper: [usize; 8] = [7, 4, 2, 1, 2, 1, 2, 6];
+    let o = DftOverhead::paper();
+
+    println!("=== Table II: circuit and control input overhead ===\n");
+    let rows: Vec<Vec<String>> = Entity::ALL
+        .iter()
+        .zip(paper)
+        .map(|(&e, paper_n)| {
+            vec![
+                e.label().to_string(),
+                paper_n.to_string(),
+                o.count(e).to_string(),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["Entity", "Paper", "Measured"], &rows));
+
+    println!("\nItemized inventory:\n");
+    for item in o.items() {
+        println!("  {:<22} {:<12} {}", item.entity, item.name, item.purpose);
+    }
+}

@@ -1,0 +1,20 @@
+//! Emits the full production test program — the ordered step list a
+//! tester executes for the paper's DC → scan → BIST flow.
+//!
+//! ```text
+//! cargo run -p bench --release --bin test_program_listing
+//! ```
+
+use bench::write_result;
+use dft::test_program::TestProgram;
+use msim::params::DesignParams;
+
+fn main() {
+    let prog = TestProgram::paper(&DesignParams::paper());
+    let listing = prog.render();
+    print!("{listing}");
+    match write_result("test_program.txt", &listing) {
+        Ok(path) => println!("\nlisting written to {}", path.display()),
+        Err(e) => eprintln!("could not write listing: {e}"),
+    }
+}

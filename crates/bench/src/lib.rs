@@ -1,0 +1,74 @@
+//! # bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation. One
+//! binary per artifact (see `src/bin/`):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1_architecture` | Fig. 1 — block inventory, scan-chain ordering |
+//! | `fig2_lock_acquisition` | Fig. 2 — `Vc` and DLL phase vs. time |
+//! | `coverage_progression` | §IV — DC 50.4 % → scan 74.3 % → BIST 94.8 % |
+//! | `table1_fault_coverage` | Table I — coverage by fault type |
+//! | `table2_overhead` | Table II — DFT circuit overhead |
+//! | `digital_coverage` | §IV — 100 % stuck-at on the digital blocks |
+//! | `bist_lock_time` | §III — lock within 5000 cycles from any phase |
+//! | `eye_ablation` | §II (implied) — FFE necessity: eye vs. boost |
+//!
+//! Criterion benches (`benches/`) measure simulation throughput and
+//! campaign wall time. Binaries print paper-vs-measured tables to stdout
+//! and drop CSVs into `results/` at the workspace root.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory (workspace-relative) where binaries drop their CSVs.
+pub const RESULTS_DIR: &str = "results";
+
+/// Resolves the results directory next to the workspace `Cargo.toml`,
+/// creating it if needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation.
+pub fn results_dir() -> io::Result<PathBuf> {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let dir = root.join(RESULTS_DIR);
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Writes `contents` to `results/<name>` and returns the full path.
+///
+/// # Errors
+///
+/// Returns any I/O error from the write.
+pub fn write_result(name: &str, contents: &str) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(name);
+    fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_created() {
+        let d = results_dir().unwrap();
+        assert!(d.ends_with(RESULTS_DIR));
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn write_result_roundtrip() {
+        let p = write_result("selftest.txt", "hello\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello\n");
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,276 @@
+//! The structural fault campaign.
+//!
+//! Enumerates the full functional fault universe over the link's netlists,
+//! resolves every fault to its behavioral effect, simulates all three test
+//! tiers against it and aggregates the statistics the paper reports:
+//!
+//! * the cumulative coverage ladder — DC ≈ 50 %, DC+scan ≈ 74 %,
+//!   DC+scan+BIST ≈ 95 % (Section IV),
+//! * coverage by fault type (Table I),
+//! * the tier-set relations (the paper: scan and BIST fault sets intersect
+//!   but neither contains the other).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use dft::campaign::FaultCampaign;
+//! use msim::params::DesignParams;
+//!
+//! let result = FaultCampaign::new(&DesignParams::paper()).run();
+//! println!("total coverage {:.1} %", result.coverage_total() * 100.0);
+//! ```
+
+use link::netlists::functional_netlists;
+use msim::effects::{resolve_effect, AnalogEffect};
+use msim::fault::{Fault, FaultKind, FaultUniverse};
+use msim::params::DesignParams;
+
+use crate::bist::Bist;
+use crate::dc_test::DcTest;
+use crate::scan_test::ScanTest;
+
+/// Per-fault simulation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// The structural fault.
+    pub fault: Fault,
+    /// Its resolved behavioral effect.
+    pub effect: AnalogEffect,
+    /// Detected by the DC tier.
+    pub dc: bool,
+    /// Detected by the scan tier.
+    pub scan: bool,
+    /// Detected by the BIST tier.
+    pub bist: bool,
+}
+
+impl FaultRecord {
+    /// Detected by any tier.
+    pub fn detected(&self) -> bool {
+        self.dc || self.scan || self.bist
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    records: Vec<FaultRecord>,
+}
+
+impl CampaignResult {
+    /// Builds a result from externally produced records (used by the
+    /// DFT-element ablations, which re-decide detection per element set).
+    pub fn from_records(records: Vec<FaultRecord>) -> CampaignResult {
+        CampaignResult { records }
+    }
+
+    /// All per-fault records.
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+
+    /// Universe size.
+    pub fn total(&self) -> usize {
+        self.records.len()
+    }
+
+    fn fraction(&self, pred: impl Fn(&FaultRecord) -> bool) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.records.iter().filter(|r| pred(r)).count() as f64 / self.records.len() as f64
+    }
+
+    /// Coverage of the DC tier alone (the paper: 50.4 %).
+    pub fn coverage_dc(&self) -> f64 {
+        self.fraction(|r| r.dc)
+    }
+
+    /// Cumulative DC + scan coverage (the paper: 74.3 %).
+    pub fn coverage_dc_scan(&self) -> f64 {
+        self.fraction(|r| r.dc || r.scan)
+    }
+
+    /// Cumulative DC + scan + BIST coverage (the paper: 94.8 %).
+    pub fn coverage_total(&self) -> f64 {
+        self.fraction(FaultRecord::detected)
+    }
+
+    /// `(total, detected)` for one fault kind — a Table I row.
+    pub fn by_kind(&self, kind: FaultKind) -> (usize, usize) {
+        let of_kind: Vec<&FaultRecord> =
+            self.records.iter().filter(|r| r.fault.kind == kind).collect();
+        let detected = of_kind.iter().filter(|r| r.detected()).count();
+        (of_kind.len(), detected)
+    }
+
+    /// Coverage for one fault kind in `[0, 1]`.
+    pub fn coverage_of_kind(&self, kind: FaultKind) -> f64 {
+        let (total, detected) = self.by_kind(kind);
+        if total == 0 {
+            1.0
+        } else {
+            detected as f64 / total as f64
+        }
+    }
+
+    /// Faults no tier detects.
+    pub fn undetected(&self) -> Vec<&FaultRecord> {
+        self.records.iter().filter(|r| !r.detected()).collect()
+    }
+
+    /// Faults detected by scan but not BIST.
+    pub fn scan_only(&self) -> Vec<&FaultRecord> {
+        self.records.iter().filter(|r| r.scan && !r.bist).collect()
+    }
+
+    /// Faults detected by BIST but not scan.
+    pub fn bist_only(&self) -> Vec<&FaultRecord> {
+        self.records.iter().filter(|r| r.bist && !r.scan).collect()
+    }
+
+    /// Faults detected by both scan and BIST.
+    pub fn scan_and_bist(&self) -> Vec<&FaultRecord> {
+        self.records.iter().filter(|r| r.scan && r.bist).collect()
+    }
+}
+
+/// The campaign driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaign {
+    p: DesignParams,
+}
+
+impl FaultCampaign {
+    /// Creates a campaign at a design point.
+    pub fn new(p: &DesignParams) -> FaultCampaign {
+        FaultCampaign { p: p.clone() }
+    }
+
+    /// The enumerated functional fault universe.
+    pub fn universe(&self) -> FaultUniverse {
+        let blocks = functional_netlists();
+        FaultUniverse::enumerate(blocks.iter().map(|(b, n)| (*b, n)))
+    }
+
+    /// Runs every fault through all three tiers.
+    pub fn run(&self) -> CampaignResult {
+        let dc = DcTest::new(&self.p);
+        let scan = ScanTest::new(&self.p);
+        let bist = Bist::new(&self.p);
+        let records = self
+            .universe()
+            .faults()
+            .iter()
+            .map(|&fault| {
+                let effect = resolve_effect(&fault, &self.p);
+                FaultRecord {
+                    fault,
+                    effect,
+                    dc: dc.detects(&effect),
+                    scan: scan.detects(&effect),
+                    bist: bist.detects(&effect),
+                }
+            })
+            .collect();
+        CampaignResult { records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim::fault::MosFault;
+
+    // One shared campaign run for the whole module (it is the expensive
+    // part of the test suite).
+    fn result() -> &'static CampaignResult {
+        use std::sync::OnceLock;
+        static RESULT: OnceLock<CampaignResult> = OnceLock::new();
+        RESULT.get_or_init(|| FaultCampaign::new(&DesignParams::paper()).run())
+    }
+
+    #[test]
+    fn coverage_ladder_matches_paper_shape() {
+        let r = result();
+        let dc = r.coverage_dc();
+        let scan = r.coverage_dc_scan();
+        let total = r.coverage_total();
+        // The paper: 50.4 % -> 74.3 % -> 94.8 %. Our netlist granularity
+        // differs in the decimals; the ladder shape must hold.
+        assert!((0.40..=0.60).contains(&dc), "DC coverage {dc}");
+        assert!((0.65..=0.85).contains(&scan), "DC+scan coverage {scan}");
+        assert!((0.88..=0.99).contains(&total), "total coverage {total}");
+        assert!(dc < scan && scan < total);
+    }
+
+    #[test]
+    fn shorts_are_fully_covered() {
+        // Table I: gate-source short, drain-source short and capacitor
+        // short rows are 100 %.
+        let r = result();
+        for kind in [
+            FaultKind::Mos(MosFault::GateSourceShort),
+            FaultKind::Mos(MosFault::DrainSourceShort),
+            FaultKind::CapShort,
+        ] {
+            let (total, detected) = r.by_kind(kind);
+            assert_eq!(detected, total, "{kind} not fully covered");
+        }
+    }
+
+    #[test]
+    fn gate_open_is_the_weakest_row() {
+        // Table I: gate open has the lowest coverage (87.8 % in the paper).
+        let r = result();
+        let gate_open = r.coverage_of_kind(FaultKind::Mos(MosFault::GateOpen));
+        for kind in FaultKind::ALL {
+            assert!(
+                r.coverage_of_kind(kind) >= gate_open - 1e-12,
+                "{kind} below gate-open"
+            );
+        }
+        assert!(gate_open < 1.0);
+    }
+
+    #[test]
+    fn tier_sets_intersect_but_neither_contains_the_other() {
+        // The paper: "fault sets covered by the scan test and BIST are
+        // intersecting but not subsets of each other".
+        let r = result();
+        assert!(!r.scan_only().is_empty(), "scan adds nothing over BIST");
+        assert!(!r.bist_only().is_empty(), "BIST adds nothing over scan");
+        assert!(!r.scan_and_bist().is_empty(), "tiers are disjoint");
+    }
+
+    #[test]
+    fn undetected_faults_are_parametric_not_gross() {
+        // Every escape must be a parametric effect or a structural
+        // no-change — never a dead path or stuck node.
+        let r = result();
+        for rec in r.undetected() {
+            match rec.effect {
+                AnalogEffect::None
+                | AnalogEffect::ArmImbalance { .. }
+                | AnalogEffect::DynamicImbalance { .. }
+                | AnalogEffect::SwingScale { .. }
+                | AnalogEffect::CommonModeShift { .. }
+                | AnalogEffect::BiasShift { .. }
+                | AnalogEffect::WindowThresholdShift { .. }
+                | AnalogEffect::CpCurrentScale { .. }
+                | AnalogEffect::CpBalanceDrift { .. }
+                | AnalogEffect::ClockDegraded { .. }
+                | AnalogEffect::VcdlStuck { .. }
+                | AnalogEffect::VcdlRangeScale { .. } => {}
+                ref gross => panic!("gross effect escaped: {:?} from {}", gross, rec.fault),
+            }
+        }
+    }
+
+    #[test]
+    fn universe_matches_netlists() {
+        let c = FaultCampaign::new(&DesignParams::paper());
+        assert_eq!(c.universe().len(), result().total());
+        assert_eq!(result().total(), 99 * 6 + 9);
+    }
+}

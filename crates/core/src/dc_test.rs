@@ -1,0 +1,205 @@
+//! The two-vector DC test.
+//!
+//! The cheapest tier of the paper's test flow: hold the interconnect input
+//! at logic 1, then at logic 0, and observe
+//!
+//! * the two **15 mV programmed-offset comparators** at the termination —
+//!   a healthy link presents ±30 mV, so any fault eroding, inverting or
+//!   grossly shifting the differential flips a comparator;
+//! * the **bias-comparison window comparator** — the receiver-derived bias
+//!   against the clock-recovery-side generator, flagging common-mode and
+//!   bias-generator faults beyond ±15 mV.
+//!
+//! The paper credits this tier with 50.4 % of the structural faults.
+//! Detection here is *simulated*: the resolved behavioral effect perturbs
+//! the DC operating point and the comparators decide.
+//!
+//! # Examples
+//!
+//! ```
+//! use dft::dc_test::DcTest;
+//! use msim::effects::AnalogEffect;
+//! use msim::params::DesignParams;
+//! use msim::units::Volt;
+//!
+//! let dc = DcTest::new(&DesignParams::paper());
+//! assert!(!dc.detects(&AnalogEffect::None));
+//! // A dead driver (zero swing) is caught immediately.
+//! assert!(dc.detects(&AnalogEffect::SwingScale { factor: 0.0 }));
+//! // The paper's transmission-gate drain open is dynamic-only: missed.
+//! assert!(!dc.detects(&AnalogEffect::DynamicImbalance { dv: Volt::from_mv(20.0) }));
+//! ```
+
+use link::rx::ReceiverFrontEnd;
+use msim::effects::AnalogEffect;
+use msim::params::DesignParams;
+use msim::units::Volt;
+
+/// The two-vector DC test tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcTest {
+    p: DesignParams,
+    rx: ReceiverFrontEnd,
+}
+
+impl DcTest {
+    /// Creates the tier at a design point.
+    pub fn new(p: &DesignParams) -> DcTest {
+        DcTest {
+            rx: ReceiverFrontEnd::new(p.cmp_offset),
+            p: p.clone(),
+        }
+    }
+
+    /// The differential voltage at the termination for a driven bit under
+    /// the given fault effect.
+    fn dc_differential(&self, effect: &AnalogEffect, driven_one: bool) -> Volt {
+        let sign = if driven_one { 1.0 } else { -1.0 };
+        let nominal = self.p.dc_test_input() * sign;
+        match *effect {
+            // One arm pinned to a rail dominates the differential
+            // completely, with a fixed polarity regardless of the data.
+            AnalogEffect::LineArmStuck { high, .. } => {
+                let rail_dev = self.p.supply / 2.0;
+                if high {
+                    rail_dev
+                } else {
+                    -rail_dev
+                }
+            }
+            // A static arm imbalance erodes the magnitude seen when the
+            // weak arm should dominate (the worst of the two vectors).
+            AnalogEffect::ArmImbalance { dv } => nominal - dv * sign,
+            AnalogEffect::SwingScale { factor } => nominal * factor,
+            AnalogEffect::CouplingDcShift { dv } => nominal + dv,
+            // The TX data path frozen: the line holds one state regardless
+            // of the applied vector — the other vector reads inverted.
+            AnalogEffect::DataPathStuck => -self.p.dc_test_input(),
+            _ => nominal,
+        }
+    }
+
+    /// The receiver-side bias error under the effect.
+    fn bias_error(&self, effect: &AnalogEffect) -> Volt {
+        match *effect {
+            AnalogEffect::CommonModeShift { dv } | AnalogEffect::BiasShift { dv } => dv,
+            _ => Volt::ZERO,
+        }
+    }
+
+    /// Runs the two DC vectors against the effect and returns `true` when
+    /// any observation deviates from the fault-free expectation.
+    pub fn detects(&self, effect: &AnalogEffect) -> bool {
+        // Vector 1: input at logic 1; vector 2: input at logic 0.
+        for driven_one in [true, false] {
+            let diff = self.dc_differential(effect, driven_one);
+            if !self.rx.dc_pass(diff, driven_one) {
+                return true;
+            }
+        }
+        // Bias comparison through the window comparator.
+        let nominal = self.p.vmid;
+        self.rx.bias_flagged(nominal + self.bias_error(effect), nominal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim::effects::Arm;
+
+    fn dc() -> DcTest {
+        DcTest::new(&DesignParams::paper())
+    }
+
+    #[test]
+    fn healthy_link_passes() {
+        assert!(!dc().detects(&AnalogEffect::None));
+    }
+
+    #[test]
+    fn arm_imbalance_detected_above_margin_only() {
+        // 30 mV healthy against a 15 mV offset: the margin is 15 mV.
+        assert!(dc().detects(&AnalogEffect::ArmImbalance {
+            dv: Volt::from_mv(20.0)
+        }));
+        assert!(!dc().detects(&AnalogEffect::ArmImbalance {
+            dv: Volt::from_mv(12.0)
+        }));
+    }
+
+    #[test]
+    fn stuck_arm_detected() {
+        for high in [true, false] {
+            assert!(dc().detects(&AnalogEffect::LineArmStuck {
+                arm: Arm::Plus,
+                high
+            }));
+        }
+    }
+
+    #[test]
+    fn stuck_data_path_detected() {
+        // The line holds one state: the opposite vector reads inverted.
+        assert!(dc().detects(&AnalogEffect::DataPathStuck));
+    }
+
+    #[test]
+    fn swing_scale_thresholds() {
+        // Dead driver and heavy loss detected; mild gain escapes.
+        assert!(dc().detects(&AnalogEffect::SwingScale { factor: 0.0 }));
+        assert!(dc().detects(&AnalogEffect::SwingScale { factor: 0.4 }));
+        assert!(!dc().detects(&AnalogEffect::SwingScale { factor: 1.3 }));
+        assert!(!dc().detects(&AnalogEffect::SwingScale { factor: 0.9 }));
+    }
+
+    #[test]
+    fn coupling_shift_detected() {
+        assert!(dc().detects(&AnalogEffect::CouplingDcShift {
+            dv: Volt::from_mv(300.0)
+        }));
+        assert!(dc().detects(&AnalogEffect::CouplingDcShift {
+            dv: Volt::from_mv(-150.0)
+        }));
+    }
+
+    #[test]
+    fn bias_and_common_mode_via_window() {
+        assert!(dc().detects(&AnalogEffect::BiasShift {
+            dv: Volt::from_mv(25.0)
+        }));
+        assert!(dc().detects(&AnalogEffect::CommonModeShift {
+            dv: Volt::from_mv(50.0)
+        }));
+        assert!(!dc().detects(&AnalogEffect::BiasShift {
+            dv: Volt::from_mv(10.0)
+        }));
+    }
+
+    #[test]
+    fn non_dc_effects_escape() {
+        use msim::effects::{Pump, PumpDir, WindowSide};
+        let misses = [
+            AnalogEffect::DynamicImbalance {
+                dv: Volt::from_mv(25.0),
+            },
+            AnalogEffect::WindowStuck {
+                side: WindowSide::High,
+                output: true,
+            },
+            AnalogEffect::CpDead {
+                pump: Pump::Weak,
+                dir: PumpDir::Up,
+            },
+            AnalogEffect::CpBalanceDrift {
+                dv: Volt::from_mv(400.0),
+            },
+            AnalogEffect::ClockPathDead,
+            AnalogEffect::VcdlStuck { frac: 0.5 },
+            AnalogEffect::LoopCapShort,
+        ];
+        for e in misses {
+            assert!(!dc().detects(&e), "{e:?} should not be DC-visible");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Tier-signature fault diagnosis.
+//!
+//! Beyond pass/fail, the *combination* of tiers a die fails narrows the
+//! defect down to a circuit region — the paper's tier structure gives
+//! this for free. A [`SignatureDictionary`] is built once from the fault
+//! campaign (which faults produce which `(DC, scan, BIST)` signature) and
+//! then diagnoses failing dies by signature lookup, ranking candidate
+//! blocks by fault population.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use dft::campaign::FaultCampaign;
+//! use dft::diagnosis::{Signature, SignatureDictionary};
+//! use msim::params::DesignParams;
+//!
+//! let result = FaultCampaign::new(&DesignParams::paper()).run();
+//! let dict = SignatureDictionary::from_campaign(&result);
+//! let diag = dict.diagnose(Signature { dc: false, scan: false, bist: true });
+//! assert!(!diag.candidates.is_empty());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use msim::netlist::BlockKind;
+
+use crate::campaign::CampaignResult;
+
+/// A tier pass/fail signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature {
+    /// Failed the DC tier.
+    pub dc: bool,
+    /// Failed the scan tier.
+    pub scan: bool,
+    /// Failed the BIST tier.
+    pub bist: bool,
+}
+
+impl Signature {
+    /// All eight signatures.
+    pub const ALL: [Signature; 8] = {
+        let mut out = [Signature {
+            dc: false,
+            scan: false,
+            bist: false,
+        }; 8];
+        let mut i = 0;
+        while i < 8 {
+            out[i] = Signature {
+                dc: i & 4 != 0,
+                scan: i & 2 != 0,
+                bist: i & 1 != 0,
+            };
+            i += 1;
+        }
+        out
+    };
+
+    /// Whether any tier failed.
+    pub fn any(&self) -> bool {
+        self.dc || self.scan || self.bist
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.dc {
+            parts.push("DC");
+        }
+        if self.scan {
+            parts.push("scan");
+        }
+        if self.bist {
+            parts.push("BIST");
+        }
+        if parts.is_empty() {
+            write!(f, "clean")
+        } else {
+            write!(f, "{}", parts.join("+"))
+        }
+    }
+}
+
+/// A ranked diagnosis for one signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnosis {
+    /// The observed signature.
+    pub signature: Signature,
+    /// Candidate blocks, most-populous first, with their fault counts.
+    pub candidates: Vec<(BlockKind, usize)>,
+}
+
+impl Diagnosis {
+    /// The most likely block, if any fault can produce this signature.
+    pub fn most_likely(&self) -> Option<BlockKind> {
+        self.candidates.first().map(|(b, _)| *b)
+    }
+}
+
+/// Signature → candidate-block dictionary built from a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureDictionary {
+    map: BTreeMap<Signature, BTreeMap<BlockKind, usize>>,
+}
+
+impl SignatureDictionary {
+    /// Builds the dictionary from campaign records.
+    pub fn from_campaign(result: &CampaignResult) -> SignatureDictionary {
+        let mut map: BTreeMap<Signature, BTreeMap<BlockKind, usize>> = BTreeMap::new();
+        for rec in result.records() {
+            let sig = Signature {
+                dc: rec.dc,
+                scan: rec.scan,
+                bist: rec.bist,
+            };
+            *map.entry(sig).or_default().entry(rec.fault.block).or_insert(0) += 1;
+        }
+        SignatureDictionary { map }
+    }
+
+    /// Diagnoses a failing signature.
+    pub fn diagnose(&self, signature: Signature) -> Diagnosis {
+        let mut candidates: Vec<(BlockKind, usize)> = self
+            .map
+            .get(&signature)
+            .map(|blocks| blocks.iter().map(|(b, n)| (*b, *n)).collect())
+            .unwrap_or_default();
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Diagnosis {
+            signature,
+            candidates,
+        }
+    }
+
+    /// Diagnostic resolution: the mean number of candidate blocks over the
+    /// failing signatures that occur (lower = sharper diagnosis).
+    pub fn mean_resolution(&self) -> f64 {
+        let failing: Vec<_> = self
+            .map
+            .iter()
+            .filter(|(sig, _)| sig.any())
+            .collect();
+        if failing.is_empty() {
+            return 0.0;
+        }
+        failing.iter().map(|(_, blocks)| blocks.len()).sum::<usize>() as f64
+            / failing.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::FaultCampaign;
+    use msim::params::DesignParams;
+    use std::sync::OnceLock;
+
+    fn dict() -> &'static SignatureDictionary {
+        static DICT: OnceLock<SignatureDictionary> = OnceLock::new();
+        DICT.get_or_init(|| {
+            let result = FaultCampaign::new(&DesignParams::paper()).run();
+            SignatureDictionary::from_campaign(&result)
+        })
+    }
+
+    #[test]
+    fn bist_only_localizes_to_clock_recovery() {
+        let d = dict().diagnose(Signature {
+            dc: false,
+            scan: false,
+            bist: true,
+        });
+        assert!(!d.candidates.is_empty());
+        for (block, _) in &d.candidates {
+            assert!(
+                matches!(
+                    block,
+                    BlockKind::Vcdl
+                        | BlockKind::WeakChargePump
+                        | BlockKind::StrongChargePump
+                        | BlockKind::WindowComparator
+                ),
+                "unexpected BIST-only block {block}"
+            );
+        }
+        // The scan-unreachable analog dominates: either the VCDL or the
+        // weak pump's balance arm, depending on netlist populations.
+        assert!(matches!(
+            d.most_likely(),
+            Some(BlockKind::Vcdl | BlockKind::WeakChargePump)
+        ));
+    }
+
+    #[test]
+    fn dc_failing_signatures_point_at_the_datapath() {
+        let d = dict().diagnose(Signature {
+            dc: true,
+            scan: true,
+            bist: true,
+        });
+        let blocks: Vec<BlockKind> = d.candidates.iter().map(|(b, _)| *b).collect();
+        assert!(blocks.contains(&BlockKind::TxDriver));
+    }
+
+    #[test]
+    fn signature_display() {
+        assert_eq!(
+            format!(
+                "{}",
+                Signature {
+                    dc: true,
+                    scan: false,
+                    bist: true
+                }
+            ),
+            "DC+BIST"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                Signature {
+                    dc: false,
+                    scan: false,
+                    bist: false
+                }
+            ),
+            "clean"
+        );
+    }
+
+    #[test]
+    fn all_signatures_enumerated() {
+        assert_eq!(Signature::ALL.len(), 8);
+        let any: Vec<_> = Signature::ALL.iter().filter(|s| s.any()).collect();
+        assert_eq!(any.len(), 7);
+    }
+
+    #[test]
+    fn unknown_signature_yields_empty_diagnosis() {
+        // DC-only failures do not occur in this design (everything the DC
+        // test sees, the toggling scan check sees too).
+        let d = dict().diagnose(Signature {
+            dc: true,
+            scan: false,
+            bist: false,
+        });
+        assert!(d.candidates.is_empty());
+        assert_eq!(d.most_likely(), None);
+    }
+
+    #[test]
+    fn resolution_is_sharp() {
+        // On average a failing signature narrows to a handful of blocks
+        // out of seven.
+        let r = dict().mean_resolution();
+        assert!(r > 0.0 && r < 5.0, "resolution {r}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Shipped-quality economics of the test flow.
+//!
+//! The paper's closing argument is that testability "enables the use of
+//! low swing interconnect in large scale high volume digital systems".
+//! This module quantifies that: the classic Williams–Brown model relates
+//! process yield `Y` and fault coverage `T` to the **defect level** (the
+//! fraction of shipped parts that are defective),
+//!
+//! ```text
+//! DL = 1 − Y^(1−T)
+//! ```
+//!
+//! so each tier of the paper's flow (50.4 % → 74.3 % → 94.8 %) buys a
+//! concrete DPPM improvement.
+//!
+//! # Examples
+//!
+//! ```
+//! use dft::quality::{defect_level, dppm};
+//!
+//! // 90 % yield, the paper's 94.8 % total coverage:
+//! let dl = defect_level(0.9, 0.948);
+//! assert!(dppm(dl) < 5500.0);
+//! // With no test at all the same process ships 100 000 DPPM.
+//! assert!(dppm(defect_level(0.9, 0.0)) > 99_000.0);
+//! ```
+
+use crate::campaign::CampaignResult;
+
+/// Williams–Brown defect level for process yield `yield_` and fault
+/// coverage `coverage`, both in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if either argument leaves `[0, 1]` or `yield_` is zero.
+pub fn defect_level(yield_: f64, coverage: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&coverage),
+        "coverage must be a fraction"
+    );
+    assert!(
+        yield_ > 0.0 && yield_ <= 1.0,
+        "yield must be a positive fraction"
+    );
+    1.0 - yield_.powf(1.0 - coverage)
+}
+
+/// Converts a defect level to defective parts per million.
+pub fn dppm(defect_level: f64) -> f64 {
+    defect_level * 1e6
+}
+
+/// One row of the per-tier quality ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityRow {
+    /// Tier label.
+    pub tier: &'static str,
+    /// Cumulative fault coverage of the flow up to this tier.
+    pub coverage: f64,
+    /// Resulting defect level.
+    pub defect_level: f64,
+    /// Resulting DPPM.
+    pub dppm: f64,
+}
+
+/// Builds the per-tier quality ladder for a campaign result at a given
+/// process yield.
+pub fn quality_ladder(result: &CampaignResult, yield_: f64) -> Vec<QualityRow> {
+    let tiers = [
+        ("no test", 0.0),
+        ("DC test", result.coverage_dc()),
+        ("DC + scan", result.coverage_dc_scan()),
+        ("DC + scan + BIST", result.coverage_total()),
+    ];
+    tiers
+        .into_iter()
+        .map(|(tier, coverage)| {
+            let dl = defect_level(yield_, coverage);
+            QualityRow {
+                tier,
+                coverage,
+                defect_level: dl,
+                dppm: dppm(dl),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // Y = 0.9, T = 0: DL = 1 - 0.9 = 10 %.
+        assert!((defect_level(0.9, 0.0) - 0.1).abs() < 1e-12);
+        // Perfect coverage ships zero defects.
+        assert_eq!(defect_level(0.9, 1.0), 0.0);
+        // Williams-Brown textbook point: Y = 0.5, T = 0.9 -> DL ≈ 6.7 %.
+        let dl = defect_level(0.5, 0.9);
+        assert!((dl - 0.0670).abs() < 5e-4, "{dl}");
+    }
+
+    #[test]
+    fn monotone_in_coverage() {
+        let mut last = f64::INFINITY;
+        for t in [0.0, 0.25, 0.5, 0.75, 0.948, 1.0] {
+            let dl = defect_level(0.85, t);
+            assert!(dl <= last);
+            last = dl;
+        }
+    }
+
+    #[test]
+    fn monotone_in_yield() {
+        // A better process ships fewer defects at fixed coverage.
+        assert!(defect_level(0.95, 0.9) < defect_level(0.6, 0.9));
+    }
+
+    #[test]
+    fn dppm_scaling() {
+        assert_eq!(dppm(0.001), 1000.0);
+        assert_eq!(dppm(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "yield must be a positive fraction")]
+    fn zero_yield_rejected() {
+        let _ = defect_level(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage must be a fraction")]
+    fn coverage_above_one_rejected() {
+        let _ = defect_level(0.9, 1.1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Plain-text table rendering shared by the experiment binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use dft::report::{render_table, percent};
+//!
+//! let t = render_table(
+//!     &["Defect", "Coverage"],
+//!     &[vec!["Gate open".into(), percent(0.878)]],
+//! );
+//! assert!(t.contains("87.8 %"));
+//! ```
+
+/// Formats a fraction as `"87.8 %"`.
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1} %", fraction * 100.0)
+}
+
+/// Renders an ASCII table with a header row and column-width alignment.
+///
+/// # Panics
+///
+/// Panics if any row's cell count differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), headers.len(), "ragged table row");
+    }
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let rule = |s: &mut String| {
+        for w in &widths {
+            s.push('+');
+            s.push_str(&"-".repeat(w + 2));
+        }
+        s.push_str("+\n");
+    };
+    let line = |s: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("| {:<w$} ", cell, w = widths[i]));
+        }
+        s.push_str("|\n");
+    };
+    let mut out = String::new();
+    rule(&mut out);
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    rule(&mut out);
+    for row in rows {
+        line(&mut out, row);
+    }
+    rule(&mut out);
+    let _ = ncols;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.504), "50.4 %");
+        assert_eq!(percent(1.0), "100.0 %");
+        assert_eq!(percent(0.0), "0.0 %");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["Entity", "Number"],
+            &[
+                vec!["Flip-flop".into(), "7".into()],
+                vec!["Comparators (DC)".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        // Rule, header, rule, 2 rows, rule.
+        assert_eq!(lines.len(), 6);
+        // All lines the same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+        assert!(t.contains("| Flip-flop"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

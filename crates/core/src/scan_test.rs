@@ -1,0 +1,358 @@
+//! The scan-test tier.
+//!
+//! The paper's central DFT contribution: fold the analog blocks into the
+//! two digital scan chains so standard scan patterns also exercise them.
+//! This tier simulates the paper's scan procedures:
+//!
+//! 1. **Chain A capture** — the added flip-flops probing the FFE capacitor
+//!    driver plates observe every node up to the series capacitors.
+//! 2. **Toggling pattern at 100 MHz** — the clocked window comparator at
+//!    the termination flags *dynamic* mismatches (e.g. a transmission-gate
+//!    drain open) that the DC tier cannot see, plus any static error.
+//! 3. **Charge pump as a combinational element** — with the current-source
+//!    biases tied to the rails, chain A drives the PD to assert UP/DN and
+//!    the control voltage must reach each rail; the control FSM must then
+//!    reset it into the window through the strong pump, and the window
+//!    comparator's capture flip-flops must read Inside/Above/Below at the
+//!    forced inputs. Crucially, the rail-tied biases *mask* current-
+//!    magnitude faults (a drain–source shorted current source behaves
+//!    exactly like the intended switch) — the paper's motivation for the
+//!    BIST tier.
+//!
+//! # Examples
+//!
+//! ```
+//! use dft::scan_test::ScanTest;
+//! use msim::effects::{AnalogEffect, Pump, PumpDir};
+//! use msim::params::DesignParams;
+//! use msim::units::Volt;
+//!
+//! let scan = ScanTest::new(&DesignParams::paper());
+//! // The DC-invisible dynamic mismatch is caught by the toggling check.
+//! assert!(scan.detects(&AnalogEffect::DynamicImbalance { dv: Volt::from_mv(20.0) }));
+//! // The masked current-source fault is NOT caught (BIST territory).
+//! assert!(!scan.detects(&AnalogEffect::CpCurrentScale {
+//!     pump: Pump::Strong, dir: PumpDir::Up, factor: 20.0 }));
+//! ```
+
+use link::rx::ReceiverFrontEnd;
+use msim::blocks::charge_pump::{ChargePump, CpFaults};
+use msim::blocks::comparator::{WindowComparator, WindowDecision};
+use msim::effects::{AnalogEffect, Pump, PumpDir, WindowSide};
+use msim::params::DesignParams;
+use msim::units::Volt;
+
+/// Builds the weak/strong charge-pump fault hooks implied by an effect.
+pub fn cp_faults_from_effect(effect: &AnalogEffect) -> (CpFaults, CpFaults) {
+    let mut weak = CpFaults::none();
+    let mut strong = CpFaults::none();
+    match *effect {
+        AnalogEffect::CpDead { pump, dir } => {
+            let f = match pump {
+                Pump::Weak => &mut weak,
+                Pump::Strong => &mut strong,
+            };
+            match dir {
+                PumpDir::Up => f.dead_up = true,
+                PumpDir::Down => f.dead_down = true,
+            }
+        }
+        AnalogEffect::CpAlwaysOn { pump, dir } => {
+            let f = match pump {
+                Pump::Weak => &mut weak,
+                Pump::Strong => &mut strong,
+            };
+            f.always_on = Some(dir);
+        }
+        AnalogEffect::CpCurrentScale { pump, dir, factor } => {
+            let f = match pump {
+                Pump::Weak => &mut weak,
+                Pump::Strong => &mut strong,
+            };
+            match dir {
+                PumpDir::Up => f.up_scale = factor,
+                PumpDir::Down => f.down_scale = factor,
+            }
+        }
+        _ => {}
+    }
+    (weak, strong)
+}
+
+/// Builds the coarse-loop window comparator implied by an effect.
+pub fn window_from_effect(effect: &AnalogEffect, p: &DesignParams) -> WindowComparator {
+    let w = WindowComparator::new(p.window_low, p.window_high);
+    match *effect {
+        AnalogEffect::WindowStuck { side, output } => match side {
+            WindowSide::High => w.with_high_stuck(output),
+            WindowSide::Low => w.with_low_stuck(output),
+        },
+        AnalogEffect::WindowThresholdShift { side, dv } => match side {
+            WindowSide::High => w.with_high_shift(dv),
+            WindowSide::Low => w.with_low_shift(dv),
+        },
+        _ => w,
+    }
+}
+
+/// The scan-test tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanTest {
+    p: DesignParams,
+    rx: ReceiverFrontEnd,
+}
+
+impl ScanTest {
+    /// Creates the tier at a design point.
+    pub fn new(p: &DesignParams) -> ScanTest {
+        ScanTest {
+            rx: ReceiverFrontEnd::new(p.cmp_offset),
+            p: p.clone(),
+        }
+    }
+
+    /// Whether the full scan procedure detects the effect.
+    pub fn detects(&self, effect: &AnalogEffect) -> bool {
+        self.chain_capture_detects(effect)
+            || self.toggling_detects(effect)
+            || self.cp_combinational_detects(effect)
+    }
+
+    /// Chain A capture through the probe flip-flops on the FFE capacitor
+    /// plates.
+    fn chain_capture_detects(&self, effect: &AnalogEffect) -> bool {
+        matches!(effect, AnalogEffect::DataPathStuck)
+    }
+
+    /// Toggling pattern at the 100 MHz scan frequency, observed by the
+    /// clocked window comparator and the offset comparators at the
+    /// termination. Sees everything the DC test sees *plus* dynamic
+    /// mismatches.
+    fn toggling_detects(&self, effect: &AnalogEffect) -> bool {
+        let nominal = self.p.dc_test_input();
+        // Differential magnitude while toggling (worst polarity).
+        let toggling = match *effect {
+            AnalogEffect::DynamicImbalance { dv } | AnalogEffect::ArmImbalance { dv } => {
+                nominal - dv
+            }
+            AnalogEffect::SwingScale { factor } => nominal * factor,
+            AnalogEffect::LineArmStuck { .. } => -nominal, // one phase inverted
+            AnalogEffect::CouplingDcShift { dv } => nominal - dv.abs(),
+            _ => nominal,
+        };
+        if !self.rx.dc_pass(toggling, true) {
+            return true;
+        }
+        // Bias comparison also runs during scan.
+        let bias_err = match *effect {
+            AnalogEffect::CommonModeShift { dv } | AnalogEffect::BiasShift { dv } => dv,
+            _ => Volt::ZERO,
+        };
+        self.rx.bias_flagged(self.p.vmid + bias_err, self.p.vmid)
+    }
+
+    /// The charge-pump-as-combinational-element procedure plus the window
+    /// comparator capture checks.
+    fn cp_combinational_detects(&self, effect: &AnalogEffect) -> bool {
+        let (weak_f, strong_f) = cp_faults_from_effect(effect);
+        let mut weak = ChargePump::new(self.p.weak_cp_current, self.p.loop_cap, self.p.supply)
+            .with_faults(weak_f);
+        let mut strong = ChargePump::new(self.p.strong_cp_current, self.p.loop_cap, self.p.supply)
+            .with_faults(strong_f);
+        // Scan mode: sources become switches — magnitude faults masked.
+        weak.set_scan_mode(true);
+        strong.set_scan_mode(true);
+        let window = window_from_effect(effect, &self.p);
+        let pinned = matches!(effect, AnalogEffect::LoopCapShort);
+        let dt = self.p.scan_clock.period();
+
+        let apply = |vc: Volt| if pinned { Volt::ZERO } else { vc };
+
+        // FSM reset exercise: pulse the strong pump toward the window
+        // until the window comparator reads Inside (bounded).
+        let reset_to_window = |start: Volt, weak: &ChargePump, strong: &ChargePump| -> bool {
+            let mut vc = start;
+            for _ in 0..20 {
+                match window.evaluate(vc) {
+                    WindowDecision::Inside => return true,
+                    WindowDecision::AboveHigh => {
+                        vc = strong.step(vc, false, true, dt);
+                    }
+                    WindowDecision::BelowLow => {
+                        vc = strong.step(vc, true, false, dt);
+                    }
+                }
+                vc = weak.step(vc, false, false, dt); // weak idle leak
+                vc = apply(vc);
+            }
+            false
+        };
+
+        // (1) Drive UP via chain A: Vc must cross the upper threshold,
+        // then the FSM must reset it into the window (strong DOWN path).
+        let mut vc = apply(self.p.vmid);
+        for _ in 0..100 {
+            vc = weak.step(vc, true, false, dt);
+            vc = strong.step(vc, false, false, dt); // strong idle (leak only)
+            vc = apply(vc);
+        }
+        if vc <= self.p.window_high {
+            return true;
+        }
+        if !reset_to_window(vc, &weak, &strong) {
+            return true;
+        }
+
+        // (2) Drive DN: Vc must cross the lower threshold, then reset
+        // again (exercising the strong UP path this time).
+        let mut vc = apply(self.p.vmid);
+        for _ in 0..100 {
+            vc = weak.step(vc, false, true, dt);
+            vc = strong.step(vc, false, false, dt);
+            vc = apply(vc);
+        }
+        if vc >= self.p.window_low {
+            return true;
+        }
+        if !reset_to_window(vc, &weak, &strong) {
+            return true;
+        }
+
+        // (3) Window comparator capture flip-flops at the forced inputs.
+        window.evaluate(self.p.vmid) != WindowDecision::Inside
+            || window.evaluate(self.p.supply) != WindowDecision::AboveHigh
+            || window.evaluate(Volt::ZERO) != WindowDecision::BelowLow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan() -> ScanTest {
+        ScanTest::new(&DesignParams::paper())
+    }
+
+    #[test]
+    fn healthy_link_passes() {
+        assert!(!scan().detects(&AnalogEffect::None));
+    }
+
+    #[test]
+    fn dynamic_mismatch_detected_here_not_at_dc() {
+        // The paper's transmission-gate drain-open example.
+        let e = AnalogEffect::DynamicImbalance {
+            dv: Volt::from_mv(20.0),
+        };
+        assert!(scan().detects(&e));
+    }
+
+    #[test]
+    fn probed_nodes_detected_via_chain_a() {
+        assert!(scan().detects(&AnalogEffect::DataPathStuck));
+    }
+
+    #[test]
+    fn dead_pump_paths_detected() {
+        for (pump, dir) in [
+            (Pump::Weak, PumpDir::Up),
+            (Pump::Weak, PumpDir::Down),
+            (Pump::Strong, PumpDir::Up),
+            (Pump::Strong, PumpDir::Down),
+        ] {
+            assert!(
+                scan().detects(&AnalogEffect::CpDead { pump, dir }),
+                "dead {pump:?}/{dir:?} missed"
+            );
+        }
+    }
+
+    #[test]
+    fn always_on_pump_detected() {
+        for (pump, dir) in [
+            (Pump::Weak, PumpDir::Up),
+            (Pump::Weak, PumpDir::Down),
+            (Pump::Strong, PumpDir::Up),
+            (Pump::Strong, PumpDir::Down),
+        ] {
+            assert!(
+                scan().detects(&AnalogEffect::CpAlwaysOn { pump, dir }),
+                "always-on {pump:?}/{dir:?} missed"
+            );
+        }
+    }
+
+    #[test]
+    fn current_scale_masked_in_scan_mode() {
+        // The paper's key masking narrative: rail-tied biases make a
+        // DS-shorted current source look like the intended switch.
+        for pump in [Pump::Weak, Pump::Strong] {
+            for factor in [0.5, 20.0] {
+                let e = AnalogEffect::CpCurrentScale {
+                    pump,
+                    dir: PumpDir::Up,
+                    factor,
+                };
+                assert!(!scan().detects(&e), "{pump:?} x{factor} not masked");
+            }
+        }
+    }
+
+    #[test]
+    fn window_stuck_detected_any_polarity() {
+        for side in [WindowSide::High, WindowSide::Low] {
+            for output in [true, false] {
+                let e = AnalogEffect::WindowStuck { side, output };
+                assert!(scan().detects(&e), "{side:?} stuck-{output} missed");
+            }
+        }
+    }
+
+    #[test]
+    fn window_threshold_shifts_escape_scan() {
+        // Parametric shifts pass the gross rail/mid checks.
+        for side in [WindowSide::High, WindowSide::Low] {
+            for mv in [-100.0, 40.0, 100.0] {
+                let e = AnalogEffect::WindowThresholdShift {
+                    side,
+                    dv: Volt::from_mv(mv),
+                };
+                assert!(!scan().detects(&e), "{side:?} shift {mv} not escaping");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_cap_short_detected() {
+        assert!(scan().detects(&AnalogEffect::LoopCapShort));
+    }
+
+    #[test]
+    fn bist_only_classes_escape_scan() {
+        let misses = [
+            AnalogEffect::CpBalanceDrift {
+                dv: Volt::from_mv(400.0),
+            },
+            AnalogEffect::ClockPathDead,
+            AnalogEffect::ClockDegraded { severity: 0.8 },
+            AnalogEffect::VcdlStuck { frac: 0.0 },
+            AnalogEffect::VcdlRangeScale { factor: 0.5 },
+        ];
+        for e in misses {
+            assert!(!scan().detects(&e), "{e:?} should be BIST-only");
+        }
+    }
+
+    #[test]
+    fn static_faults_also_seen_while_toggling() {
+        // Scan and DC fault sets intersect (the paper notes the tiers are
+        // intersecting, not nested).
+        assert!(scan().detects(&AnalogEffect::SwingScale { factor: 0.0 }));
+        assert!(scan().detects(&AnalogEffect::ArmImbalance {
+            dv: Volt::from_mv(25.0)
+        }));
+        assert!(scan().detects(&AnalogEffect::BiasShift {
+            dv: Volt::from_mv(25.0)
+        }));
+    }
+}

@@ -1,0 +1,25 @@
+//! Gate-level implementations of the paper's digital blocks.
+//!
+//! These are the "logically simple" circuits the paper tests with standard
+//! scan patterns at 100 % stuck-at coverage:
+//!
+//! * [`ring_counter`] — the bidirectional one-hot UP/DN counter selecting
+//!   the DLL phase,
+//! * [`switch_matrix`] — the phase-select AND–OR matrix,
+//! * [`divider`] — the coarse-loop clock divider,
+//! * [`lock_counter`] — the 3-bit saturating UP counter of the BIST lock
+//!   detector,
+//! * [`fsm`] — the coarse-correction control FSM (UPst/DNst/Enable),
+//! * [`alexander`] — the digital part of the Alexander phase detector
+//!   (Fig. 7).
+//!
+//! Each builder returns the [`crate::circuit::Circuit`] plus a port map, so
+//! the `dft` crate can stitch them into the clock-control scan chain and
+//! the coverage bench can fault-simulate them.
+
+pub mod alexander;
+pub mod divider;
+pub mod fsm;
+pub mod lock_counter;
+pub mod ring_counter;
+pub mod switch_matrix;

@@ -1,0 +1,575 @@
+//! Gate-level circuits with sequential elements.
+//!
+//! A [`Circuit`] is a flat netlist of primitive gates and scannable D
+//! flip-flops, built through a small builder API. Evaluation is a bounded
+//! fixpoint relaxation over three-valued logic (ample for the paper's
+//! "logically simple" control blocks), and a single stuck-at fault can be
+//! overlaid on any net without rebuilding the circuit — the mechanism the
+//! stuck-at campaign in [`crate::stuck_at`] uses.
+//!
+//! # Examples
+//!
+//! Build and evaluate a half adder:
+//!
+//! ```
+//! use dsim::circuit::{Circuit, GateKind, SimState};
+//! use dsim::logic::Logic;
+//!
+//! let mut c = Circuit::new("half-adder");
+//! let a = c.input("a");
+//! let b = c.input("b");
+//! let sum = c.net("sum");
+//! let carry = c.net("carry");
+//! c.gate(GateKind::Xor, &[a, b], sum);
+//! c.gate(GateKind::And, &[a, b], carry);
+//! c.output(sum);
+//! c.output(carry);
+//!
+//! let mut s = SimState::for_circuit(&c);
+//! s.set_input(&c, a, Logic::One);
+//! s.set_input(&c, b, Logic::One);
+//! c.eval(&mut s);
+//! assert_eq!(s.net(sum), Logic::Zero);
+//! assert_eq!(s.net(carry), Logic::One);
+//! ```
+
+use std::fmt;
+
+use crate::logic::Logic;
+
+/// Index of a net within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Primitive gate kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Not,
+    /// AND (≥ 2 inputs).
+    And,
+    /// NAND (≥ 2 inputs).
+    Nand,
+    /// OR (≥ 2 inputs).
+    Or,
+    /// NOR (≥ 2 inputs).
+    Nor,
+    /// XOR (exactly 2 inputs).
+    Xor,
+    /// XNOR (exactly 2 inputs).
+    Xnor,
+    /// 2:1 multiplexer; inputs are `[sel, lo, hi]`.
+    Mux,
+}
+
+impl GateKind {
+    fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::Buf | GateKind::Not => n == 1,
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => n >= 2,
+            GateKind::Xor | GateKind::Xnor => n == 2,
+            GateKind::Mux => n == 3,
+        }
+    }
+
+    fn eval(self, ins: &[Logic]) -> Logic {
+        match self {
+            GateKind::Buf => ins[0],
+            GateKind::Not => ins[0].not(),
+            GateKind::And => ins.iter().copied().fold(Logic::One, Logic::and),
+            GateKind::Nand => ins.iter().copied().fold(Logic::One, Logic::and).not(),
+            GateKind::Or => ins.iter().copied().fold(Logic::Zero, Logic::or),
+            GateKind::Nor => ins.iter().copied().fold(Logic::Zero, Logic::or).not(),
+            GateKind::Xor => ins[0].xor(ins[1]),
+            GateKind::Xnor => ins[0].xor(ins[1]).not(),
+            GateKind::Mux => Logic::mux(ins[0], ins[1], ins[2]),
+        }
+    }
+}
+
+/// A primitive gate instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    kind: GateKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Gate {
+    /// Gate kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Input nets.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// A D flip-flop. All flip-flops are scannable and are stitched into the
+/// scan chain in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dff {
+    /// Data input net.
+    pub d: NetId,
+    /// Output net.
+    pub q: NetId,
+}
+
+/// Index of a flip-flop within its circuit (scan-chain position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DffId(pub usize);
+
+/// A gate-level circuit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    name: String,
+    net_names: Vec<String>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new(name: impl Into<String>) -> Circuit {
+        Circuit {
+            name: name.into(),
+            ..Circuit::default()
+        }
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Creates a named internal net.
+    pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        self.net_names.push(name.into());
+        NetId(self.net_names.len() - 1)
+    }
+
+    /// Creates a primary input net.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.net(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Adds a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the gate kind's arity or a
+    /// net id is out of range.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId], output: NetId) {
+        assert!(
+            kind.arity_ok(inputs.len()),
+            "{kind:?} cannot take {} inputs",
+            inputs.len()
+        );
+        for &n in inputs.iter().chain(std::iter::once(&output)) {
+            assert!(n.0 < self.net_names.len(), "net {n} out of range");
+        }
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+    }
+
+    /// Adds a D flip-flop and returns its scan-chain position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a net id is out of range.
+    pub fn dff(&mut self, d: NetId, q: NetId) -> DffId {
+        assert!(
+            d.0 < self.net_names.len() && q.0 < self.net_names.len(),
+            "net out of range"
+        );
+        self.dffs.push(Dff { d, q });
+        DffId(self.dffs.len() - 1)
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops (= scan-chain length).
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Primary inputs.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// The flip-flops in scan-chain order.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// The gates in insertion order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.0]
+    }
+
+    /// Propagates combinational logic to a fixpoint.
+    ///
+    /// Flip-flop outputs are driven from the state's flip-flop values;
+    /// primary inputs are taken from the state's net values (set them via
+    /// [`SimState::set_input`] first). Any injected stuck-at fault in the
+    /// state overrides its net throughout.
+    pub fn eval(&self, state: &mut SimState) {
+        // Drive FF outputs.
+        for (i, ff) in self.dffs.iter().enumerate() {
+            state.write(ff.q, state.ff[i]);
+        }
+        // Re-assert primary inputs through the fault overlay (a fault on an
+        // input net must override the applied pattern).
+        for &pi in &self.inputs {
+            state.write(pi, state.nets[pi.0]);
+        }
+        // Bounded relaxation: |gates| + 1 passes reaches a fixpoint for any
+        // feed-forward circuit and settles X-stable values in loops.
+        for _ in 0..=self.gates.len() {
+            let mut changed = false;
+            for g in &self.gates {
+                let ins: Vec<Logic> = g.inputs.iter().map(|&n| state.net(n)).collect();
+                let v = g.kind.eval(&ins);
+                if state.net(g.output) != v {
+                    state.write(g.output, v);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// One functional clock edge: evaluates combinational logic, then
+    /// captures every flip-flop's `d` into its state.
+    pub fn tick(&self, state: &mut SimState) {
+        self.eval(state);
+        let next: Vec<Logic> = self.dffs.iter().map(|ff| state.net(ff.d)).collect();
+        state.ff.copy_from_slice(&next);
+        // Propagate the new FF outputs.
+        self.eval(state);
+    }
+}
+
+/// Mutable simulation state of a circuit: net values, flip-flop contents
+/// and an optional stuck-at overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimState {
+    nets: Vec<Logic>,
+    ff: Vec<Logic>,
+    fault: Option<(NetId, Logic)>,
+}
+
+impl SimState {
+    /// Creates an all-`X` state sized for `circuit`.
+    pub fn for_circuit(circuit: &Circuit) -> SimState {
+        SimState {
+            nets: vec![Logic::X; circuit.net_count()],
+            ff: vec![Logic::X; circuit.dff_count()],
+            fault: None,
+        }
+    }
+
+    /// Injects a stuck-at fault on `net`; it overrides every subsequent
+    /// write of that net.
+    pub fn inject(&mut self, net: NetId, value: Logic) {
+        self.fault = Some((net, value));
+        self.nets[net.0] = value;
+    }
+
+    /// Removes any injected fault.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    fn write(&mut self, net: NetId, v: Logic) {
+        self.nets[net.0] = match self.fault {
+            Some((f, fv)) if f == net => fv,
+            _ => v,
+        };
+    }
+
+    /// Sets a primary input value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input of `circuit`.
+    pub fn set_input(&mut self, circuit: &Circuit, net: NetId, v: Logic) {
+        assert!(
+            circuit.inputs().contains(&net),
+            "{net} is not a primary input"
+        );
+        self.write(net, v);
+    }
+
+    /// Current value of a net.
+    pub fn net(&self, net: NetId) -> Logic {
+        self.nets[net.0]
+    }
+
+    /// Current flip-flop contents in scan-chain order.
+    pub fn ff_values(&self) -> &[Logic] {
+        &self.ff
+    }
+
+    /// Overwrites the flip-flop contents (scan load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the flip-flop count.
+    pub fn load_ffs(&mut self, values: &[Logic]) {
+        assert_eq!(values.len(), self.ff.len(), "scan load length mismatch");
+        self.ff.copy_from_slice(values);
+    }
+
+    /// Output values in declaration order.
+    pub fn read_outputs(&self, circuit: &Circuit) -> Vec<Logic> {
+        circuit.outputs().iter().map(|&n| self.net(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_input(kind: GateKind) -> (Circuit, NetId, NetId, NetId) {
+        let mut c = Circuit::new("g");
+        let a = c.input("a");
+        let b = c.input("b");
+        let y = c.net("y");
+        c.gate(kind, &[a, b], y);
+        c.output(y);
+        (c, a, b, y)
+    }
+
+    fn eval2(kind: GateKind, va: Logic, vb: Logic) -> Logic {
+        let (c, a, b, y) = two_input(kind);
+        let mut s = SimState::for_circuit(&c);
+        s.set_input(&c, a, va);
+        s.set_input(&c, b, vb);
+        c.eval(&mut s);
+        s.net(y)
+    }
+
+    #[test]
+    fn primitive_gates() {
+        use Logic::{One, Zero};
+        assert_eq!(eval2(GateKind::And, One, One), One);
+        assert_eq!(eval2(GateKind::And, One, Zero), Zero);
+        assert_eq!(eval2(GateKind::Nand, One, One), Zero);
+        assert_eq!(eval2(GateKind::Or, Zero, Zero), Zero);
+        assert_eq!(eval2(GateKind::Nor, Zero, Zero), One);
+        assert_eq!(eval2(GateKind::Xor, One, Zero), One);
+        assert_eq!(eval2(GateKind::Xnor, One, Zero), Zero);
+    }
+
+    #[test]
+    fn not_and_buf() {
+        let mut c = Circuit::new("inv");
+        let a = c.input("a");
+        let y = c.net("y");
+        let z = c.net("z");
+        c.gate(GateKind::Not, &[a], y);
+        c.gate(GateKind::Buf, &[y], z);
+        let mut s = SimState::for_circuit(&c);
+        s.set_input(&c, a, Logic::One);
+        c.eval(&mut s);
+        assert_eq!(s.net(y), Logic::Zero);
+        assert_eq!(s.net(z), Logic::Zero);
+    }
+
+    #[test]
+    fn mux_gate() {
+        let mut c = Circuit::new("mux");
+        let sel = c.input("sel");
+        let lo = c.input("lo");
+        let hi = c.input("hi");
+        let y = c.net("y");
+        c.gate(GateKind::Mux, &[sel, lo, hi], y);
+        let mut s = SimState::for_circuit(&c);
+        s.set_input(&c, sel, Logic::One);
+        s.set_input(&c, lo, Logic::Zero);
+        s.set_input(&c, hi, Logic::One);
+        c.eval(&mut s);
+        assert_eq!(s.net(y), Logic::One);
+    }
+
+    #[test]
+    fn wide_and() {
+        let mut c = Circuit::new("and4");
+        let ins: Vec<NetId> = (0..4).map(|i| c.input(format!("i{i}"))).collect();
+        let y = c.net("y");
+        c.gate(GateKind::And, &ins, y);
+        let mut s = SimState::for_circuit(&c);
+        for &i in &ins {
+            s.set_input(&c, i, Logic::One);
+        }
+        c.eval(&mut s);
+        assert_eq!(s.net(y), Logic::One);
+        s.set_input(&c, ins[2], Logic::Zero);
+        c.eval(&mut s);
+        assert_eq!(s.net(y), Logic::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take 1 inputs")]
+    fn wrong_arity_panics() {
+        let mut c = Circuit::new("bad");
+        let a = c.input("a");
+        let y = c.net("y");
+        c.gate(GateKind::And, &[a], y);
+    }
+
+    #[test]
+    fn dff_tick_captures() {
+        let mut c = Circuit::new("reg");
+        let d = c.input("d");
+        let q = c.net("q");
+        c.dff(d, q);
+        c.output(q);
+        let mut s = SimState::for_circuit(&c);
+        s.load_ffs(&[Logic::Zero]);
+        s.set_input(&c, d, Logic::One);
+        c.eval(&mut s);
+        // Before the clock edge, q holds the old value.
+        assert_eq!(s.net(q), Logic::Zero);
+        c.tick(&mut s);
+        assert_eq!(s.net(q), Logic::One);
+    }
+
+    #[test]
+    fn shift_register_through_ticks() {
+        // Two DFFs in series.
+        let mut c = Circuit::new("sr2");
+        let d = c.input("d");
+        let q0 = c.net("q0");
+        let q1 = c.net("q1");
+        c.dff(d, q0);
+        c.dff(q0, q1);
+        c.output(q1);
+        let mut s = SimState::for_circuit(&c);
+        s.load_ffs(&[Logic::Zero, Logic::Zero]);
+        s.set_input(&c, d, Logic::One);
+        c.tick(&mut s);
+        assert_eq!(s.ff_values(), &[Logic::One, Logic::Zero]);
+        s.set_input(&c, d, Logic::Zero);
+        c.tick(&mut s);
+        assert_eq!(s.ff_values(), &[Logic::Zero, Logic::One]);
+    }
+
+    #[test]
+    fn stuck_at_overrides_writes() {
+        let (c, a, b, y) = two_input(GateKind::And);
+        let mut s = SimState::for_circuit(&c);
+        s.inject(y, Logic::One);
+        s.set_input(&c, a, Logic::Zero);
+        s.set_input(&c, b, Logic::Zero);
+        c.eval(&mut s);
+        assert_eq!(s.net(y), Logic::One, "stuck-at-1 wins over gate drive");
+        s.clear_fault();
+        c.eval(&mut s);
+        assert_eq!(s.net(y), Logic::Zero);
+    }
+
+    #[test]
+    fn stuck_at_on_input_overrides_pattern() {
+        let (c, a, b, y) = two_input(GateKind::Or);
+        let mut s = SimState::for_circuit(&c);
+        s.inject(a, Logic::Zero);
+        s.set_input(&c, a, Logic::One); // pattern says 1, fault forces 0
+        s.set_input(&c, b, Logic::Zero);
+        c.eval(&mut s);
+        assert_eq!(s.net(y), Logic::Zero);
+    }
+
+    #[test]
+    fn read_outputs_in_order() {
+        let mut c = Circuit::new("two-out");
+        let a = c.input("a");
+        let y = c.net("y");
+        let z = c.net("z");
+        c.gate(GateKind::Not, &[a], y);
+        c.gate(GateKind::Buf, &[a], z);
+        c.output(y);
+        c.output(z);
+        let mut s = SimState::for_circuit(&c);
+        s.set_input(&c, a, Logic::One);
+        c.eval(&mut s);
+        assert_eq!(s.read_outputs(&c), vec![Logic::Zero, Logic::One]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn setting_internal_net_panics() {
+        let (c, _a, _b, y) = two_input(GateKind::And);
+        let mut s = SimState::for_circuit(&c);
+        s.set_input(&c, y, Logic::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan load length mismatch")]
+    fn bad_scan_load_panics() {
+        let c = Circuit::new("empty");
+        let mut s = SimState::for_circuit(&c);
+        s.load_ffs(&[Logic::One]);
+    }
+
+    #[test]
+    fn net_names_preserved() {
+        let mut c = Circuit::new("n");
+        let a = c.input("clk_en");
+        assert_eq!(c.net_name(a), "clk_en");
+        assert_eq!(c.name(), "n");
+    }
+}

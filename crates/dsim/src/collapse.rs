@@ -1,0 +1,295 @@
+//! Structural stuck-at fault collapsing.
+//!
+//! Classic equivalence rules shrink the fault list a fault simulator must
+//! target without losing coverage information:
+//!
+//! * AND/NAND: stuck-at-0 on any input ≡ stuck-at-0 on the output
+//!   (inverted value for NAND),
+//! * OR/NOR: stuck-at-1 on any input ≡ stuck-at-1 on the output
+//!   (inverted for NOR),
+//! * BUF/NOT: both input faults ≡ the corresponding output faults.
+//!
+//! Two faults are *equivalent* when every test detecting one detects the
+//! other; fault-simulating one representative per class is sufficient.
+//! [`collapse_faults`] builds the classes with a union–find over
+//! `(net, stuck value)` pairs.
+//!
+//! # Examples
+//!
+//! ```
+//! use dsim::circuit::{Circuit, GateKind};
+//! use dsim::collapse::collapse_faults;
+//!
+//! let mut c = Circuit::new("and2");
+//! let a = c.input("a");
+//! let b = c.input("b");
+//! let y = c.net("y");
+//! c.gate(GateKind::And, &[a, b], y);
+//! c.output(y);
+//!
+//! let classes = collapse_faults(&c);
+//! // 6 raw faults collapse to 4 classes: {a/0, b/0, y/0}, {a/1}, {b/1}, {y/1}.
+//! assert_eq!(classes.len(), 4);
+//! ```
+
+use crate::circuit::{Circuit, GateKind, NetId};
+use crate::stuck_at::StuckAtFault;
+
+/// One equivalence class of stuck-at faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultClass {
+    /// The representative (lowest `(net, value)` member).
+    pub representative: StuckAtFault,
+    /// All members, representative included.
+    pub members: Vec<StuckAtFault>,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+fn idx(net: NetId, stuck_high: bool) -> usize {
+    net.0 * 2 + usize::from(stuck_high)
+}
+
+/// Collapses the stuck-at universe of `circuit` into equivalence classes.
+///
+/// Only single-fanout structural equivalence is applied (an input fault is
+/// merged with the output fault only when the input net drives exactly one
+/// gate pin — a fanout stem fault is *not* equivalent to its branches).
+pub fn collapse_faults(circuit: &Circuit) -> Vec<FaultClass> {
+    let n = circuit.net_count();
+    let mut uf = UnionFind::new(n * 2);
+
+    // Count how many gate pins each net feeds (fanout check).
+    let mut fanout = vec![0usize; n];
+    for g in circuit.gates() {
+        for &i in g.inputs() {
+            fanout[i.0] += 1;
+        }
+    }
+    for ff in circuit.dffs() {
+        fanout[ff.d.0] += 1;
+    }
+
+    for g in circuit.gates() {
+        let out = g.output();
+        for &input in g.inputs() {
+            if fanout[input.0] != 1 {
+                continue;
+            }
+            match g.kind() {
+                GateKind::And => uf.union(idx(input, false), idx(out, false)),
+                GateKind::Nand => uf.union(idx(input, false), idx(out, true)),
+                GateKind::Or => uf.union(idx(input, true), idx(out, true)),
+                GateKind::Nor => uf.union(idx(input, true), idx(out, false)),
+                GateKind::Buf => {
+                    uf.union(idx(input, false), idx(out, false));
+                    uf.union(idx(input, true), idx(out, true));
+                }
+                GateKind::Not => {
+                    uf.union(idx(input, false), idx(out, true));
+                    uf.union(idx(input, true), idx(out, false));
+                }
+                // XOR/XNOR/MUX input faults are not structurally
+                // equivalent to output faults.
+                GateKind::Xor | GateKind::Xnor | GateKind::Mux => {}
+            }
+        }
+    }
+
+    // Gather classes keyed by root.
+    let mut by_root: std::collections::BTreeMap<usize, Vec<StuckAtFault>> =
+        std::collections::BTreeMap::new();
+    for net in 0..n {
+        for stuck_high in [false, true] {
+            let f = StuckAtFault {
+                net: NetId(net),
+                stuck_high,
+            };
+            let root = uf.find(idx(NetId(net), stuck_high));
+            by_root.entry(root).or_default().push(f);
+        }
+    }
+    by_root
+        .into_values()
+        .map(|members| FaultClass {
+            representative: members[0],
+            members,
+        })
+        .collect()
+}
+
+/// Collapse ratio: collapsed classes over raw faults (lower = better).
+pub fn collapse_ratio(circuit: &Circuit) -> f64 {
+    let raw = 2 * circuit.net_count();
+    if raw == 0 {
+        return 1.0;
+    }
+    collapse_faults(circuit).len() as f64 / raw as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atpg::random_vectors;
+    use crate::blocks::lock_counter::LockCounter;
+    use crate::blocks::ring_counter::RingCounter;
+    use crate::circuit::SimState;
+    use crate::logic::Logic;
+    use crate::scan::apply_vector;
+
+    fn and2() -> Circuit {
+        let mut c = Circuit::new("and2");
+        let a = c.input("a");
+        let b = c.input("b");
+        let y = c.net("y");
+        c.gate(GateKind::And, &[a, b], y);
+        c.output(y);
+        c
+    }
+
+    #[test]
+    fn and_gate_collapse() {
+        let classes = collapse_faults(&and2());
+        assert_eq!(classes.len(), 4);
+        let big = classes.iter().find(|c| c.members.len() == 3).unwrap();
+        // The 3-member class is the stuck-at-0 class.
+        assert!(big.members.iter().all(|f| !f.stuck_high));
+    }
+
+    #[test]
+    fn inverter_chain_collapses_fully() {
+        // NOT -> NOT: all six faults fold into two classes.
+        let mut c = Circuit::new("inv2");
+        let a = c.input("a");
+        let x = c.net("x");
+        let y = c.net("y");
+        c.gate(GateKind::Not, &[a], x);
+        c.gate(GateKind::Not, &[x], y);
+        c.output(y);
+        let classes = collapse_faults(&c);
+        assert_eq!(classes.len(), 2);
+    }
+
+    #[test]
+    fn fanout_stems_are_not_collapsed() {
+        // a feeds two AND gates: a/0 is NOT equivalent to either output/0.
+        let mut c = Circuit::new("fanout");
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("d");
+        let y1 = c.net("y1");
+        let y2 = c.net("y2");
+        c.gate(GateKind::And, &[a, b], y1);
+        c.gate(GateKind::And, &[a, d], y2);
+        c.output(y1);
+        c.output(y2);
+        let classes = collapse_faults(&c);
+        let a0_class = classes
+            .iter()
+            .find(|cl| cl.members.contains(&StuckAtFault { net: a, stuck_high: false }))
+            .unwrap();
+        assert_eq!(a0_class.members.len(), 1, "stem fault must stay alone");
+    }
+
+    #[test]
+    fn equivalence_holds_empirically() {
+        // For every class of a real block, all members must have identical
+        // detection outcomes on a random pattern set.
+        let rc = RingCounter::new(4);
+        let circuit = rc.circuit();
+        let vectors = random_vectors(circuit, 32, 5);
+        let respond = |fault: Option<StuckAtFault>| -> Vec<_> {
+            vectors
+                .iter()
+                .map(|v| {
+                    let mut s = SimState::for_circuit(circuit);
+                    if let Some(f) = fault {
+                        s.inject(f.net, Logic::from_bool(f.stuck_high));
+                    }
+                    apply_vector(circuit, &mut s, v)
+                })
+                .collect()
+        };
+        let golden = respond(None);
+        for class in collapse_faults(circuit) {
+            if class.members.len() < 2 {
+                continue;
+            }
+            let outcomes: Vec<bool> = class
+                .members
+                .iter()
+                .map(|f| respond(Some(*f)) != golden)
+                .collect();
+            assert!(
+                outcomes.windows(2).all(|w| w[0] == w[1]),
+                "class {:?} members disagree: {outcomes:?}",
+                class.representative
+            );
+        }
+    }
+
+    #[test]
+    fn collapse_reduces_real_blocks() {
+        use crate::blocks::switch_matrix::SwitchMatrix;
+        for (name, ratio) in [
+            ("lock counter", collapse_ratio(LockCounter::new(3).circuit())),
+            (
+                "switch matrix",
+                collapse_ratio(SwitchMatrix::new(4).circuit()),
+            ),
+        ] {
+            assert!(ratio < 1.0, "{name}: no reduction ({ratio})");
+            assert!(ratio > 0.3, "{name}: implausible reduction ({ratio})");
+        }
+        // A mux-only circuit offers no structural equivalence: ratio 1.
+        assert_eq!(collapse_ratio(RingCounter::new(4).circuit()), 1.0);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new("empty");
+        assert!(collapse_faults(&c).is_empty());
+        assert_eq!(collapse_ratio(&c), 1.0);
+    }
+
+    #[test]
+    fn classes_partition_the_universe() {
+        let c = and2();
+        let classes = collapse_faults(&c);
+        let total: usize = classes.iter().map(|cl| cl.members.len()).sum();
+        assert_eq!(total, 2 * c.net_count());
+        // Representative is always a member and the smallest member.
+        for cl in &classes {
+            assert!(cl.members.contains(&cl.representative));
+            for m in &cl.members {
+                let key = |f: &StuckAtFault| (f.net, f.stuck_high);
+                assert!(key(&cl.representative) <= key(m));
+            }
+        }
+    }
+}

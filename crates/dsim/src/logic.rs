@@ -1,0 +1,207 @@
+//! Three-valued digital logic.
+//!
+//! Gate-level simulation uses `0`, `1` and `X` (unknown). `X` propagates
+//! pessimistically through gates except where a controlling value decides
+//! the output (e.g. `AND(0, X) = 0`), the standard semantics of event-driven
+//! logic simulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use dsim::logic::Logic;
+//!
+//! assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero); // controlling value
+//! assert_eq!(Logic::One.and(Logic::X), Logic::X);     // unknown propagates
+//! assert_eq!(Logic::One.xor(Logic::One), Logic::Zero);
+//! ```
+
+use std::fmt;
+
+/// A three-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts a `bool`.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for a known value, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// Whether the value is known (not `X`).
+    pub fn is_known(self) -> bool {
+        self != Logic::X
+    }
+
+    /// Logical NOT (also available as the `!` operator; the inherent
+    /// method reads better in gate-evaluation fold chains).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+
+    /// Logical AND with controlling-zero semantics.
+    pub fn and(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical OR with controlling-one semantics.
+    pub fn or(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical XOR (any `X` input yields `X`).
+    pub fn xor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Two-to-one multiplexer: `sel ? hi : lo`. An `X` select with agreeing
+    /// data still resolves (standard optimistic mux semantics).
+    pub fn mux(sel: Logic, lo: Logic, hi: Logic) -> Logic {
+        match sel {
+            Logic::Zero => lo,
+            Logic::One => hi,
+            Logic::X => {
+                if lo == hi {
+                    lo
+                } else {
+                    Logic::X
+                }
+            }
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+impl std::ops::Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        Logic::not(self)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Logic::Zero => write!(f, "0"),
+            Logic::One => write!(f, "1"),
+            Logic::X => write!(f, "X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(Logic::Zero.not(), Logic::One);
+        assert_eq!(Logic::One.not(), Logic::Zero);
+        assert_eq!(Logic::X.not(), Logic::X);
+        // The operator form agrees.
+        assert_eq!(!Logic::Zero, Logic::One);
+        assert_eq!(!Logic::X, Logic::X);
+    }
+
+    #[test]
+    fn and_controlling_zero() {
+        for v in ALL {
+            assert_eq!(Logic::Zero.and(v), Logic::Zero);
+            assert_eq!(v.and(Logic::Zero), Logic::Zero);
+        }
+        assert_eq!(Logic::One.and(Logic::One), Logic::One);
+        assert_eq!(Logic::One.and(Logic::X), Logic::X);
+    }
+
+    #[test]
+    fn or_controlling_one() {
+        for v in ALL {
+            assert_eq!(Logic::One.or(v), Logic::One);
+            assert_eq!(v.or(Logic::One), Logic::One);
+        }
+        assert_eq!(Logic::Zero.or(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::Zero.or(Logic::X), Logic::X);
+    }
+
+    #[test]
+    fn xor_pessimistic_on_x() {
+        assert_eq!(Logic::One.xor(Logic::Zero), Logic::One);
+        assert_eq!(Logic::One.xor(Logic::One), Logic::Zero);
+        assert_eq!(Logic::X.xor(Logic::Zero), Logic::X);
+        assert_eq!(Logic::One.xor(Logic::X), Logic::X);
+    }
+
+    #[test]
+    fn mux_semantics() {
+        assert_eq!(Logic::mux(Logic::Zero, Logic::One, Logic::Zero), Logic::One);
+        assert_eq!(Logic::mux(Logic::One, Logic::One, Logic::Zero), Logic::Zero);
+        // X select, agreeing data: resolves.
+        assert_eq!(Logic::mux(Logic::X, Logic::One, Logic::One), Logic::One);
+        // X select, disagreeing data: unknown.
+        assert_eq!(Logic::mux(Logic::X, Logic::One, Logic::Zero), Logic::X);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert!(Logic::One.is_known());
+        assert!(!Logic::X.is_known());
+    }
+
+    #[test]
+    fn default_is_x() {
+        assert_eq!(Logic::default(), Logic::X);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}{}{}", Logic::Zero, Logic::One, Logic::X), "01X");
+    }
+}

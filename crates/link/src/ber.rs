@@ -1,0 +1,202 @@
+//! Bit-error-rate analysis: bathtub curves and timing margins.
+//!
+//! The synchronizer samples at phase `φ` inside an eye of half-width `w`
+//! with Gaussian sampling jitter `σ`. The per-bit error probability is the
+//! probability that the jittered sampling instant leaves the eye,
+//!
+//! ```text
+//! BER(φ) = Q((w − (φ − c))/σ) + Q((w + (φ − c))/σ)
+//! ```
+//!
+//! with `c` the eye center and `Q` the Gaussian tail. Sweeping `φ`
+//! produces the classic *bathtub curve*; the horizontal span where the
+//! curve stays below a target BER is the timing margin the clock
+//! synchronizer must maintain — the quantitative version of the paper's
+//! "sample at the center of the data eye".
+//!
+//! # Examples
+//!
+//! ```
+//! use link::ber::BerModel;
+//!
+//! let m = BerModel::new(0.37, 0.30, 0.045);
+//! // At the eye center the BER is astronomically low...
+//! assert!(m.ber_at(0.37) < 1e-9);
+//! // ...and at the eye edge it approaches one half.
+//! assert!(m.ber_at(0.67) > 0.4);
+//! ```
+
+/// Gaussian right-tail probability `Q(x) = 0.5 * erfc(x / sqrt(2))`.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
+/// (absolute error < 1.5e-7), ample for bathtub plotting.
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function via Abramowitz–Stegun 7.1.26.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+/// A Gaussian-jitter eye model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerModel {
+    center_ui: f64,
+    half_width_ui: f64,
+    sigma_ui: f64,
+}
+
+impl BerModel {
+    /// Creates a model for an eye centered at `center_ui` with half-width
+    /// `half_width_ui` and RMS jitter `sigma_ui` (all in UI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the half-width or jitter is not strictly positive.
+    pub fn new(center_ui: f64, half_width_ui: f64, sigma_ui: f64) -> BerModel {
+        assert!(half_width_ui > 0.0, "eye half-width must be positive");
+        assert!(sigma_ui > 0.0, "jitter must be positive");
+        BerModel {
+            center_ui,
+            half_width_ui,
+            sigma_ui,
+        }
+    }
+
+    /// Eye center in UI.
+    pub fn center_ui(&self) -> f64 {
+        self.center_ui
+    }
+
+    /// Error probability when sampling at phase `phi_ui`.
+    pub fn ber_at(&self, phi_ui: f64) -> f64 {
+        let d = phi_ui - self.center_ui;
+        let left = (self.half_width_ui + d) / self.sigma_ui;
+        let right = (self.half_width_ui - d) / self.sigma_ui;
+        (q_function(left) + q_function(right)).min(1.0)
+    }
+
+    /// The bathtub curve: `points` samples of `(phase, BER)` across one UI
+    /// centered on the eye.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn bathtub(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "a curve needs at least two points");
+        (0..points)
+            .map(|i| {
+                let phi = self.center_ui - 0.5 + i as f64 / (points - 1) as f64;
+                (phi, self.ber_at(phi))
+            })
+            .collect()
+    }
+
+    /// The timing margin (total open span, in UI) at a target BER:
+    /// `2 * (w - σ·Q⁻¹(target))`, clamped at zero. Uses bisection on the
+    /// analytic single-edge expression.
+    pub fn timing_margin(&self, target_ber: f64) -> f64 {
+        // Find x with Q(x) = target (single dominant edge) by bisection.
+        let (mut lo, mut hi) = (0.0f64, 40.0f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if q_function(mid) > target_ber {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let x = 0.5 * (lo + hi);
+        (2.0 * (self.half_width_ui - self.sigma_ui * x)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_function_known_points() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+        assert!((q_function(1.0) - 0.158655).abs() < 1e-4);
+        assert!((q_function(3.0) - 1.3499e-3).abs() < 1e-5);
+        // Symmetry: Q(-x) = 1 - Q(x).
+        assert!((q_function(-1.0) + q_function(1.0) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bathtub_is_symmetric_and_minimal_at_center() {
+        let m = BerModel::new(0.37, 0.3, 0.045);
+        let center = m.ber_at(0.37);
+        for d in [0.05, 0.1, 0.2, 0.28] {
+            let left = m.ber_at(0.37 - d);
+            let right = m.ber_at(0.37 + d);
+            assert!((left - right).abs() < 1e-12 * left.max(1e-300), "asymmetric at {d}");
+            assert!(left >= center);
+        }
+    }
+
+    #[test]
+    fn more_jitter_more_errors() {
+        let clean = BerModel::new(0.37, 0.3, 0.02);
+        let noisy = BerModel::new(0.37, 0.3, 0.1);
+        let phi = 0.37 + 0.2;
+        assert!(noisy.ber_at(phi) > clean.ber_at(phi));
+    }
+
+    #[test]
+    fn timing_margin_shrinks_with_jitter_and_target() {
+        let m = BerModel::new(0.37, 0.3, 0.02);
+        let loose = m.timing_margin(1e-3);
+        let tight = m.timing_margin(1e-12);
+        assert!(loose > tight, "{loose} vs {tight}");
+        let noisy = BerModel::new(0.37, 0.3, 0.04);
+        assert!(noisy.timing_margin(1e-12) < tight);
+        // At the paper's 0.045 UI RMS jitter the 1e-12 margin vanishes
+        // (0.045 * Q^-1(1e-12) ≈ 0.32 UI > the 0.30 UI half eye) — the
+        // quantitative reason the synchronizer must hold the sampling
+        // instant at the very center.
+        let paper = BerModel::new(0.37, 0.3, 0.045);
+        assert_eq!(paper.timing_margin(1e-12), 0.0);
+        assert!(paper.timing_margin(1e-6) > 0.0);
+        // A hopeless eye has zero margin.
+        let closed = BerModel::new(0.37, 0.05, 0.1);
+        assert_eq!(closed.timing_margin(1e-12), 0.0);
+    }
+
+    #[test]
+    fn margin_consistent_with_curve() {
+        // At the edge of the reported margin the BER is near the target.
+        let m = BerModel::new(0.5, 0.3, 0.05);
+        let target = 1e-9;
+        let margin = m.timing_margin(target);
+        let edge = 0.5 + margin / 2.0;
+        let ber = m.ber_at(edge);
+        assert!(ber < target * 10.0 && ber > target / 10.0, "{ber}");
+    }
+
+    #[test]
+    fn bathtub_shape() {
+        let m = BerModel::new(0.5, 0.3, 0.045);
+        let curve = m.bathtub(101);
+        assert_eq!(curve.len(), 101);
+        // Walls high, floor low.
+        assert!(curve[0].1 > 0.3);
+        assert!(curve[50].1 < 1e-9);
+        assert!(curve[100].1 > 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-width must be positive")]
+    fn zero_width_rejected() {
+        let _ = BerModel::new(0.5, 0.0, 0.05);
+    }
+}

@@ -1,0 +1,520 @@
+//! The distributed-RC on-chip interconnect.
+//!
+//! Repeaterless links are RC-dominated: a long minimum-width wire behaves
+//! as a distributed RC line whose low-pass response closes the data eye —
+//! the problem the paper's capacitive feed-forward equalizer exists to
+//! solve. The model is a ladder of `n` lumped π-segments terminated into
+//! the receiver resistance, integrated with **backward Euler** (solving the
+//! tridiagonal system per step with the Thomas algorithm), so the step
+//! size is not stability-limited by the smallest segment time constant.
+//!
+//! One [`RcLine`] models one arm; the differential interconnect in
+//! [`crate::LowSwingLink`] instantiates two.
+//!
+//! # Examples
+//!
+//! ```
+//! use link::channel::RcLine;
+//! use msim::units::{Farad, Hertz, Ohm, Sec, Volt};
+//!
+//! // A 2 kΩ / 1 pF line: the output settles toward a step input.
+//! let mut line = RcLine::new(Ohm::from_kohm(2.0), Farad::from_pf(1.0), 10,
+//!                            Ohm::from_kohm(2.0));
+//! let dt = Sec::from_ps(25.0);
+//! let mut out = Volt::ZERO;
+//! for _ in 0..2000 {
+//!     out = line.step(Volt(1.0), dt);
+//! }
+//! assert!(out.value() > 0.45, "step response must settle toward the divider level");
+//! ```
+
+use msim::units::{Farad, Hertz, Ohm, Sec, Volt};
+
+/// One arm of the distributed-RC interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcLine {
+    /// Series resistance per segment (ohms).
+    r_seg: f64,
+    /// Shunt capacitance per segment (farads).
+    c_seg: f64,
+    /// Termination resistance to the termination bias (ohms);
+    /// `f64::INFINITY` for an open (unterminated) line.
+    r_term: f64,
+    /// Termination bias voltage the line is returned to.
+    v_term: Volt,
+    /// Node voltages along the line.
+    nodes: Vec<f64>,
+}
+
+impl RcLine {
+    /// Creates a line with total series resistance `r_total` and total
+    /// shunt capacitance `c_total` split across `segments` π-segments,
+    /// terminated into `r_term` (referenced to 0 V until
+    /// [`RcLine::set_termination_bias`] is called).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0` or any electrical value is not strictly
+    /// positive (`r_term` may be `f64::INFINITY` via
+    /// [`RcLine::unterminated`]).
+    pub fn new(r_total: Ohm, c_total: Farad, segments: usize, r_term: Ohm) -> RcLine {
+        assert!(segments > 0, "line needs at least one segment");
+        assert!(
+            r_total.value() > 0.0 && c_total.value() > 0.0 && r_term.value() > 0.0,
+            "line parameters must be positive"
+        );
+        RcLine {
+            r_seg: r_total.value() / segments as f64,
+            c_seg: c_total.value() / segments as f64,
+            r_term: r_term.value(),
+            v_term: Volt::ZERO,
+            nodes: vec![0.0; segments],
+        }
+    }
+
+    /// Creates an unterminated (capacitively loaded) line.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RcLine::new`].
+    pub fn unterminated(r_total: Ohm, c_total: Farad, segments: usize) -> RcLine {
+        let mut line = RcLine::new(r_total, c_total, segments, Ohm(1.0));
+        line.r_term = f64::INFINITY;
+        line
+    }
+
+    /// Sets the termination bias (the receiver's Vcm) and presets the line
+    /// to it.
+    pub fn set_termination_bias(&mut self, v: Volt) {
+        self.v_term = v;
+        self.preset(v);
+    }
+
+    /// Presets every node to `v` (steady state of a DC input `v = v_term`).
+    pub fn preset(&mut self, v: Volt) {
+        self.nodes.fill(v.value());
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Far-end (receiver-side) voltage.
+    pub fn output(&self) -> Volt {
+        Volt(*self.nodes.last().expect("line has at least one segment"))
+    }
+
+    /// Advances the line by `dt` with the near end driven to `vin`.
+    /// Returns the far-end voltage.
+    ///
+    /// Backward Euler: solves `(C/dt + G) v⁺ = C/dt v + b` where `G` is the
+    /// tridiagonal conductance matrix of the ladder.
+    pub fn step(&mut self, vin: Volt, dt: Sec) -> Volt {
+        let n = self.nodes.len();
+        let g = 1.0 / self.r_seg;
+        let g_term = if self.r_term.is_finite() {
+            1.0 / self.r_term
+        } else {
+            0.0
+        };
+        let cdt = self.c_seg / dt.value();
+
+        // Tridiagonal coefficients: a = sub, b = diag, c = super, d = rhs.
+        let mut sub = vec![0.0; n];
+        let mut diag = vec![0.0; n];
+        let mut sup = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            let g_left = g; // toward the driver (node 0 connects to vin)
+            let g_right = if i + 1 < n { g } else { g_term };
+            diag[i] = cdt + g_left + g_right;
+            rhs[i] = cdt * self.nodes[i];
+            if i == 0 {
+                rhs[i] += g * vin.value();
+            } else {
+                sub[i] = -g;
+            }
+            if i + 1 < n {
+                sup[i] = -g;
+            } else {
+                rhs[i] += g_term * self.v_term.value();
+            }
+        }
+
+        // Thomas algorithm.
+        for i in 1..n {
+            let w = sub[i] / diag[i - 1];
+            diag[i] -= w * sup[i - 1];
+            rhs[i] -= w * rhs[i - 1];
+        }
+        self.nodes[n - 1] = rhs[n - 1] / diag[n - 1];
+        for i in (0..n - 1).rev() {
+            self.nodes[i] = (rhs[i] - sup[i] * self.nodes[i + 1]) / diag[i];
+        }
+        self.output()
+    }
+
+    /// DC transfer gain from the driver to the far end: the resistive
+    /// divider formed by the line and the termination (1.0 when
+    /// unterminated).
+    pub fn dc_gain(&self) -> f64 {
+        if self.r_term.is_finite() {
+            let r_line = self.r_seg * self.nodes.len() as f64;
+            self.r_term / (self.r_term + r_line)
+        } else {
+            1.0
+        }
+    }
+
+    /// Advances the line by `dt` with an *aggressor* wire capacitively
+    /// coupled to every node: `c_couple` is the total coupling capacitance
+    /// along the line and `(va_now, va_prev)` the aggressor's voltage at
+    /// the end and start of the step. Crosstalk injects
+    /// `C_c/dt · (va_now − va_prev)` of displacement current per node.
+    ///
+    /// A victim of the paper's *differential* link sees the aggressor on
+    /// both arms (common mode) and rejects it; a single-ended wire takes
+    /// the full hit — see the crosstalk tests.
+    pub fn step_with_aggressor(
+        &mut self,
+        vin: Volt,
+        dt: Sec,
+        va_now: Volt,
+        va_prev: Volt,
+        c_couple: Farad,
+    ) -> Volt {
+        let n = self.nodes.len();
+        let g = 1.0 / self.r_seg;
+        let g_term = if self.r_term.is_finite() {
+            1.0 / self.r_term
+        } else {
+            0.0
+        };
+        let cdt = self.c_seg / dt.value();
+        let cc_seg = c_couple.value() / n as f64;
+        let ccdt = cc_seg / dt.value();
+        let inject = ccdt * (va_now.value() - va_prev.value());
+
+        let mut sub = vec![0.0; n];
+        let mut diag = vec![0.0; n];
+        let mut sup = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            let g_right = if i + 1 < n { g } else { g_term };
+            // The coupling cap also loads the node.
+            diag[i] = cdt + ccdt + g + g_right;
+            rhs[i] = (cdt + ccdt) * self.nodes[i] + inject;
+            if i == 0 {
+                rhs[i] += g * vin.value();
+            } else {
+                sub[i] = -g;
+            }
+            if i + 1 < n {
+                sup[i] = -g;
+            } else {
+                rhs[i] += g_term * self.v_term.value();
+            }
+        }
+        for i in 1..n {
+            let w = sub[i] / diag[i - 1];
+            diag[i] -= w * sup[i - 1];
+            rhs[i] -= w * rhs[i - 1];
+        }
+        self.nodes[n - 1] = rhs[n - 1] / diag[n - 1];
+        for i in (0..n - 1).rev() {
+            self.nodes[i] = (rhs[i] - sup[i] * self.nodes[i + 1]) / diag[i];
+        }
+        self.output()
+    }
+
+    /// Simulated impulse response: the line is pulsed for one `dt` and
+    /// sampled for `n` steps (the line state is reset first).
+    pub fn impulse_response(&mut self, dt: Sec, n: usize) -> Vec<f64> {
+        self.preset(Volt::ZERO);
+        let v_term = self.v_term;
+        self.v_term = Volt::ZERO;
+        let mut h = Vec::with_capacity(n);
+        for k in 0..n {
+            let vin = if k == 0 { Volt(1.0) } else { Volt::ZERO };
+            h.push(self.step(vin, dt).value());
+        }
+        self.v_term = v_term;
+        h
+    }
+
+    /// Magnitude of the line's transfer function at frequency `f`,
+    /// evaluated by a single-bin discrete Fourier transform of the
+    /// simulated impulse response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is negative or `dt`/`n` cannot resolve it
+    /// (`f >= 1/(2 dt)`).
+    pub fn magnitude_at(&mut self, f: Hertz, dt: Sec, n: usize) -> f64 {
+        assert!(f.value() >= 0.0, "frequency must be non-negative");
+        assert!(
+            f.value() < 0.5 / dt.value(),
+            "frequency beyond the Nyquist limit of the chosen dt"
+        );
+        let h = self.impulse_response(dt, n);
+        let w = std::f64::consts::TAU * f.value() * dt.value();
+        let (mut re, mut im) = (0.0, 0.0);
+        for (k, hk) in h.iter().enumerate() {
+            re += hk * (w * k as f64).cos();
+            im -= hk * (w * k as f64).sin();
+        }
+        (re * re + im * im).sqrt()
+    }
+
+    /// The −3 dB bandwidth found by bisection on [`RcLine::magnitude_at`].
+    pub fn bandwidth_3db(&mut self, dt: Sec, n: usize) -> Hertz {
+        let dc = self.magnitude_at(Hertz(0.0), dt, n);
+        let target = dc / std::f64::consts::SQRT_2;
+        let (mut lo, mut hi) = (0.0, 0.45 / dt.value());
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.magnitude_at(Hertz(mid), dt, n) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Hertz(0.5 * (lo + hi))
+    }
+
+    /// 0-to-50 % step delay measured by simulation, in seconds.
+    pub fn step_delay_50(&mut self, dt: Sec, max_steps: usize) -> Option<Sec> {
+        self.preset(Volt::ZERO);
+        let v_term = self.v_term;
+        self.v_term = Volt::ZERO;
+        let target = 0.5 * self.dc_gain();
+        let mut result = None;
+        for k in 0..max_steps {
+            let out = self.step(Volt(1.0), dt);
+            if out.value() >= target {
+                result = Some(dt * k as f64);
+                break;
+            }
+        }
+        self.v_term = v_term;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_line() -> RcLine {
+        RcLine::new(
+            Ohm::from_kohm(2.0),
+            Farad::from_pf(1.0),
+            10,
+            Ohm::from_kohm(2.0),
+        )
+    }
+
+    #[test]
+    fn settles_to_dc_divider() {
+        let mut line = paper_line();
+        let dt = Sec::from_ps(25.0);
+        let mut out = Volt::ZERO;
+        for _ in 0..10_000 {
+            out = line.step(Volt(1.0), dt);
+        }
+        // R_line = R_term: divider of 0.5 toward v_term = 0.
+        assert!((out.value() - 0.5).abs() < 1e-3, "settled to {out}");
+        assert!((line.dc_gain() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unterminated_line_settles_to_input() {
+        let mut line = RcLine::unterminated(Ohm::from_kohm(2.0), Farad::from_pf(1.0), 10);
+        let dt = Sec::from_ps(25.0);
+        let mut out = Volt::ZERO;
+        for _ in 0..20_000 {
+            out = line.step(Volt(0.8), dt);
+        }
+        assert!((out.value() - 0.8).abs() < 1e-3);
+        assert_eq!(line.dc_gain(), 1.0);
+    }
+
+    #[test]
+    fn output_is_low_passed() {
+        // A single 400 ps pulse through the RC line must arrive attenuated.
+        let mut line = paper_line();
+        let dt = Sec::from_ps(25.0);
+        let mut peak: f64 = 0.0;
+        for k in 0..200 {
+            let vin = if k < 16 { Volt(1.0) } else { Volt(0.0) };
+            let out = line.step(vin, dt);
+            peak = peak.max(out.value());
+        }
+        assert!(peak < 0.45, "pulse must be attenuated, peaked at {peak}");
+        assert!(peak > 0.01, "but some energy must arrive");
+    }
+
+    #[test]
+    fn stability_with_large_steps() {
+        // Backward Euler must not oscillate even with dt far above the
+        // per-segment time constant.
+        let mut line = RcLine::new(
+            Ohm::from_kohm(2.0),
+            Farad::from_pf(1.0),
+            50,
+            Ohm::from_kohm(2.0),
+        );
+        let dt = Sec::from_ns(1.0); // segment tau = 40Ω*20fF = 0.8 ps << dt
+        let mut prev = 0.0;
+        for _ in 0..100 {
+            let out = line.step(Volt(1.0), dt).value();
+            assert!(out >= prev - 1e-12, "monotonic settling violated");
+            assert!(out <= 0.5 + 1e-9);
+            prev = out;
+        }
+    }
+
+    #[test]
+    fn termination_bias_presets_line() {
+        let mut line = paper_line();
+        line.set_termination_bias(Volt(0.6));
+        assert_eq!(line.output(), Volt(0.6));
+        // Driving at the bias keeps it there.
+        let out = line.step(Volt(0.6), Sec::from_ps(25.0));
+        assert!((out.value() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_delay_is_measurable_and_slow() {
+        let mut line = paper_line();
+        let delay = line
+            .step_delay_50(Sec::from_ps(25.0), 100_000)
+            .expect("line settles");
+        // An RC-dominated 2 kΩ/1 pF line has a multi-hundred-ps 50 % delay:
+        // comparable to or beyond the 400 ps UI, which is why the link
+        // needs equalization.
+        assert!(delay.ps() > 100.0, "delay {delay} too fast");
+        assert!(delay.ps() < 2000.0, "delay {delay} too slow");
+    }
+
+    #[test]
+    fn aggressor_disturbs_a_single_ended_victim() {
+        let mut line = paper_line();
+        line.set_termination_bias(Volt(0.6));
+        let dt = Sec::from_ps(25.0);
+        let cc = Farad::from_ff(100.0);
+        // Quiet victim, full-swing aggressor edge.
+        let mut peak: f64 = 0.0;
+        let mut va_prev = Volt::ZERO;
+        for k in 0..200 {
+            let va = if k >= 20 { Volt(1.2) } else { Volt::ZERO };
+            let out = line.step_with_aggressor(Volt(0.6), dt, va, va_prev, cc);
+            peak = peak.max((out.value() - 0.6).abs());
+            va_prev = va;
+        }
+        // A 1.2 V aggressor through 100 fF onto a 60 mV-swing line is a
+        // signal-sized disturbance.
+        assert!(
+            peak * 1e3 > 10.0,
+            "crosstalk peak only {:.1} mV",
+            peak * 1e3
+        );
+    }
+
+    #[test]
+    fn differential_victim_rejects_common_mode_crosstalk() {
+        // Both arms see the same aggressor: the differential output is
+        // untouched — the reason the paper's interconnect is differential.
+        let mk = || {
+            let mut l = paper_line();
+            l.set_termination_bias(Volt(0.6));
+            l
+        };
+        let mut plus = mk();
+        let mut minus = mk();
+        let dt = Sec::from_ps(25.0);
+        let cc = Farad::from_ff(100.0);
+        let mut worst_diff: f64 = 0.0;
+        let mut va_prev = Volt::ZERO;
+        for k in 0..200 {
+            let va = if k >= 20 { Volt(1.2) } else { Volt::ZERO };
+            let op = plus.step_with_aggressor(Volt(0.63), dt, va, va_prev, cc);
+            let om = minus.step_with_aggressor(Volt(0.57), dt, va, va_prev, cc);
+            // After settling, the differential must stay at the driven
+            // 30 mV (through the 0.5 divider) despite the aggressor.
+            if k > 150 {
+                worst_diff = worst_diff.max(((op - om).mv() - 30.0).abs());
+            }
+            va_prev = va;
+        }
+        assert!(
+            worst_diff < 1.0,
+            "differential disturbed by {worst_diff:.2} mV"
+        );
+    }
+
+    #[test]
+    fn aggressor_step_matches_plain_step_when_decoupled_aggressor_is_quiet() {
+        let dt = Sec::from_ps(25.0);
+        let mut a = paper_line();
+        let mut b = paper_line();
+        for k in 0..100 {
+            let vin = Volt(if k % 16 < 8 { 0.63 } else { 0.57 });
+            let va = a.step(vin, dt);
+            // Quiet aggressor with nonzero coupling still loads the line,
+            // so compare with zero coupling instead.
+            let vb = b.step_with_aggressor(vin, dt, Volt(0.6), Volt(0.6), Farad(1e-21));
+            assert!((va - vb).abs().mv() < 0.1, "step {k}: {va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn frequency_response_is_low_pass() {
+        let mut line = paper_line();
+        let dt = Sec::from_ps(10.0);
+        let dc = line.magnitude_at(Hertz(0.0), dt, 4096);
+        // DC magnitude equals the resistive divider (sum of impulse
+        // response = step response final value).
+        assert!((dc - 0.5).abs() < 1e-3, "DC magnitude {dc}");
+        // Monotone roll-off across decades.
+        let g1 = line.magnitude_at(Hertz::from_mhz(100.0), dt, 4096);
+        let g2 = line.magnitude_at(Hertz::from_ghz(1.0), dt, 4096);
+        let g3 = line.magnitude_at(Hertz::from_ghz(5.0), dt, 4096);
+        assert!(dc > g1 && g1 > g2 && g2 > g3, "{dc} {g1} {g2} {g3}");
+    }
+
+    #[test]
+    fn bandwidth_is_below_the_bit_rate() {
+        // The premise of the whole paper: the RC-dominated line's -3 dB
+        // point sits below the 2.5 Gbps Nyquist frequency (1.25 GHz), so
+        // the link needs equalization.
+        let mut line = paper_line();
+        let bw = line.bandwidth_3db(Sec::from_ps(10.0), 4096);
+        assert!(
+            bw.value() < 1.25e9,
+            "bandwidth {:.2} GHz not RC-limited",
+            bw.value() / 1e9
+        );
+        assert!(bw.value() > 5e7, "bandwidth implausibly low");
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn magnitude_beyond_nyquist_panics() {
+        let mut line = paper_line();
+        let _ = line.magnitude_at(Hertz::from_ghz(100.0), Sec::from_ps(10.0), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        let _ = RcLine::new(Ohm(1.0), Farad(1e-12), 0, Ohm(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameters must be positive")]
+    fn nonpositive_r_panics() {
+        let _ = RcLine::new(Ohm(0.0), Farad(1e-12), 4, Ohm(1.0));
+    }
+}

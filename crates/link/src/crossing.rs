@@ -1,0 +1,207 @@
+//! Clock-domain crossing at the receiver.
+//!
+//! Once locked, the sampling clock has an arbitrary phase relative to the
+//! receiver's core clock `φRx`. The paper: *"the phase difference between
+//! the sampling clock and the receiver clock can be found from the coarse
+//! tuning control word to an accuracy within the VCDL phase tuning range.
+//! If the sampling clock is less than half cycle from the receiver's
+//! clock, the data is delayed by half a clock cycle to ensure reliable
+//! crossover"* — i.e. the retimer flip-flop is clocked by `φ̄Rx` instead
+//! of `φRx`, and for test this selection is controllable through scan
+//! chain B (adding one flip-flop to chain A when `φ̄Rx` is chosen).
+//!
+//! [`CrossingPlan`] reproduces that decision and quantifies the resulting
+//! setup margin at the retimer.
+//!
+//! # Examples
+//!
+//! ```
+//! use link::crossing::{CrossingPlan, RetimerClock};
+//! use msim::params::DesignParams;
+//!
+//! let p = DesignParams::paper();
+//! // Sampling in the half-cycle before the receiver capture edge: use
+//! // the half-cycle retimer.
+//! let plan = CrossingPlan::from_coarse_word(&p, 5);
+//! assert_eq!(plan.retimer, RetimerClock::PhiRxBar);
+//! // Sampling just after the edge: the direct retimer has a full cycle.
+//! let plan = CrossingPlan::from_coarse_word(&p, 0);
+//! assert_eq!(plan.retimer, RetimerClock::PhiRx);
+//! ```
+
+use msim::params::DesignParams;
+
+/// Which clock edge retimes the recovered data into the receiver domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetimerClock {
+    /// The receiver clock directly (full-cycle transfer).
+    PhiRx,
+    /// The inverted receiver clock (half-cycle transfer; lengthens scan
+    /// chain A by one flip-flop per the paper).
+    PhiRxBar,
+}
+
+/// The domain-crossing decision and its margin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossingPlan {
+    /// Selected retimer clock.
+    pub retimer: RetimerClock,
+    /// Phase of the sampling clock relative to `φRx`, in UI, as known
+    /// from the coarse control word (± the VCDL range).
+    pub sampling_phase_ui: f64,
+    /// Worst-case setup margin at the retimer, in UI, accounting for the
+    /// VCDL-range uncertainty of the phase knowledge.
+    pub setup_margin_ui: f64,
+}
+
+impl CrossingPlan {
+    /// Derives the crossing plan from the coarse tuning control word (the
+    /// one-hot ring-counter position), exactly as the paper describes:
+    /// the DLL phase index tells the receiver where the sampling clock is
+    /// to within the VCDL tuning range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coarse_word` is not a valid phase index.
+    pub fn from_coarse_word(p: &DesignParams, coarse_word: usize) -> CrossingPlan {
+        assert!(coarse_word < p.dll_phases, "coarse word out of range");
+        let phase = coarse_word as f64 / p.dll_phases as f64;
+        // Worst-case position inside the VCDL range.
+        let uncertainty = p.vcdl_range_ui;
+
+        // Worst-case setup margin to the φRx capture edge (at 0/1.0) and
+        // to the φ̄Rx edge (at 0.5).
+        let margin_full = forward_margin(phase, uncertainty, 1.0);
+        let margin_half = forward_margin(phase, uncertainty, 0.5);
+
+        // The paper's rule: when the sampling clock lands within half a
+        // cycle of the receiver's capture edge, delay the data by half a
+        // clock (retime on φ̄Rx). Equivalently: capture on whichever edge
+        // leaves the larger worst-case setup margin.
+        let (retimer, setup_margin_ui) = if margin_half > margin_full {
+            (RetimerClock::PhiRxBar, margin_half)
+        } else {
+            (RetimerClock::PhiRx, margin_full)
+        };
+        CrossingPlan {
+            retimer,
+            sampling_phase_ui: phase,
+            setup_margin_ui,
+        }
+    }
+
+    /// Whether this plan lengthens scan chain A by one flip-flop (the
+    /// paper: choosing `φ̄Rx` adds the extra stage).
+    pub fn extends_scan_chain_a(&self) -> bool {
+        self.retimer == RetimerClock::PhiRxBar
+    }
+}
+
+/// Worst-case forward setup distance (in UI) from a sampling instant
+/// known only to lie in `[phase, phase + uncertainty]` (mod 1) to the
+/// capture edge at `edge`. Zero when the uncertainty band straddles the
+/// edge itself — the unreliable case the half-cycle rule avoids.
+fn forward_margin(phase: f64, uncertainty: f64, edge: f64) -> f64 {
+    let start = phase.rem_euclid(1.0);
+    let end = start + uncertainty;
+    let e = edge.rem_euclid(1.0);
+    // An edge coinciding with the band start is the previous capture; the
+    // next occurrence is a full cycle later.
+    let unwrapped_edge = if e <= start { e + 1.0 } else { e };
+    if unwrapped_edge <= end {
+        0.0
+    } else {
+        unwrapped_edge - end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> DesignParams {
+        DesignParams::paper()
+    }
+
+    #[test]
+    fn near_edge_phases_take_the_half_cycle_path() {
+        // Phases in the half-cycle before the φRx capture edge leave less
+        // than 0.5 UI of setup: φ̄Rx is selected.
+        for word in [5usize, 6, 7, 8, 9] {
+            let plan = CrossingPlan::from_coarse_word(&p(), word);
+            assert_eq!(
+                plan.retimer,
+                RetimerClock::PhiRxBar,
+                "word {word} should use the half-cycle transfer"
+            );
+            assert!(plan.extends_scan_chain_a());
+        }
+    }
+
+    #[test]
+    fn far_phases_take_the_direct_path() {
+        for word in [0usize, 1, 2, 3, 4] {
+            let plan = CrossingPlan::from_coarse_word(&p(), word);
+            assert_eq!(
+                plan.retimer,
+                RetimerClock::PhiRx,
+                "word {word} should transfer directly"
+            );
+            assert!(!plan.extends_scan_chain_a());
+        }
+    }
+
+    #[test]
+    fn every_word_has_safe_margin() {
+        // The whole point of the rule: whichever clock is selected, the
+        // retimer always has comfortable setup margin.
+        for word in 0..p().dll_phases {
+            let plan = CrossingPlan::from_coarse_word(&p(), word);
+            assert!(
+                plan.setup_margin_ui > 0.4,
+                "word {word}: only {:.3} UI margin with {:?}",
+                plan.setup_margin_ui,
+                plan.retimer
+            );
+        }
+    }
+
+    #[test]
+    fn rule_beats_always_direct() {
+        // Without the rule (always φRx) the worst-case margin collapses to
+        // zero: the uncertainty band of the last phase straddles the edge.
+        let worst_direct = (0..p().dll_phases)
+            .map(|w| forward_margin(w as f64 / 10.0, p().vcdl_range_ui, 1.0))
+            .fold(f64::INFINITY, f64::min);
+        let worst_ruled = (0..p().dll_phases)
+            .map(|w| CrossingPlan::from_coarse_word(&p(), w).setup_margin_ui)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(worst_direct, 0.0, "direct worst case must be unsafe");
+        assert!(worst_ruled > 0.4, "ruled worst case {worst_ruled}");
+    }
+
+    #[test]
+    fn forward_margin_band_semantics() {
+        // Band clear of the edge: margin from the band's late end.
+        assert!((forward_margin(0.2, 0.1, 1.0) - 0.7).abs() < 1e-12);
+        // Band straddling the edge: zero margin.
+        assert_eq!(forward_margin(0.95, 0.1, 1.0), 0.0);
+        // Edge behind the band start wraps forward.
+        assert!((forward_margin(0.7, 0.1, 0.5) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_accounts_for_vcdl_uncertainty() {
+        let mut loose = p();
+        loose.vcdl_range_ui = 0.3; // much larger phase uncertainty
+        let tight_plan = CrossingPlan::from_coarse_word(&p(), 3);
+        let loose_plan = CrossingPlan::from_coarse_word(&loose, 3);
+        assert!(loose_plan.setup_margin_ui < tight_plan.setup_margin_ui);
+    }
+
+    #[test]
+    #[should_panic(expected = "coarse word out of range")]
+    fn bad_word_panics() {
+        let _ = CrossingPlan::from_coarse_word(&p(), 10);
+    }
+}

@@ -1,0 +1,221 @@
+//! Stand-alone DLL BIST (the paper's deferred extension).
+//!
+//! The interconnect BIST deliberately does not test the DLL: *"This DLL
+//! can be treated as a stand-alone unit and using the techniques reported
+//! in \[11\], \[12\] a complete test of the DLL can be integrated with the
+//! interconnect test."* Those references describe all-digital BISTs that
+//! measure the spacing of the DLL's output phases. This module implements
+//! that extension: a counter-based time-to-digital measurement of every
+//! adjacent phase spacing, checked against the ideal `1/N` UI grid.
+//!
+//! # Examples
+//!
+//! ```
+//! use link::dll_bist::{DllBist, DllUnderTest};
+//!
+//! let bist = DllBist::new(10, 0.02, 0.005);
+//! assert!(bist.run(&DllUnderTest::healthy(10)).pass);
+//! // A phase stuck on its neighbour collapses one spacing: caught.
+//! let faulty = DllUnderTest::healthy(10).with_phase_stuck(4);
+//! assert!(!bist.run(&faulty).pass);
+//! ```
+
+/// A DLL with (possibly faulty) output phase positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DllUnderTest {
+    positions_ui: Vec<f64>,
+}
+
+impl DllUnderTest {
+    /// A healthy `n`-phase DLL: evenly spaced positions `i/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn healthy(n: usize) -> DllUnderTest {
+        assert!(n >= 2, "a DLL needs at least two phases");
+        DllUnderTest {
+            positions_ui: (0..n).map(|i| i as f64 / n as f64).collect(),
+        }
+    }
+
+    /// Phase `i` collapses onto its predecessor (a dead delay element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn with_phase_stuck(mut self, i: usize) -> DllUnderTest {
+        assert!(i < self.positions_ui.len(), "phase out of range");
+        let prev = self.positions_ui[(i + self.positions_ui.len() - 1) % self.positions_ui.len()];
+        self.positions_ui[i] = prev;
+        self
+    }
+
+    /// Phase `i` is skewed by `d_ui` (a drifted delay element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn with_phase_skew(mut self, i: usize, d_ui: f64) -> DllUnderTest {
+        assert!(i < self.positions_ui.len(), "phase out of range");
+        self.positions_ui[i] = (self.positions_ui[i] + d_ui).rem_euclid(1.0);
+        self
+    }
+
+    /// Phase count.
+    pub fn len(&self) -> usize {
+        self.positions_ui.len()
+    }
+
+    /// Always `false` (at least two phases).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Phase positions in UI.
+    pub fn positions_ui(&self) -> &[f64] {
+        &self.positions_ui
+    }
+}
+
+/// Report of one DLL BIST execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DllBistReport {
+    /// Overall verdict.
+    pub pass: bool,
+    /// Measured adjacent spacings (TDC-quantized), in UI.
+    pub spacings_ui: Vec<f64>,
+    /// Indices of spacings outside the tolerance band.
+    pub failing: Vec<usize>,
+}
+
+/// The all-digital phase-spacing BIST.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DllBist {
+    phases: usize,
+    tolerance_ui: f64,
+    tdc_resolution_ui: f64,
+}
+
+impl DllBist {
+    /// Creates a BIST for an `n`-phase DLL with the given spacing
+    /// tolerance and time-to-digital converter resolution (both in UI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, the tolerance is not positive, or the TDC
+    /// resolution is not positive or exceeds the tolerance (the
+    /// measurement could not resolve its own pass band).
+    pub fn new(phases: usize, tolerance_ui: f64, tdc_resolution_ui: f64) -> DllBist {
+        assert!(phases >= 2, "a DLL needs at least two phases");
+        assert!(tolerance_ui > 0.0, "tolerance must be positive");
+        assert!(
+            tdc_resolution_ui > 0.0 && tdc_resolution_ui <= tolerance_ui,
+            "TDC resolution must be positive and finer than the tolerance"
+        );
+        DllBist {
+            phases,
+            tolerance_ui,
+            tdc_resolution_ui,
+        }
+    }
+
+    /// Measures all adjacent spacings (wrapping) through the quantizing
+    /// TDC and checks each against `1/phases ± tolerance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's phase count differs from the BIST's.
+    pub fn run(&self, dut: &DllUnderTest) -> DllBistReport {
+        assert_eq!(dut.len(), self.phases, "phase count mismatch");
+        let n = self.phases;
+        let ideal = 1.0 / n as f64;
+        let mut spacings = Vec::with_capacity(n);
+        let mut failing = Vec::new();
+        for i in 0..n {
+            let a = dut.positions_ui()[i];
+            let b = dut.positions_ui()[(i + 1) % n];
+            let raw = (b - a).rem_euclid(1.0);
+            // Counter-based TDC: quantize to the converter resolution.
+            let measured = (raw / self.tdc_resolution_ui).round() * self.tdc_resolution_ui;
+            if (measured - ideal).abs() > self.tolerance_ui + 1e-12 {
+                failing.push(i);
+            }
+            spacings.push(measured);
+        }
+        DllBistReport {
+            pass: failing.is_empty(),
+            spacings_ui: spacings,
+            failing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bist() -> DllBist {
+        DllBist::new(10, 0.02, 0.005)
+    }
+
+    #[test]
+    fn healthy_dll_passes() {
+        let r = bist().run(&DllUnderTest::healthy(10));
+        assert!(r.pass);
+        assert_eq!(r.spacings_ui.len(), 10);
+        for s in &r.spacings_ui {
+            assert!((s - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stuck_phase_fails_two_spacings() {
+        // Collapsing phase 4 onto phase 3 zeroes spacing 3→4 and doubles
+        // spacing 4→5.
+        let r = bist().run(&DllUnderTest::healthy(10).with_phase_stuck(4));
+        assert!(!r.pass);
+        assert_eq!(r.failing, vec![3, 4]);
+        assert!(r.spacings_ui[3].abs() < 1e-9);
+        assert!((r.spacings_ui[4] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_beyond_tolerance_fails() {
+        let r = bist().run(&DllUnderTest::healthy(10).with_phase_skew(7, 0.05));
+        assert!(!r.pass);
+        assert_eq!(r.failing.len(), 2); // both adjacent spacings move
+    }
+
+    #[test]
+    fn skew_below_tdc_resolution_escapes() {
+        // A 2 m-UI skew is below both the tolerance and the TDC LSB:
+        // honest measurement floor.
+        let r = bist().run(&DllUnderTest::healthy(10).with_phase_skew(7, 0.002));
+        assert!(r.pass);
+    }
+
+    #[test]
+    fn spacings_sum_to_one_ui() {
+        for dut in [
+            DllUnderTest::healthy(10),
+            DllUnderTest::healthy(10).with_phase_skew(2, 0.03),
+        ] {
+            let r = bist().run(&dut);
+            let total: f64 = r.spacings_ui.iter().sum();
+            assert!((total - 1.0).abs() < 0.03, "total {total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase count mismatch")]
+    fn wrong_phase_count_panics() {
+        let _ = bist().run(&DllUnderTest::healthy(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "finer than the tolerance")]
+    fn coarse_tdc_rejected() {
+        let _ = DllBist::new(10, 0.01, 0.02);
+    }
+}

@@ -1,0 +1,325 @@
+//! Eye-diagram accumulation and eye-opening metrics.
+//!
+//! The synchronizer's whole purpose is to sample "at the center of the
+//! data eye"; this module measures that eye. An [`EyeDiagram`] folds a
+//! received waveform modulo the UI, tracking per-phase worst-case levels
+//! for transmitted ones and zeros; the *opening* at a phase is the gap
+//! between the lowest received one and the highest received zero (negative
+//! when the eye is closed).
+//!
+//! [`EyeDiagram::from_waveform`] aligns the bit sequence to the waveform
+//! automatically by scanning integer-UI latencies and keeping the best —
+//! the RC channel's group delay is not known a priori.
+//!
+//! # Examples
+//!
+//! ```
+//! use link::eye::EyeDiagram;
+//! use msim::units::Volt;
+//!
+//! let mut eye = EyeDiagram::new(4);
+//! eye.add(1, true, Volt::from_mv(25.0));
+//! eye.add(1, false, Volt::from_mv(-25.0));
+//! assert!((eye.opening_at(1).mv() - 50.0).abs() < 1e-9);
+//! ```
+
+use msim::signal::Waveform;
+use msim::units::Volt;
+
+/// A folded eye diagram over one UI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyeDiagram {
+    oversample: usize,
+    ones_min: Vec<f64>,
+    zeros_max: Vec<f64>,
+    samples: usize,
+}
+
+impl EyeDiagram {
+    /// Creates an empty eye with `oversample` phase bins per UI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oversample < 2`.
+    pub fn new(oversample: usize) -> EyeDiagram {
+        assert!(oversample >= 2, "eye needs at least two phase bins");
+        EyeDiagram {
+            oversample,
+            ones_min: vec![f64::INFINITY; oversample],
+            zeros_max: vec![f64::NEG_INFINITY; oversample],
+            samples: 0,
+        }
+    }
+
+    /// Phase bins per UI.
+    pub fn oversample(&self) -> usize {
+        self.oversample
+    }
+
+    /// Number of accumulated samples.
+    pub fn sample_count(&self) -> usize {
+        self.samples
+    }
+
+    /// Accumulates one sample of the received waveform at phase bin
+    /// `phase` during a UI whose transmitted bit was `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is out of range.
+    pub fn add(&mut self, phase: usize, bit: bool, v: Volt) {
+        assert!(phase < self.oversample, "phase bin out of range");
+        if bit {
+            self.ones_min[phase] = self.ones_min[phase].min(v.value());
+        } else {
+            self.zeros_max[phase] = self.zeros_max[phase].max(v.value());
+        }
+        self.samples += 1;
+    }
+
+    /// Worst-case vertical opening at a phase bin; negative when closed,
+    /// zero when one of the rails has no samples yet.
+    pub fn opening_at(&self, phase: usize) -> Volt {
+        let lo = self.ones_min[phase];
+        let hi = self.zeros_max[phase];
+        if lo.is_finite() && hi.is_finite() {
+            Volt(lo - hi)
+        } else {
+            Volt::ZERO
+        }
+    }
+
+    /// The best phase bin and its opening.
+    pub fn best(&self) -> (usize, Volt) {
+        (0..self.oversample)
+            .map(|p| (p, self.opening_at(p)))
+            .max_by(|a, b| a.1.value().total_cmp(&b.1.value()))
+            .expect("at least two phase bins")
+    }
+
+    /// The best phase as a fraction of the UI.
+    pub fn best_phase_ui(&self) -> f64 {
+        self.best().0 as f64 / self.oversample as f64
+    }
+
+    /// Renders the eye mask as ASCII art: `#` marks the vertical band
+    /// guaranteed occupied by signal trajectories at each phase, `.` the
+    /// open eye between the worst one and the worst zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height < 3`.
+    pub fn render_ascii(&self, height: usize) -> String {
+        assert!(height >= 3, "rendering needs at least three rows");
+        let (lo, hi) = self.ones_min.iter().chain(self.zeros_max.iter()).fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), v| {
+                if v.is_finite() {
+                    (lo.min(*v), hi.max(*v))
+                } else {
+                    (lo, hi)
+                }
+            },
+        );
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return String::from("(eye empty)\n");
+        }
+        let row_of = |v: f64| {
+            let frac = (v - lo) / (hi - lo);
+            ((1.0 - frac) * (height - 1) as f64).round() as usize
+        };
+        let mut grid = vec![vec![' '; self.oversample]; height];
+        for p in 0..self.oversample {
+            let one = self.ones_min[p];
+            let zero = self.zeros_max[p];
+            if !one.is_finite() || !zero.is_finite() {
+                continue;
+            }
+            let (r_one, r_zero) = (row_of(one), row_of(zero));
+            for (r, row) in grid.iter_mut().enumerate() {
+                row[p] = if one > zero && r > r_one && r < r_zero {
+                    '.'
+                } else {
+                    '#'
+                };
+            }
+        }
+        let mut out = String::new();
+        for row in grid {
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Folds a received waveform against its transmitted bit sequence,
+    /// scanning integer-UI latencies `0..=max_delay_ui` and returning the
+    /// eye for the best alignment.
+    ///
+    /// The waveform must hold `bits.len() * oversample` samples (one UI of
+    /// `oversample` points per bit), as produced by
+    /// [`crate::LowSwingLink::transmit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveform length does not match the bit count.
+    pub fn from_waveform(
+        wave: &Waveform,
+        bits: &[bool],
+        oversample: usize,
+        max_delay_ui: usize,
+    ) -> EyeDiagram {
+        assert_eq!(
+            wave.len(),
+            bits.len() * oversample,
+            "waveform/bit length mismatch"
+        );
+        let mut best: Option<EyeDiagram> = None;
+        for delay in 0..=max_delay_ui {
+            let mut eye = EyeDiagram::new(oversample);
+            // Sample k belongs to UI k/oversample; attribute it to the bit
+            // transmitted `delay` UIs earlier.
+            for (k, v) in wave.samples().iter().enumerate() {
+                let ui = k / oversample;
+                if ui < delay {
+                    continue;
+                }
+                let bit_idx = ui - delay;
+                if bit_idx >= bits.len() {
+                    break;
+                }
+                eye.add(k % oversample, bits[bit_idx], *v);
+            }
+            let keep = match &best {
+                None => true,
+                Some(b) => eye.best().1 > b.best().1,
+            };
+            if keep {
+                best = Some(eye);
+            }
+        }
+        best.expect("at least one alignment")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim::units::Sec;
+
+    #[test]
+    fn opening_is_worst_case_gap() {
+        let mut eye = EyeDiagram::new(4);
+        eye.add(2, true, Volt::from_mv(30.0));
+        eye.add(2, true, Volt::from_mv(20.0)); // worst one
+        eye.add(2, false, Volt::from_mv(-25.0));
+        eye.add(2, false, Volt::from_mv(-5.0)); // worst zero
+        assert!((eye.opening_at(2).mv() - 25.0).abs() < 1e-9);
+        assert_eq!(eye.sample_count(), 4);
+    }
+
+    #[test]
+    fn unpopulated_phase_reads_zero() {
+        let eye = EyeDiagram::new(4);
+        assert_eq!(eye.opening_at(0), Volt::ZERO);
+        let mut eye = EyeDiagram::new(4);
+        eye.add(0, true, Volt::from_mv(30.0));
+        // Only ones seen: still zero.
+        assert_eq!(eye.opening_at(0), Volt::ZERO);
+    }
+
+    #[test]
+    fn closed_eye_is_negative() {
+        let mut eye = EyeDiagram::new(2);
+        eye.add(0, true, Volt::from_mv(-10.0));
+        eye.add(0, false, Volt::from_mv(10.0));
+        assert!(eye.opening_at(0).mv() < 0.0);
+    }
+
+    #[test]
+    fn best_picks_widest_phase() {
+        let mut eye = EyeDiagram::new(4);
+        for p in 0..4 {
+            let margin = [5.0, 25.0, 15.0, 1.0][p];
+            eye.add(p, true, Volt::from_mv(margin));
+            eye.add(p, false, Volt::from_mv(-margin));
+        }
+        let (phase, opening) = eye.best();
+        assert_eq!(phase, 1);
+        assert!((opening.mv() - 50.0).abs() < 1e-9);
+        assert!((eye.best_phase_ui() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_waveform_aligns_latency() {
+        // Ideal NRZ waveform delayed by exactly 2 UI.
+        let oversample = 8;
+        let bits = [true, false, true, true, false, false, true, false];
+        let delay = 2;
+        let mut wave = Waveform::new(Sec::from_ps(50.0));
+        for ui in 0..bits.len() {
+            let src = if ui >= delay { bits[ui - delay] } else { true };
+            for _ in 0..oversample {
+                wave.push(Volt::from_mv(if src { 30.0 } else { -30.0 }));
+            }
+        }
+        let eye = EyeDiagram::from_waveform(&wave, &bits, oversample, 4);
+        let (_, opening) = eye.best();
+        assert!(
+            (opening.mv() - 60.0).abs() < 1e-9,
+            "perfect alignment must recover the full 60 mV eye, got {opening}"
+        );
+    }
+
+    #[test]
+    fn ascii_rendering_shows_an_opening() {
+        let mut eye = EyeDiagram::new(8);
+        for p in 0..8 {
+            // A lens-shaped eye: widest in the middle.
+            let margin = [2.0, 8.0, 14.0, 18.0, 18.0, 14.0, 8.0, 2.0][p];
+            eye.add(p, true, Volt::from_mv(margin));
+            eye.add(p, false, Volt::from_mv(-margin));
+        }
+        let art = eye.render_ascii(9);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 9);
+        // The middle row is open across the central phases.
+        assert!(lines[4].contains('.'), "no opening drawn:\n{art}");
+        // The top row is signal everywhere.
+        assert!(lines[0].chars().all(|c| c == '#'), "{art}");
+    }
+
+    #[test]
+    fn ascii_rendering_of_empty_eye() {
+        let eye = EyeDiagram::new(4);
+        assert_eq!(eye.render_ascii(5), "(eye empty)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three rows")]
+    fn ascii_too_short_panics() {
+        let mut eye = EyeDiagram::new(4);
+        eye.add(0, true, Volt::from_mv(5.0));
+        let _ = eye.render_ascii(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "waveform/bit length mismatch")]
+    fn mismatched_lengths_panic() {
+        let wave = Waveform::new(Sec::from_ps(50.0));
+        let _ = EyeDiagram::from_waveform(&wave, &[true], 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase bin out of range")]
+    fn bad_phase_panics() {
+        let mut eye = EyeDiagram::new(2);
+        eye.add(2, true, Volt::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two phase bins")]
+    fn tiny_oversample_panics() {
+        let _ = EyeDiagram::new(1);
+    }
+}

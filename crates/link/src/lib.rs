@@ -1,0 +1,231 @@
+//! # link — the repeaterless low-swing on-chip interconnect
+//!
+//! The full PHY of the reproduction of *"Testable Design of Repeaterless
+//! Low Swing On-Chip Interconnect"* (Kadayinti & Sharma, DATE 2016):
+//!
+//! * [`tx`] — the capacitively coupled feed-forward equalizing transmitter
+//!   with its weak driver and DFT half-cycle latch (Fig. 3),
+//! * [`channel`] — the distributed-RC interconnect (backward-Euler
+//!   π-ladder),
+//! * [`rx`] — the receiver termination with the DC-test comparators and
+//!   the bias-comparison window comparator (Figs. 4–6),
+//! * [`pd`] — the phase-domain Alexander decision function,
+//! * [`synchronizer`] — the coarse/fine clock recovery loop (Fig. 1),
+//!   whose lock-acquisition trace is the paper's Fig. 2, with
+//!   environmental-drift tracking,
+//! * [`crossing`] — the §II half-cycle domain-crossing rule,
+//! * [`eye`] — eye-diagram accumulation and ASCII rendering,
+//! * [`ber`] — analytic BER bathtubs and timing margins,
+//! * [`prbs`] — LFSR PRBS stimulus (ITU-T O.150),
+//! * [`power`] — energy-per-bit accounting vs a repeated full-swing wire,
+//! * [`dll_bist`] — the stand-alone DLL phase-spacing BIST the paper
+//!   defers to its refs \[11\], \[12\],
+//! * [`netlists`] — the design's structural netlists (fault universe),
+//! * [`config`] — the link design point.
+//!
+//! [`LowSwingLink`] wires the transmitter to the differential channel for
+//! waveform-level studies (eye diagrams, equalization ablation); the
+//! synchronizer runs in the phase domain on top of the measured eye.
+//!
+//! # Examples
+//!
+//! ```
+//! use link::{config::LinkConfig, LowSwingLink};
+//! use rand::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! let mut link = LowSwingLink::new(LinkConfig::paper())?;
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let bits: Vec<bool> = (0..256).map(|_| rng.gen()).collect();
+//! let eye = link.eye(&bits);
+//! let (_, opening) = eye.best();
+//! assert!(opening.mv() > 10.0, "equalized eye must be open, got {opening}");
+//! # Ok::<(), msim::params::ParamsError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ber;
+pub mod channel;
+pub mod dll_bist;
+pub mod config;
+pub mod crossing;
+pub mod eye;
+pub mod netlists;
+pub mod pd;
+pub mod power;
+pub mod prbs;
+pub mod rx;
+pub mod synchronizer;
+pub mod tx;
+
+use msim::params::ParamsError;
+use msim::signal::Waveform;
+use msim::units::Volt;
+
+use channel::RcLine;
+use config::LinkConfig;
+use eye::EyeDiagram;
+use tx::Transmitter;
+
+/// The assembled transmitter + differential channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowSwingLink {
+    cfg: LinkConfig,
+    tx: Transmitter,
+    line_p: RcLine,
+    line_m: RcLine,
+}
+
+impl LowSwingLink {
+    /// Builds the link from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] when the configuration violates a design
+    /// rule (see [`LinkConfig::validate`]).
+    pub fn new(cfg: LinkConfig) -> Result<LowSwingLink, ParamsError> {
+        cfg.validate()?;
+        let tx = Transmitter::new(cfg.vcm(), cfg.params.swing, cfg.ffe_boost);
+        let mk_line = || {
+            let mut line = RcLine::new(
+                cfg.channel.r_total,
+                cfg.channel.c_total,
+                cfg.channel.segments,
+                cfg.channel.r_term,
+            );
+            line.set_termination_bias(cfg.vcm());
+            line
+        };
+        let line_p = mk_line();
+        let line_m = mk_line();
+        Ok(LowSwingLink {
+            cfg,
+            tx,
+            line_p,
+            line_m,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the transmitter (e.g. to enable the DFT
+    /// half-cycle latch).
+    pub fn tx_mut(&mut self) -> &mut Transmitter {
+        &mut self.tx
+    }
+
+    /// Transmits a bit sequence and returns the received *differential*
+    /// waveform, `oversample` points per UI.
+    pub fn transmit(&mut self, bits: &[bool]) -> Waveform {
+        let os = self.cfg.oversample;
+        let dt = self.cfg.params.ui() / os as f64;
+        let mut wave = Waveform::new(dt);
+        for &bit in bits {
+            let (vp, vm) = self.tx.drive_differential(bit);
+            for _ in 0..os {
+                let op = self.line_p.step(vp, dt);
+                let om = self.line_m.step(vm, dt);
+                wave.push(op - om);
+            }
+        }
+        wave
+    }
+
+    /// Transmits `bits` and folds the received waveform into an eye
+    /// diagram (latency-aligned automatically).
+    pub fn eye(&mut self, bits: &[bool]) -> EyeDiagram {
+        let wave = self.transmit(bits);
+        EyeDiagram::from_waveform(&wave, bits, self.cfg.oversample, 4)
+    }
+
+    /// The settled differential level at the receiver for a static bit —
+    /// the quantity the paper's two-vector DC test observes: the full
+    /// differential swing through the line/termination divider (healthy:
+    /// ±30 mV against the 15 mV comparator offset).
+    pub fn dc_differential(&mut self, bit: bool) -> Volt {
+        let level = self.tx.dc_level(bit) - self.tx.vcm();
+        let (vp, vm) = (self.tx.vcm() + level, self.tx.vcm() - level);
+        let dt = self.cfg.params.ui();
+        let mut diff = Volt::ZERO;
+        for _ in 0..5000 {
+            let op = self.line_p.step(vp, dt);
+            let om = self.line_m.step(vm, dt);
+            diff = op - om;
+        }
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn prbs(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn equalized_eye_is_open() {
+        let mut link = LowSwingLink::new(LinkConfig::paper()).unwrap();
+        let eye = link.eye(&prbs(512, 3));
+        let (_, opening) = eye.best();
+        assert!(opening.mv() > 10.0, "equalized eye closed: {opening}");
+    }
+
+    #[test]
+    fn unequalized_eye_is_much_worse() {
+        // The ablation motivating the FFE: same channel, boost off.
+        let mut cfg = LinkConfig::paper();
+        cfg.ffe_boost = 0.0;
+        let mut plain = LowSwingLink::new(cfg).unwrap();
+        let plain_eye = plain.eye(&prbs(512, 3));
+
+        let mut eq = LowSwingLink::new(LinkConfig::paper()).unwrap();
+        let eq_eye = eq.eye(&prbs(512, 3));
+
+        let (_, plain_open) = plain_eye.best();
+        let (_, eq_open) = eq_eye.best();
+        assert!(
+            eq_open.value() > plain_open.value() + 0.005,
+            "FFE must widen the eye: eq {eq_open} vs plain {plain_open}"
+        );
+    }
+
+    #[test]
+    fn dc_differential_matches_divider() {
+        let mut link = LowSwingLink::new(LinkConfig::paper()).unwrap();
+        let one = link.dc_differential(true);
+        // Full differential swing 60 mV through the 0.5 divider: 30 mV.
+        assert!((one.mv() - 30.0).abs() < 1.0, "got {one}");
+        let zero = link.dc_differential(false);
+        assert!((zero.mv() + 30.0).abs() < 1.0, "got {zero}");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = LinkConfig::paper();
+        cfg.oversample = 0;
+        assert!(LowSwingLink::new(cfg).is_err());
+    }
+
+    #[test]
+    fn transmit_length_matches_bits_times_oversample() {
+        let mut link = LowSwingLink::new(LinkConfig::paper()).unwrap();
+        let wave = link.transmit(&prbs(32, 5));
+        assert_eq!(wave.len(), 32 * 16);
+    }
+
+    #[test]
+    fn half_cycle_latch_accessible() {
+        let mut link = LowSwingLink::new(LinkConfig::paper()).unwrap();
+        link.tx_mut().set_half_cycle_delay(true);
+        assert!(link.tx_mut().half_cycle_delay());
+    }
+}

@@ -1,0 +1,154 @@
+//! Energy-per-bit accounting: why the link is *low-swing* and
+//! *repeaterless*.
+//!
+//! The paper's opening premise (after refs \[1\]–\[6\]) is that full-swing
+//! repeated wires burn too much power on long on-chip routes. First-order
+//! CV²-based accounting makes the comparison concrete:
+//!
+//! * **full-swing repeated wire** — the whole wire capacitance (plus the
+//!   inserted repeaters' input/output capacitance) swings `VDD` every
+//!   transition: `E ≈ α · (C_wire + C_rep) · VDD²`,
+//! * **low-swing capacitively coupled link** — the line swings only
+//!   `V_swing`, driven through the coupling caps plus a weak static
+//!   driver, and the receiver adds comparator/synchronizer overhead:
+//!   `E ≈ α · (C_wire · VDD · V_swing + C_c · VDD²) + E_rx`.
+//!
+//! (The driven-through-a-capacitor term costs `C·VDD·V_swing` from the
+//! supply because the charge `C_wire·V_swing` is drawn at `VDD` through
+//! the pre-driver.)
+//!
+//! # Examples
+//!
+//! ```
+//! use link::power::{EnergyModel, full_swing_repeated, low_swing_link};
+//! use msim::params::DesignParams;
+//!
+//! let p = DesignParams::paper();
+//! let full = full_swing_repeated(&p);
+//! let low = low_swing_link(&p);
+//! // The low-swing link is several times more energy-efficient.
+//! assert!(full.energy_per_bit_j(0.5) > 2.5 * low.energy_per_bit_j(0.5));
+//! ```
+
+use msim::params::DesignParams;
+use msim::units::Farad;
+
+/// First-order energy model of one signaling scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Scheme label.
+    pub name: &'static str,
+    /// Capacitance swung through the full supply per transition.
+    pub full_swing_cap: Farad,
+    /// Capacitance swung `VDD × V_swing` per transition (the low-swing
+    /// line charge drawn at VDD).
+    pub low_swing_cap: Farad,
+    /// Static current drawn continuously, expressed as an equivalent
+    /// energy per bit time (receiver bias, weak driver).
+    pub static_energy_per_bit: f64,
+    supply: f64,
+    swing: f64,
+}
+
+impl EnergyModel {
+    /// Energy per bit in joules at data activity factor `alpha`
+    /// (transitions per bit, 0.5 for random data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `[0, 1]`.
+    pub fn energy_per_bit_j(&self, alpha: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&alpha), "activity factor range");
+        let dynamic = alpha
+            * (self.full_swing_cap.value() * self.supply * self.supply
+                + self.low_swing_cap.value() * self.supply * self.swing);
+        dynamic + self.static_energy_per_bit
+    }
+
+    /// Energy per bit in picojoules.
+    pub fn energy_per_bit_pj(&self, alpha: f64) -> f64 {
+        self.energy_per_bit_j(alpha) * 1e12
+    }
+}
+
+/// Wire capacitance of the paper-class 10 mm route (per arm; the
+/// differential link pays it twice).
+const WIRE_CAP_F: f64 = 1e-12;
+
+/// The full-swing repeated baseline: optimally repeated single-ended wire.
+/// Repeater insertion for minimum delay adds roughly 40–60 % of the wire
+/// capacitance as device capacitance; we use 50 %.
+pub fn full_swing_repeated(p: &DesignParams) -> EnergyModel {
+    EnergyModel {
+        name: "full-swing repeated wire",
+        full_swing_cap: Farad(WIRE_CAP_F * 1.5),
+        low_swing_cap: Farad(0.0),
+        static_energy_per_bit: 0.0,
+        supply: p.supply.value(),
+        swing: p.supply.value(),
+    }
+}
+
+/// The paper's capacitively coupled low-swing differential link.
+pub fn low_swing_link(p: &DesignParams) -> EnergyModel {
+    // Two arms of line charged to V_swing through the coupling caps; the
+    // pre-drivers swing the small coupling caps (2 × ~165 fF) full rail.
+    let coupling = 2.0 * 165e-15;
+    // Receiver bias + weak driver: ~100 µA static at 1.2 V over one UI.
+    let static_power = 100e-6 * p.supply.value();
+    EnergyModel {
+        name: "low-swing capacitively coupled link",
+        full_swing_cap: Farad(coupling),
+        low_swing_cap: Farad(2.0 * WIRE_CAP_F),
+        static_energy_per_bit: static_power * p.ui().value(),
+        supply: p.supply.value(),
+        swing: p.swing.value(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> DesignParams {
+        DesignParams::paper()
+    }
+
+    #[test]
+    fn low_swing_wins_at_random_data() {
+        let full = full_swing_repeated(&p()).energy_per_bit_pj(0.5);
+        let low = low_swing_link(&p()).energy_per_bit_pj(0.5);
+        assert!(full / low > 2.5, "only {:.1}x advantage", full / low);
+        // Order of magnitude sanity: the literature the paper cites
+        // reports fractions of a pJ/b for low-swing links.
+        assert!(low < 1.0, "low-swing at {low:.2} pJ/b");
+        assert!(full > 0.5, "full-swing at {full:.2} pJ/b");
+    }
+
+    #[test]
+    fn weak_driver_enables_low_activity_factors() {
+        // The paper: the weak driver "enables arbitrarily low data
+        // activity factors" — at alpha -> 0 only the small static term
+        // remains, unlike a repeated bus with leaky repeaters (modeled as
+        // zero here, so compare the dynamic collapse).
+        let low = low_swing_link(&p());
+        let idle = low.energy_per_bit_pj(0.0);
+        let busy = low.energy_per_bit_pj(0.5);
+        assert!(idle < busy / 2.0);
+        assert!(idle > 0.0, "static bias never disappears");
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_activity() {
+        let m = full_swing_repeated(&p());
+        let e1 = m.energy_per_bit_j(0.25);
+        let e2 = m.energy_per_bit_j(0.5);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity factor range")]
+    fn bad_alpha_rejected() {
+        let _ = full_swing_repeated(&p()).energy_per_bit_j(1.5);
+    }
+}

@@ -1,0 +1,561 @@
+//! The clock synchronizer (Fig. 1): coarse digital + fine analog phase
+//! correction.
+//!
+//! The receiver must sample the low-swing data at the center of the eye.
+//! Two nested loops accomplish this:
+//!
+//! * the **fine loop** — Alexander PD → weak charge pump → `Vc` → VCDL —
+//!   continuously trims the sampling phase;
+//! * the **coarse loop** — window comparator on `Vc` → control FSM →
+//!   strong charge pump + ring counter → switch matrix → DLL phase —
+//!   steps to the next DLL phase and resets `Vc` into the window whenever
+//!   the fine loop runs out of range.
+//!
+//! The simulation is phase-domain at one step per UI (the standard
+//! behavioral abstraction for CDR loops): the sampling instant is
+//! `τ = DLL phase + VCDL delay`, the PD compares it against the eye
+//! center, and charge pumps integrate onto `Vc`. Every analog block
+//! carries its fault hooks from `msim`, so the same simulation that
+//! regenerates Fig. 2 also decides BIST detection for injected faults.
+//!
+//! # Examples
+//!
+//! ```
+//! use link::synchronizer::{RunConfig, Synchronizer};
+//! use msim::params::DesignParams;
+//!
+//! let p = DesignParams::paper();
+//! let mut sync = Synchronizer::new(&p);
+//! let outcome = sync.run(&RunConfig::paper_bist(), None);
+//! assert!(outcome.locked, "a healthy link must lock");
+//! assert!(outcome.corrections <= p.dll_phases as u64 / 2 + 1);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use msim::blocks::charge_pump::{BalanceNode, ChargePump, CpFaults};
+use msim::blocks::comparator::{WindowComparator, WindowDecision};
+use msim::blocks::dll::Dll;
+use msim::blocks::vcdl::Vcdl;
+use msim::params::DesignParams;
+use msim::sim::Trace;
+use msim::units::Volt;
+
+use crate::pd::{BangBangPd, PdDecision};
+
+/// Run parameters for a lock-acquisition / BIST simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Number of bit cycles to simulate.
+    pub cycles: u64,
+    /// Eye-center position in UI the loop must find.
+    pub eye_center_ui: f64,
+    /// Healthy half-width of the eye at the sampler, in UI.
+    pub eye_half_width_ui: f64,
+    /// RMS sampling jitter, in UI.
+    pub jitter_rms_ui: f64,
+    /// Slow drift of the eye center in UI per cycle (voltage/temperature
+    /// drift of the channel delay). The paper's *background* synchronizer
+    /// tracks this without interrupting traffic — the §I argument against
+    /// foreground-calibrated receivers.
+    pub eye_drift_ui_per_cycle: f64,
+    /// Consecutive clean cycles required to declare lock.
+    pub lock_window: u64,
+    /// PRBS seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The paper's BIST run: random data at speed, 2 µs budget plus
+    /// padding to observe post-lock behaviour.
+    pub fn paper_bist() -> RunConfig {
+        RunConfig {
+            cycles: 8000,
+            eye_center_ui: 0.37,
+            eye_half_width_ui: 0.30,
+            jitter_rms_ui: 0.045,
+            eye_drift_ui_per_cycle: 0.0,
+            lock_window: 500,
+            seed: 0x1057,
+        }
+    }
+}
+
+/// Result of a lock-acquisition run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockOutcome {
+    /// Whether a sustained clean interval was reached.
+    pub locked: bool,
+    /// Cycle at which the clean interval began.
+    pub lock_cycle: Option<u64>,
+    /// Coarse-correction requests issued (what the lock detector counts).
+    pub corrections: u64,
+    /// Sampling errors over the whole run.
+    pub data_errors: u64,
+    /// Sampling errors after the lock point.
+    pub errors_after_lock: u64,
+    /// Final control voltage.
+    pub final_vc: Volt,
+    /// Final DLL phase selection.
+    pub final_phase: usize,
+    /// Settled charge-balance node voltage (watched by the CP-BIST).
+    pub vp: Volt,
+}
+
+/// The behavioral clock synchronizer with fault hooks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Synchronizer {
+    p: DesignParams,
+    dll: Dll,
+    vcdl: Vcdl,
+    window: WindowComparator,
+    weak: ChargePump,
+    strong: ChargePump,
+    balance: BalanceNode,
+    pd: BangBangPd,
+    clock_dead: bool,
+    clock_degradation: f64,
+    vc_pinned: Option<Volt>,
+    vc: Volt,
+    phase: usize,
+}
+
+impl Synchronizer {
+    /// Creates a healthy synchronizer at the given design point, starting
+    /// from DLL phase 0 with `Vc` at mid-window.
+    pub fn new(p: &DesignParams) -> Synchronizer {
+        Synchronizer {
+            p: p.clone(),
+            dll: Dll::new(p.dll_phases),
+            vcdl: Vcdl::from_params(p),
+            window: WindowComparator::new(p.window_low, p.window_high),
+            weak: ChargePump::new(p.weak_cp_current, p.loop_cap, p.supply),
+            strong: ChargePump::new(p.strong_cp_current, p.loop_cap, p.supply),
+            balance: BalanceNode::new(p.vp_nominal),
+            pd: BangBangPd::new(),
+            clock_dead: false,
+            clock_degradation: 0.0,
+            vc_pinned: None,
+            vc: p.vmid,
+            phase: 0,
+        }
+    }
+
+    /// Replaces the VCDL (fault hook).
+    pub fn with_vcdl(mut self, vcdl: Vcdl) -> Synchronizer {
+        self.vcdl = vcdl;
+        self
+    }
+
+    /// Replaces the window comparator (fault hook).
+    pub fn with_window(mut self, window: WindowComparator) -> Synchronizer {
+        self.window = window;
+        self
+    }
+
+    /// Installs weak charge-pump faults.
+    pub fn with_weak_faults(mut self, faults: CpFaults) -> Synchronizer {
+        self.weak = ChargePump::new(self.p.weak_cp_current, self.p.loop_cap, self.p.supply)
+            .with_faults(faults);
+        self
+    }
+
+    /// Installs strong charge-pump faults.
+    pub fn with_strong_faults(mut self, faults: CpFaults) -> Synchronizer {
+        self.strong = ChargePump::new(self.p.strong_cp_current, self.p.loop_cap, self.p.supply)
+            .with_faults(faults);
+        self
+    }
+
+    /// Installs a charge-balance settling error (CP-BIST observable).
+    pub fn with_balance_drift(mut self, dv: Volt) -> Synchronizer {
+        self.balance = BalanceNode::new(self.p.vp_nominal).with_drift(dv);
+        self
+    }
+
+    /// Kills the sampling-clock path (VCDL/clock tree dead).
+    pub fn with_clock_dead(mut self) -> Synchronizer {
+        self.clock_dead = true;
+        self
+    }
+
+    /// Degrades the sampling clock (duty/edge distortion); `severity` in
+    /// `[0, 1]` proportionally consumes eye margin.
+    pub fn with_clock_degradation(mut self, severity: f64) -> Synchronizer {
+        self.clock_degradation = severity.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Pins the control voltage (loop-filter capacitor short).
+    pub fn with_vc_pinned(mut self, v: Volt) -> Synchronizer {
+        self.vc_pinned = Some(v);
+        self.vc = v;
+        self
+    }
+
+    /// Sets the starting DLL phase (BIST sweeps all initial conditions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phase index is out of range.
+    pub fn with_initial_phase(mut self, phase: usize) -> Synchronizer {
+        assert!(phase < self.p.dll_phases, "initial phase out of range");
+        self.phase = phase;
+        self
+    }
+
+    /// Sets the starting control voltage.
+    pub fn with_initial_vc(mut self, vc: Volt) -> Synchronizer {
+        if self.vc_pinned.is_none() {
+            self.vc = vc;
+        }
+        self
+    }
+
+    /// Current sampling instant in UI (phase + VCDL delay, wrapped).
+    pub fn sampling_tau_ui(&self) -> f64 {
+        (self.dll.phase_ui(self.phase) + self.vcdl.delay_ui(self.vc)).fract()
+    }
+
+    /// Current control voltage.
+    pub fn vc(&self) -> Volt {
+        self.vc
+    }
+
+    /// Current DLL phase index.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Runs the loop for `rc.cycles` bit times. When `trace` is provided,
+    /// records channels `vc`, `phase`, `vl` and `vh` once per UI — the
+    /// data behind the paper's Fig. 2.
+    pub fn run(&mut self, rc: &RunConfig, mut trace: Option<&mut Trace>) -> LockOutcome {
+        let mut rng = StdRng::seed_from_u64(rc.seed);
+        let ui = self.p.ui();
+        let divider = self.p.divider_ratio as u64;
+        let eff_half = rc.eye_half_width_ui * (1.0 - self.clock_degradation);
+
+        let mut corrections = 0u64;
+        let mut data_errors = 0u64;
+        let mut errors_after_lock = 0u64;
+        let mut clean = 0u64;
+        let mut lock_cycle: Option<u64> = None;
+        // Which side of the window the last out-of-window decision was on;
+        // a new excursion (after re-entry or on the other side) counts as a
+        // fresh coarse-correction request.
+        let mut last_outside: Option<bool> = None;
+
+        for cycle in 0..rc.cycles {
+            let jitter = gaussian(&mut rng) * rc.jitter_rms_ui;
+            let tau = self.sampling_tau_ui();
+            let center = rc.eye_center_ui + rc.eye_drift_ui_per_cycle * cycle as f64;
+            let err = BangBangPd::wrap_error(tau, center);
+            let observed = err + jitter;
+
+            // Sampling correctness.
+            let sample_ok = !self.clock_dead && observed.abs() <= eff_half;
+            let mut dirty = !sample_ok;
+            if !sample_ok {
+                data_errors += 1;
+                if lock_cycle.is_some() {
+                    errors_after_lock += 1;
+                }
+            }
+
+            // Fine loop: PD decision on data transitions.
+            let transition = rng.gen_bool(0.5);
+            let decision = if self.clock_dead {
+                None
+            } else {
+                self.pd.decide(observed, transition)
+            };
+            let (up, dn) = match decision {
+                Some(PdDecision::Up) => (true, false),
+                Some(PdDecision::Down) => (false, true),
+                None => (false, false),
+            };
+            self.vc = self.weak.step(self.vc, up, dn, ui);
+            if let Some(pin) = self.vc_pinned {
+                self.vc = pin;
+            }
+
+            // Coarse loop on the divided clock.
+            let mut win_code = 0.0; // 0 = no check this cycle
+            if (cycle + 1) % divider == 0 {
+                let decision = self.window.evaluate(self.vc);
+                win_code = match decision {
+                    WindowDecision::Inside => 1.0,
+                    WindowDecision::BelowLow => 2.0,
+                    WindowDecision::AboveHigh => 3.0,
+                };
+                match decision {
+                    WindowDecision::Inside => last_outside = None,
+                    WindowDecision::AboveHigh => {
+                        if last_outside != Some(true) {
+                            corrections += 1;
+                            self.phase = self.dll.next_phase(self.phase, true);
+                            last_outside = Some(true);
+                        }
+                        // Strong reset toward the window.
+                        self.vc =
+                            self.strong
+                                .step(self.vc, false, true, ui * divider as f64);
+                        dirty = true;
+                    }
+                    WindowDecision::BelowLow => {
+                        if last_outside != Some(false) {
+                            corrections += 1;
+                            self.phase = self.dll.next_phase(self.phase, false);
+                            last_outside = Some(false);
+                        }
+                        self.vc =
+                            self.strong
+                                .step(self.vc, true, false, ui * divider as f64);
+                        dirty = true;
+                    }
+                }
+                if let Some(pin) = self.vc_pinned {
+                    self.vc = pin;
+                }
+            }
+
+            // Lock bookkeeping.
+            if dirty {
+                clean = 0;
+            } else {
+                clean += 1;
+                if clean == rc.lock_window && lock_cycle.is_none() {
+                    lock_cycle = Some(cycle + 1 - rc.lock_window);
+                }
+            }
+
+            if let Some(t) = trace.as_deref_mut() {
+                t.record("vc", self.vc);
+                t.record("phase", Volt(self.phase as f64));
+                t.record("vl", self.p.window_low);
+                t.record("vh", self.p.window_high);
+                // Window decision at divided-clock checks (0 = no check,
+                // 1 = inside, 2 = below, 3 = above) — the hand-off record
+                // that lets the gate-level chain B replay this run.
+                t.record("win", Volt(win_code));
+            }
+        }
+
+        LockOutcome {
+            locked: lock_cycle.is_some(),
+            lock_cycle,
+            corrections,
+            data_errors,
+            errors_after_lock,
+            final_vc: self.vc,
+            final_phase: self.phase,
+            vp: self.balance.settled(),
+        }
+    }
+}
+
+/// Standard-normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim::effects::PumpDir;
+    use msim::units::Sec;
+
+    fn paper() -> DesignParams {
+        DesignParams::paper()
+    }
+
+    #[test]
+    fn healthy_link_locks_within_budget() {
+        let p = paper();
+        let mut sync = Synchronizer::new(&p);
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        assert!(out.locked);
+        assert!(out.lock_cycle.unwrap() <= p.bist_lock_budget);
+        assert!(out.corrections <= p.dll_phases as u64 / 2);
+        assert_eq!(out.errors_after_lock, 0);
+        // Locked sampling point sits at the eye center.
+        let tau = sync.sampling_tau_ui();
+        let err = BangBangPd::wrap_error(tau, 0.37);
+        assert!(err.abs() < 0.02, "residual error {err}");
+    }
+
+    #[test]
+    fn locks_from_every_initial_phase() {
+        let p = paper();
+        for phase0 in 0..p.dll_phases {
+            let mut sync = Synchronizer::new(&p).with_initial_phase(phase0);
+            let out = sync.run(&RunConfig::paper_bist(), None);
+            assert!(out.locked, "failed to lock from phase {phase0}");
+            assert!(
+                out.corrections <= p.dll_phases as u64 / 2 + 1,
+                "phase {phase0}: {} corrections",
+                out.corrections
+            );
+        }
+    }
+
+    #[test]
+    fn dead_clock_never_locks() {
+        let p = paper();
+        let mut sync = Synchronizer::new(&p).with_clock_dead();
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        assert!(!out.locked);
+        assert_eq!(out.data_errors, RunConfig::paper_bist().cycles);
+    }
+
+    #[test]
+    fn stuck_vcdl_at_zero_limit_cycles_the_coarse_loop() {
+        let p = paper();
+        let mut sync = Synchronizer::new(&p).with_vcdl(Vcdl::from_params(&p).with_stuck(0.0));
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        // The fine loop is dead and no frozen grid point matches the eye
+        // center: the PD drifts Vc to a threshold over and over, coarse
+        // corrections accumulate and the 3-bit lock detector saturates.
+        assert!(
+            out.corrections > 7,
+            "only {} corrections with a stuck VCDL",
+            out.corrections
+        );
+    }
+
+    #[test]
+    fn stuck_vcdl_near_eye_center_is_an_honest_escape() {
+        // Frozen at frac 0.5 the delay is 0.065 UI: phase 3 + 0.065 lands
+        // 0.005 UI from the 0.37 eye center — within the jitter dither, so
+        // the loop reaches a benign equilibrium. The BIST misses this
+        // particular stuck point; it contributes to the gate-open escape
+        // row of Table I.
+        let p = paper();
+        let mut sync = Synchronizer::new(&p).with_vcdl(Vcdl::from_params(&p).with_stuck(0.5));
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        assert!(out.locked);
+        assert!(out.corrections <= 7, "{} corrections", out.corrections);
+    }
+
+    #[test]
+    fn severe_clock_degradation_causes_errors() {
+        let p = paper();
+        let mut sync = Synchronizer::new(&p).with_clock_degradation(0.7);
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        assert!(out.data_errors > 50, "only {} errors", out.data_errors);
+    }
+
+    #[test]
+    fn mild_clock_degradation_is_tolerated() {
+        let p = paper();
+        let mut sync = Synchronizer::new(&p).with_clock_degradation(0.3);
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        assert!(out.locked);
+        assert_eq!(out.errors_after_lock, 0);
+    }
+
+    #[test]
+    fn weak_pump_leak_disturbs_lock() {
+        let p = paper();
+        let mut sync = Synchronizer::new(&p).with_weak_faults(CpFaults {
+            always_on: Some(PumpDir::Up),
+            ..CpFaults::none()
+        });
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        // The leak drags Vc out of the window over and over.
+        assert!(
+            out.corrections > p.dll_phases as u64 / 2 || !out.locked,
+            "leak not observable: {out:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_strong_pump_never_settles() {
+        // The paper's masked fault on the strong pump: DS-shorted current
+        // source, caught at speed by the lock detector.
+        let p = paper();
+        let mut sync = Synchronizer::new(&p).with_strong_faults(CpFaults {
+            up_scale: 20.0,
+            down_scale: 20.0,
+            ..CpFaults::none()
+        });
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        assert!(
+            out.corrections > 7,
+            "overshooting resets must re-trigger corrections, got {}",
+            out.corrections
+        );
+    }
+
+    #[test]
+    fn pinned_vc_fails() {
+        let p = paper();
+        let mut sync = Synchronizer::new(&p).with_vc_pinned(Volt::ZERO);
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        // Vc at ground: below the window every divided clock, phase walks,
+        // nothing converges.
+        assert!(!out.locked || out.corrections > 7, "{out:?}");
+    }
+
+    #[test]
+    fn balance_drift_reported() {
+        let p = paper();
+        let mut sync = Synchronizer::new(&p).with_balance_drift(Volt::from_mv(-200.0));
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        assert!((out.vp.value() - 0.4).abs() < 1e-9);
+        // The main loop is unaffected: still locks.
+        assert!(out.locked);
+    }
+
+    #[test]
+    fn trace_records_fig2_channels() {
+        let p = paper();
+        let mut sync = Synchronizer::new(&p);
+        let mut trace = Trace::new(Sec::from_ps(400.0));
+        let rc = RunConfig {
+            cycles: 64,
+            ..RunConfig::paper_bist()
+        };
+        sync.run(&rc, Some(&mut trace));
+        for ch in ["vc", "phase", "vl", "vh"] {
+            assert_eq!(trace.channel(ch).unwrap().len(), 64, "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn narrowed_window_still_locks_but_differently() {
+        // A -100 mV shift on VH narrows the window; the loop must still
+        // converge for the default eye (the honest partial-escape case).
+        let p = paper();
+        let window = WindowComparator::new(p.window_low, p.window_high)
+            .with_high_shift(Volt::from_mv(-100.0));
+        let mut sync = Synchronizer::new(&p).with_window(window);
+        let out = sync.run(&RunConfig::paper_bist(), None);
+        // Either it locks (escape) or corrections blow up (detected):
+        // both are legitimate, but the run must terminate with a sane
+        // outcome either way.
+        assert!(out.locked || out.corrections > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial phase out of range")]
+    fn bad_initial_phase_panics() {
+        let p = paper();
+        let _ = Synchronizer::new(&p).with_initial_phase(10);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

@@ -1,0 +1,186 @@
+//! The capacitively coupled feed-forward equalizing transmitter (Fig. 3).
+//!
+//! A weak current-source driver sets the low-swing DC levels (enabling
+//! arbitrarily low activity factors), while series capacitors couple the
+//! full-swing pre-driver edges onto the line, boosting the high-frequency
+//! content — together a two-tap feed-forward equalizer. Per UI the driven
+//! level is
+//!
+//! ```text
+//! v(n) = Vcm ± swing/2 · ( d(n) + boost · (d(n) − d(n−1)) / 2 )
+//! ```
+//!
+//! with `d ∈ {−1, +1}`: the classic FIR view of capacitive pre-emphasis.
+//! The transmitter also carries the DFT half-cycle latch the paper adds for
+//! the phase-detector test (transparent in normal operation).
+//!
+//! # Examples
+//!
+//! ```
+//! use link::tx::Transmitter;
+//! use msim::units::Volt;
+//!
+//! let mut tx = Transmitter::new(Volt(0.6), Volt::from_mv(60.0), 2.0);
+//! let steady = tx.drive(true); // first 1 after a 1 history: no transition
+//! let v1 = tx.drive(false);    // 1 -> 0 transition: boosted low
+//! assert!(v1 < steady - Volt::from_mv(30.0));
+//! ```
+
+use msim::units::Volt;
+
+/// The behavioral equalizing transmitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transmitter {
+    vcm: Volt,
+    half_swing: Volt,
+    boost: f64,
+    prev: f64,
+    half_cycle_delay: bool,
+    pending: Option<bool>,
+}
+
+impl Transmitter {
+    /// Creates a transmitter around common mode `vcm` with differential
+    /// `swing` and FFE `boost` (transition tap weight; 0 disables
+    /// equalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `swing` is not strictly positive or `boost` is negative.
+    pub fn new(vcm: Volt, swing: Volt, boost: f64) -> Transmitter {
+        assert!(swing.value() > 0.0, "swing must be positive");
+        assert!(boost >= 0.0, "boost must be non-negative");
+        Transmitter {
+            vcm,
+            half_swing: swing / 2.0,
+            boost,
+            prev: 1.0,
+            half_cycle_delay: false,
+            pending: None,
+        }
+    }
+
+    /// Enables or disables the DFT half-cycle latch. When enabled, data is
+    /// delayed by half a cycle (one extra symbol slot at the behavioral
+    /// level), flipping the phase detector's UP/DN verdict during the scan
+    /// test — exactly the paper's mechanism for testing both PD paths.
+    pub fn set_half_cycle_delay(&mut self, on: bool) {
+        self.half_cycle_delay = on;
+        self.pending = None;
+    }
+
+    /// Whether the half-cycle test latch is enabled.
+    pub fn half_cycle_delay(&self) -> bool {
+        self.half_cycle_delay
+    }
+
+    /// Common-mode output level.
+    pub fn vcm(&self) -> Volt {
+        self.vcm
+    }
+
+    /// Drives one bit and returns the (single-ended equivalent) line input
+    /// level for this UI.
+    pub fn drive(&mut self, bit: bool) -> Volt {
+        let bit = if self.half_cycle_delay {
+            // Behavioral half-cycle delay: emit the previous symbol.
+            let out = self.pending.unwrap_or(bit);
+            self.pending = Some(bit);
+            out
+        } else {
+            bit
+        };
+        let d = if bit { 1.0 } else { -1.0 };
+        let tap = d + self.boost * (d - self.prev) / 2.0;
+        self.prev = d;
+        self.vcm + self.half_swing * tap
+    }
+
+    /// Differential drive: returns `(v_plus, v_minus)` mirrored around the
+    /// common mode.
+    pub fn drive_differential(&mut self, bit: bool) -> (Volt, Volt) {
+        let v = self.drive(bit);
+        let dev = v - self.vcm;
+        (self.vcm + dev, self.vcm - dev)
+    }
+
+    /// The steady-state (no transition) level for a bit.
+    pub fn dc_level(&self, bit: bool) -> Volt {
+        let d = if bit { 1.0 } else { -1.0 };
+        self.vcm + self.half_swing * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_tx() -> Transmitter {
+        Transmitter::new(Volt(0.6), Volt::from_mv(60.0), 2.0)
+    }
+
+    #[test]
+    fn steady_state_levels() {
+        let tx = paper_tx();
+        assert!((tx.dc_level(true).mv() - 630.0).abs() < 1e-9);
+        assert!((tx.dc_level(false).mv() - 570.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transitions_are_boosted() {
+        let mut tx = paper_tx();
+        tx.drive(true);
+        tx.drive(true);
+        // 1 -> 0 with boost 2: tap = -1 + 2*(-2)/2 = -3 -> 600 - 90 = 510 mV.
+        let v = tx.drive(false);
+        assert!((v.mv() - 510.0).abs() < 1e-9);
+        // 0 -> 0: back to the weak-driver level.
+        let v = tx.drive(false);
+        assert!((v.mv() - 570.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_boost_is_plain_nrz() {
+        let mut tx = Transmitter::new(Volt(0.6), Volt::from_mv(60.0), 0.0);
+        for (bit, mv) in [(true, 630.0), (false, 570.0), (true, 630.0)] {
+            let v = tx.drive(bit);
+            assert!((v.mv() - mv).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn differential_is_symmetric() {
+        let mut tx = paper_tx();
+        let (p, m) = tx.drive_differential(true);
+        assert!(((p + m) / 2.0 - Volt(0.6)).abs().mv() < 1e-9);
+        assert!(p > m);
+        let (p, m) = tx.drive_differential(false);
+        assert!(p < m);
+    }
+
+    #[test]
+    fn half_cycle_latch_delays_by_one_symbol() {
+        let mut tx = paper_tx();
+        tx.set_half_cycle_delay(true);
+        assert!(tx.half_cycle_delay());
+        // First call: nothing pending, passes through.
+        let a = tx.drive(true);
+        // Next drives emit the previous symbol.
+        let b = tx.drive(false); // emits the pending `true`
+        assert!(b >= a - Volt::from_mv(1.0), "latched symbol should still be high");
+        let c = tx.drive(false); // now the `false` emerges (with transition boost)
+        assert!(c < Volt(0.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "swing must be positive")]
+    fn zero_swing_panics() {
+        let _ = Transmitter::new(Volt(0.6), Volt::ZERO, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boost must be non-negative")]
+    fn negative_boost_panics() {
+        let _ = Transmitter::new(Volt(0.6), Volt::from_mv(60.0), -0.5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Voltage-divider bias generators.
+//!
+//! Two matched generators appear in the paper's receiver: one derived at
+//! the termination (tracking the line common mode) and one in the clock
+//! recovery circuit. The window comparator compares them during the DC
+//! test; any fault shifting either side beyond the programmed 15 mV offset
+//! is flagged.
+//!
+//! # Examples
+//!
+//! ```
+//! use msim::blocks::bias::BiasGenerator;
+//! use msim::units::Volt;
+//!
+//! let healthy = BiasGenerator::new(Volt(0.6));
+//! let faulty = BiasGenerator::new(Volt(0.6)).with_shift(Volt::from_mv(25.0));
+//! let error = (faulty.output() - healthy.output()).abs();
+//! assert!(error.mv() > 15.0); // outside the comparator margin: detected
+//! ```
+
+use crate::units::Volt;
+
+/// A voltage-divider bias generator with a fault hook.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasGenerator {
+    nominal: Volt,
+    shift: Volt,
+}
+
+impl BiasGenerator {
+    /// Creates a healthy generator producing `nominal`.
+    pub fn new(nominal: Volt) -> BiasGenerator {
+        BiasGenerator {
+            nominal,
+            shift: Volt::ZERO,
+        }
+    }
+
+    /// Installs an output shift (fault hook).
+    pub fn with_shift(mut self, shift: Volt) -> BiasGenerator {
+        self.shift = shift;
+        self
+    }
+
+    /// The generated bias voltage.
+    pub fn output(&self) -> Volt {
+        self.nominal + self.shift
+    }
+
+    /// Nominal (fault-free) output.
+    pub fn nominal(&self) -> Volt {
+        self.nominal
+    }
+
+    /// Whether a fault shift is installed.
+    pub fn is_shifted(&self) -> bool {
+        self.shift != Volt::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_output_is_nominal() {
+        let b = BiasGenerator::new(Volt(0.6));
+        assert_eq!(b.output(), Volt(0.6));
+        assert!(!b.is_shifted());
+    }
+
+    #[test]
+    fn shift_moves_output() {
+        let b = BiasGenerator::new(Volt(0.6)).with_shift(Volt::from_mv(-400.0));
+        assert!((b.output().value() - 0.2).abs() < 1e-12);
+        assert!(b.is_shifted());
+        assert_eq!(b.nominal(), Volt(0.6));
+    }
+}

@@ -1,0 +1,96 @@
+//! Production screening: the paper's motivation is deploying low-swing
+//! links in *large scale, high volume digital systems* — which demands a
+//! test flow. This example simulates a production lot: most dies are
+//! healthy, some carry one random structural fault; every die goes through
+//! the DC → scan → BIST flow and the lot report shows yield, fault
+//! detection per tier and test escapes.
+//!
+//! ```text
+//! cargo run -p dft --example production_screening
+//! ```
+
+use dft::architecture::TestableLink;
+use dft::bist::Bist;
+use dft::dc_test::DcTest;
+use dft::scan_test::ScanTest;
+use msim::effects::{resolve_effect, AnalogEffect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LOT_SIZE: usize = 200;
+const DEFECT_RATE: f64 = 0.25; // deliberately high to exercise the flow
+
+fn main() {
+    let link = TestableLink::paper();
+    let p = link.params().clone();
+    let universe = link.fault_universe();
+    let dc = DcTest::new(&p);
+    let scan = ScanTest::new(&p);
+    let bist = Bist::new(&p);
+    let mut rng = StdRng::seed_from_u64(2016);
+
+    let mut healthy_dies = 0usize;
+    let mut caught_dc = 0usize;
+    let mut caught_scan = 0usize;
+    let mut caught_bist = 0usize;
+    let mut escapes = 0usize;
+    let mut false_failures = 0usize;
+
+    for die in 0..LOT_SIZE {
+        let defect = rng.gen_bool(DEFECT_RATE);
+        let effect = if defect {
+            let f = universe.faults()[rng.gen_range(0..universe.len())];
+            resolve_effect(&f, &p)
+        } else {
+            AnalogEffect::None
+        };
+
+        // The flow stops at the first failing (cheapest) tier.
+        let verdict = if dc.detects(&effect) {
+            caught_dc += 1;
+            "FAIL @ DC"
+        } else if scan.detects(&effect) {
+            caught_scan += 1;
+            "FAIL @ scan"
+        } else if bist.detects(&effect) {
+            caught_bist += 1;
+            "FAIL @ BIST"
+        } else if defect {
+            escapes += 1;
+            "SHIPPED (escape)"
+        } else {
+            healthy_dies += 1;
+            "SHIPPED (healthy)"
+        };
+        if !defect && !verdict.starts_with("SHIPPED") {
+            false_failures += 1;
+        }
+        if die < 10 {
+            println!("die {die:>3}: defect={defect:<5} -> {verdict}");
+        }
+    }
+
+    println!("\n=== Lot report ({LOT_SIZE} dies, {:.0} % defect rate) ===", DEFECT_RATE * 100.0);
+    println!("  shipped healthy   : {healthy_dies}");
+    println!("  failed at DC      : {caught_dc}");
+    println!("  failed at scan    : {caught_scan}");
+    println!("  failed at BIST    : {caught_bist}");
+    println!("  defective shipped : {escapes}");
+    println!("  false failures    : {false_failures}");
+
+    let defective = LOT_SIZE - healthy_dies - false_failures - escapes
+        - (LOT_SIZE - healthy_dies - false_failures - escapes - caught_dc - caught_scan - caught_bist);
+    let caught = caught_dc + caught_scan + caught_bist;
+    println!(
+        "  lot fault coverage: {:.1} % ({caught}/{} defective dies caught)",
+        100.0 * caught as f64 / (caught + escapes).max(1) as f64,
+        caught + escapes
+    );
+    let _ = defective;
+
+    assert_eq!(false_failures, 0, "healthy dies must never fail");
+    assert!(
+        caught as f64 / (caught + escapes).max(1) as f64 > 0.85,
+        "flow must catch the large majority of defects"
+    );
+}
