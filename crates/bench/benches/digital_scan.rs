@@ -1,8 +1,11 @@
-//! Criterion benches: gate-level scan machinery — shift throughput,
-//! pattern application and the stuck-at coverage run behind the digital
-//! 100 % claim.
+//! Gate-level scan machinery benches on the in-tree `rt::timing`
+//! harness — shift throughput, pattern application and the stuck-at
+//! coverage run behind the digital 100 % claim.
+//!
+//! ```text
+//! cargo bench -p bench --bench digital_scan
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dsim::atpg::random_vectors;
 use dsim::blocks::ring_counter::RingCounter;
 use dsim::blocks::switch_matrix::SwitchMatrix;
@@ -10,53 +13,35 @@ use dsim::circuit::SimState;
 use dsim::logic::Logic;
 use dsim::scan::{apply_vector, shift};
 use dsim::stuck_at::scan_coverage;
+use rt::timing::Bench;
 
-fn bench_shift(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::new("digital_scan");
+
     let rc = RingCounter::new(10);
     let bits: Vec<Logic> = (0..1000).map(|i| Logic::from_bool(i % 3 == 0)).collect();
-    let mut g = c.benchmark_group("scan");
-    g.throughput(Throughput::Elements(bits.len() as u64));
-    g.bench_function("shift_1000_bits_through_10ff_chain", |b| {
-        b.iter(|| {
-            let mut s = SimState::for_circuit(rc.circuit());
-            s.load_ffs(&[Logic::Zero; 10]);
-            shift(&mut s, rc.circuit(), &bits)
-        })
+    bench.run("scan/shift_1000_bits_through_10ff_chain", || {
+        let mut s = SimState::for_circuit(rc.circuit());
+        s.load_ffs(&[Logic::Zero; 10]);
+        shift(&mut s, rc.circuit(), &bits)
     });
-    g.finish();
-}
 
-fn bench_pattern_application(c: &mut Criterion) {
     let sm = SwitchMatrix::new(10);
     let vectors = random_vectors(sm.circuit(), 64, 3);
-    c.bench_function("scan/apply_64_vectors_switch_matrix", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for v in &vectors {
-                let mut s = SimState::for_circuit(sm.circuit());
-                let r = apply_vector(sm.circuit(), &mut s, v);
-                hits += r.po.iter().filter(|l| **l == Logic::One).count();
-            }
-            hits
-        })
+    bench.run("scan/apply_64_vectors_switch_matrix", || {
+        let mut hits = 0usize;
+        for v in &vectors {
+            let mut s = SimState::for_circuit(sm.circuit());
+            let r = apply_vector(sm.circuit(), &mut s, v);
+            hits += r.po.iter().filter(|l| **l == Logic::One).count();
+        }
+        hits
     });
-}
 
-fn bench_stuck_at_coverage(c: &mut Criterion) {
-    let rc = RingCounter::new(10);
     let vectors = random_vectors(rc.circuit(), 64, 7);
-    let mut g = c.benchmark_group("stuck_at");
-    g.sample_size(20);
-    g.bench_function("ring_counter_full_campaign", |b| {
-        b.iter(|| scan_coverage(rc.circuit(), &vectors).coverage())
+    bench.run("stuck_at/ring_counter_full_campaign", || {
+        scan_coverage(rc.circuit(), &vectors).coverage()
     });
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_shift,
-    bench_pattern_application,
-    bench_stuck_at_coverage
-);
-criterion_main!(benches);
+    print!("{}", bench.report());
+}

@@ -1,10 +1,13 @@
-//! Criterion benches: simulation-kernel throughput.
+//! Simulation-kernel throughput benches (in-tree `rt::timing` harness).
 //!
 //! Measures the three hot loops behind every experiment binary:
 //! the phase-domain synchronizer (Fig. 2 / BIST), the backward-Euler RC
 //! channel (eye diagrams) and the eye fold itself.
+//!
+//! ```text
+//! cargo bench -p bench --bench sim_throughput
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use link::channel::RcLine;
 use link::config::LinkConfig;
 use link::eye::EyeDiagram;
@@ -12,81 +15,57 @@ use link::synchronizer::{RunConfig, Synchronizer};
 use link::LowSwingLink;
 use msim::params::DesignParams;
 use msim::units::{Farad, Ohm, Sec, Volt};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rng::Rng;
+use rt::timing::Bench;
 
 fn prbs(n: usize, seed: u64) -> Vec<bool> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen()).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_bool()).collect()
 }
 
-fn bench_synchronizer(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::new("sim_throughput");
+
+    // Synchronizer lock acquisition.
     let p = DesignParams::paper();
     let rc = RunConfig {
         cycles: 2000,
         ..RunConfig::paper_bist()
     };
-    let mut g = c.benchmark_group("synchronizer");
-    g.throughput(Throughput::Elements(rc.cycles));
-    g.bench_function("lock_acquisition_2000_cycles", |b| {
-        b.iter_batched(
-            || Synchronizer::new(&p),
-            |mut sync| sync.run(&rc, None),
-            BatchSize::SmallInput,
-        )
+    bench.run("synchronizer/lock_acquisition_2000_cycles", || {
+        Synchronizer::new(&p).run(&rc, None)
     });
-    g.finish();
-}
 
-fn bench_channel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("channel");
+    // RC channel stepping.
     let dt = Sec::from_ps(25.0);
     for segments in [10usize, 50] {
-        g.throughput(Throughput::Elements(1000));
-        g.bench_function(format!("rc_line_{segments}seg_1000_steps"), |b| {
-            b.iter_batched(
-                || {
-                    RcLine::new(
-                        Ohm::from_kohm(2.0),
-                        Farad::from_pf(1.0),
-                        segments,
-                        Ohm::from_kohm(2.0),
-                    )
-                },
-                |mut line| {
-                    let mut out = Volt::ZERO;
-                    for k in 0..1000 {
-                        let vin = Volt(if k % 32 < 16 { 0.63 } else { 0.57 });
-                        out = line.step(vin, dt);
-                    }
-                    out
-                },
-                BatchSize::SmallInput,
-            )
+        bench.run(format!("channel/rc_line_{segments}seg_1000_steps"), || {
+            let mut line = RcLine::new(
+                Ohm::from_kohm(2.0),
+                Farad::from_pf(1.0),
+                segments,
+                Ohm::from_kohm(2.0),
+            );
+            let mut out = Volt::ZERO;
+            for k in 0..1000 {
+                let vin = Volt(if k % 32 < 16 { 0.63 } else { 0.57 });
+                out = line.step(vin, dt);
+            }
+            out
         });
     }
-    g.finish();
-}
 
-fn bench_eye(c: &mut Criterion) {
+    // Eye: transmit + fold, then fold-only on a prebuilt waveform.
     let bits = prbs(256, 7);
-    let mut g = c.benchmark_group("eye");
-    g.throughput(Throughput::Elements(bits.len() as u64));
-    g.bench_function("transmit_and_fold_256_bits", |b| {
-        b.iter_batched(
-            || LowSwingLink::new(LinkConfig::paper()).expect("valid"),
-            |mut link| link.eye(&bits).best(),
-            BatchSize::SmallInput,
-        )
+    bench.run("eye/transmit_and_fold_256_bits", || {
+        let mut link = LowSwingLink::new(LinkConfig::paper()).expect("valid");
+        link.eye(&bits).best()
     });
-    // Fold-only (waveform prebuilt).
     let mut link = LowSwingLink::new(LinkConfig::paper()).expect("valid");
     let wave = link.transmit(&bits);
-    g.bench_function("fold_only_256_bits", |b| {
-        b.iter(|| EyeDiagram::from_waveform(&wave, &bits, 16, 4).best())
+    bench.run("eye/fold_only_256_bits", || {
+        EyeDiagram::from_waveform(&wave, &bits, 16, 4).best()
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_synchronizer, bench_channel, bench_eye);
-criterion_main!(benches);
+    print!("{}", bench.report());
+}

@@ -1,7 +1,12 @@
-//! Criterion benches: wall time of the three test tiers and of the full
-//! structural fault campaign (the cost of regenerating Table I).
+//! Wall time of the three test tiers and of the full structural fault
+//! campaign — the cost of regenerating Table I — on the in-tree
+//! `rt::timing` harness. The campaign runs both sequentially and on all
+//! cores, so this bench also reports the parallel engine's speedup.
+//!
+//! ```text
+//! cargo bench -p bench --bench test_tiers
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dft::bist::Bist;
 use dft::campaign::FaultCampaign;
 use dft::dc_test::DcTest;
@@ -9,6 +14,7 @@ use dft::scan_test::ScanTest;
 use msim::effects::AnalogEffect;
 use msim::params::DesignParams;
 use msim::units::Volt;
+use rt::timing::Bench;
 
 fn sample_effects() -> Vec<AnalogEffect> {
     use msim::effects::{Pump, PumpDir, WindowSide};
@@ -34,49 +40,45 @@ fn sample_effects() -> Vec<AnalogEffect> {
     ]
 }
 
-fn bench_tiers(c: &mut Criterion) {
+fn main() {
     let p = DesignParams::paper();
     let effects = sample_effects();
+    let mut bench = Bench::new("test_tiers");
 
     let dc = DcTest::new(&p);
-    c.bench_function("tier/dc_per_fault", |b| {
-        b.iter(|| {
-            effects
-                .iter()
-                .filter(|e| dc.detects(e))
-                .count()
-        })
+    bench.run("tier/dc_per_fault", || {
+        effects.iter().filter(|e| dc.detects(e)).count()
     });
 
     let scan = ScanTest::new(&p);
-    c.bench_function("tier/scan_per_fault", |b| {
-        b.iter(|| {
-            effects
-                .iter()
-                .filter(|e| scan.detects(e))
-                .count()
-        })
+    bench.run("tier/scan_per_fault", || {
+        effects.iter().filter(|e| scan.detects(e)).count()
     });
 
     let bist = Bist::new(&p);
-    c.bench_function("tier/bist_single_fault", |b| {
-        b.iter(|| bist.detects(&AnalogEffect::None))
+    bench.run("tier/bist_single_fault", || {
+        bist.detects(&AnalogEffect::None)
     });
-}
 
-fn bench_campaign(c: &mut Criterion) {
-    let p = DesignParams::paper();
     let campaign = FaultCampaign::new(&p);
-    let mut g = c.benchmark_group("campaign");
-    g.sample_size(10);
-    g.bench_function("full_structural_universe", |b| {
-        b.iter(|| campaign.run().coverage_total())
+    bench.run("campaign/full_structural_universe_sequential", || {
+        campaign.run_sequential().coverage_total()
     });
-    g.bench_function("universe_enumeration", |b| {
-        b.iter(|| campaign.universe().len())
+    let threads = rt::par::threads();
+    let parallel = bench
+        .run(
+            format!("campaign/full_structural_universe_{threads}_threads"),
+            || campaign.run().coverage_total(),
+        )
+        .median_ns;
+    bench.run("campaign/universe_enumeration", || {
+        campaign.universe().len()
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_tiers, bench_campaign);
-criterion_main!(benches);
+    print!("{}", bench.report());
+    let sequential = bench.results()[3].median_ns;
+    println!(
+        "\ncampaign parallel speedup on {threads} thread(s): {:.2}x",
+        sequential / parallel
+    );
+}

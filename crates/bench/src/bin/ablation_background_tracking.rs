@@ -15,8 +15,7 @@ use dft::report::render_table;
 use link::pd::BangBangPd;
 use link::synchronizer::{RunConfig, Synchronizer};
 use msim::params::DesignParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rng::Rng;
 
 /// Sampling errors of a foreground-calibrated receiver: phase frozen at
 /// the startup optimum while the eye drifts.
@@ -30,15 +29,11 @@ fn foreground_errors(p: &DesignParams, rc: &RunConfig) -> u64 {
                 .total_cmp(&BangBangPd::wrap_error(*b, rc.eye_center_ui).abs())
         })
         .expect("at least one phase");
-    let mut rng = StdRng::seed_from_u64(rc.seed);
+    let mut rng = Rng::seed_from_u64(rc.seed);
     let mut errors = 0;
     for cycle in 0..rc.cycles {
         let center = rc.eye_center_ui + rc.eye_drift_ui_per_cycle * cycle as f64;
-        let jitter = {
-            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = rng.gen();
-            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * rc.jitter_rms_ui
-        };
+        let jitter = rng.gaussian() * rc.jitter_rms_ui;
         let err = BangBangPd::wrap_error(tau, center) + jitter;
         if err.abs() > rc.eye_half_width_ui {
             errors += 1;

@@ -37,9 +37,7 @@ fn main() {
         let fine_err = BangBangPd::wrap_error(sync.sampling_tau_ui(), eye_center).abs();
 
         // BER impact at the paper's jitter and eye width.
-        let ber = |err: f64| {
-            BerModel::new(eye_center, 0.30, 0.045).ber_at(eye_center + err)
-        };
+        let ber = |err: f64| BerModel::new(eye_center, 0.30, 0.045).ber_at(eye_center + err);
         rows.push(vec![
             format!("{eye_center:.2} UI"),
             format!("{:.1} m-UI", coarse_err * 1000.0),

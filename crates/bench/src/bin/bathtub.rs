@@ -16,11 +16,7 @@ use link::config::LinkConfig;
 
 fn main() {
     let cfg = LinkConfig::paper();
-    let m = BerModel::new(
-        cfg.eye_center_ui,
-        cfg.eye_half_width_ui,
-        cfg.jitter_rms_ui,
-    );
+    let m = BerModel::new(cfg.eye_center_ui, cfg.eye_half_width_ui, cfg.jitter_rms_ui);
 
     let curve = m.bathtub(61);
     let mut csv = String::from("phase_ui,ber\n");

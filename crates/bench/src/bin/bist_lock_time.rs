@@ -42,7 +42,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["Start", "Lock (cycles)", "Lock (us)", "Corrections", "Locked"],
+            &[
+                "Start",
+                "Lock (cycles)",
+                "Lock (us)",
+                "Corrections",
+                "Locked"
+            ],
             &rows
         )
     );

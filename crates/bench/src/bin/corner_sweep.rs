@@ -32,7 +32,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["Corner", "DC", "DC+scan", "Total", "Lock (cycles)", "Corrections"],
+            &[
+                "Corner",
+                "DC",
+                "DC+scan",
+                "Total",
+                "Lock (cycles)",
+                "Corrections"
+            ],
             &rows
         )
     );

@@ -29,7 +29,11 @@ fn measure(name: &str, circuit: &Circuit, patterns: usize, seed: u64) -> Vec<Str
         name.to_string(),
         (2 * circuit.net_count()).to_string(),
         percent(stuck.coverage()),
-        format!("{} ({} vec)", percent(podem_cov.coverage()), podem_vectors.len()),
+        format!(
+            "{} ({} vec)",
+            percent(podem_cov.coverage()),
+            podem_vectors.len()
+        ),
         untestable.len().to_string(),
         percent(transition.coverage()),
     ]

@@ -16,7 +16,10 @@ fn main() {
 
     let cases: Vec<(&str, DllUnderTest)> = vec![
         ("healthy", DllUnderTest::healthy(10)),
-        ("phase 4 stuck", DllUnderTest::healthy(10).with_phase_stuck(4)),
+        (
+            "phase 4 stuck",
+            DllUnderTest::healthy(10).with_phase_stuck(4),
+        ),
         (
             "phase 7 skew +50 m-UI",
             DllUnderTest::healthy(10).with_phase_skew(7, 0.05),

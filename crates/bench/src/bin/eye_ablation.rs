@@ -16,22 +16,18 @@ use dft::report::render_table;
 use link::config::LinkConfig;
 use link::LowSwingLink;
 use msim::units::{Farad, Ohm};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rng::Rng;
 
 fn prbs(n: usize, seed: u64) -> Vec<bool> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen()).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_bool()).collect()
 }
 
 fn eye_opening(cfg: LinkConfig, bits: &[bool]) -> (f64, f64) {
     let mut link = LowSwingLink::new(cfg).expect("valid config");
     let eye = link.eye(bits);
     let (phase, opening) = eye.best();
-    (
-        opening.mv(),
-        phase as f64 / eye.oversample() as f64,
-    )
+    (opening.mv(), phase as f64 / eye.oversample() as f64)
 }
 
 fn main() {
@@ -44,7 +40,11 @@ fn main() {
         let mut cfg = LinkConfig::paper();
         cfg.ffe_boost = boost;
         let (mv, phase) = eye_opening(cfg, &bits);
-        let marker = if (boost - 2.0).abs() < 1e-9 { " (paper)" } else { "" };
+        let marker = if (boost - 2.0).abs() < 1e-9 {
+            " (paper)"
+        } else {
+            ""
+        };
         rows.push(vec![
             format!("{boost}{marker}"),
             format!("{mv:.1} mV"),

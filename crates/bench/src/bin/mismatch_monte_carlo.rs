@@ -40,7 +40,11 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["Mismatch sigma", "Healthy false fails", "20 mV fault escapes"],
+            &[
+                "Mismatch sigma",
+                "Healthy false fails",
+                "20 mV fault escapes"
+            ],
             &rows
         )
     );

@@ -30,7 +30,12 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["Activity", "Full-swing repeated", "Low-swing link", "Advantage"],
+            &[
+                "Activity",
+                "Full-swing repeated",
+                "Low-swing link",
+                "Advantage"
+            ],
             &rows
         )
     );

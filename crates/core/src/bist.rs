@@ -150,8 +150,7 @@ impl Bist {
         rc.eye_half_width_ui *= self.margin_factor(effect);
         let outcome = sync.run(&rc, None);
 
-        let cp_window =
-            WindowComparator::centered(self.p.vp_nominal, self.p.cp_bist_window);
+        let cp_window = WindowComparator::centered(self.p.vp_nominal, self.p.cp_bist_window);
         let vp_flagged = cp_window.evaluate(outcome.vp) != WindowDecision::Inside;
         let lock_detector_saturated = outcome.corrections >= LOCK_DETECTOR_SATURATION;
         let locked_in_budget = outcome

@@ -74,9 +74,14 @@ impl CampaignResult {
         self.records.len()
     }
 
+    // An empty record set reports 0.0 — an empty campaign has covered
+    // nothing. (Contrast with `coverage_of_kind`, which keeps a
+    // vacuous-truth 1.0 for a fault kind absent from the universe: a
+    // missing Table-I row has no faults left to escape, while a missing
+    // campaign has not demonstrated any coverage at all.)
     fn fraction(&self, pred: impl Fn(&FaultRecord) -> bool) -> f64 {
         if self.records.is_empty() {
-            return 1.0;
+            return 0.0;
         }
         self.records.iter().filter(|r| pred(r)).count() as f64 / self.records.len() as f64
     }
@@ -98,13 +103,19 @@ impl CampaignResult {
 
     /// `(total, detected)` for one fault kind — a Table I row.
     pub fn by_kind(&self, kind: FaultKind) -> (usize, usize) {
-        let of_kind: Vec<&FaultRecord> =
-            self.records.iter().filter(|r| r.fault.kind == kind).collect();
+        let of_kind: Vec<&FaultRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.fault.kind == kind)
+            .collect();
         let detected = of_kind.iter().filter(|r| r.detected()).count();
         (of_kind.len(), detected)
     }
 
-    /// Coverage for one fault kind in `[0, 1]`.
+    /// Coverage for one fault kind in `[0, 1]`. A kind with no faults in
+    /// the universe reads `1.0` (vacuous truth: no member of an absent
+    /// Table-I row can escape) — deliberately asymmetric with the
+    /// whole-campaign coverages, which read `0.0` on an empty record set.
     pub fn coverage_of_kind(&self, kind: FaultKind) -> f64 {
         let (total, detected) = self.by_kind(kind);
         if total == 0 {
@@ -153,34 +164,49 @@ impl FaultCampaign {
         FaultUniverse::enumerate(blocks.iter().map(|(b, n)| (*b, n)))
     }
 
-    /// Runs every fault through all three tiers.
+    /// Runs every fault through all three tiers, fanning the fault list
+    /// across all available cores. Records come back in universe order,
+    /// byte-identical to [`FaultCampaign::run_sequential`] — the chunked
+    /// executor preserves input order and each fault's simulation is
+    /// independent of its neighbours.
     pub fn run(&self) -> CampaignResult {
+        self.run_on(rt::par::threads())
+    }
+
+    /// Runs the campaign on exactly `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_on(&self, threads: usize) -> CampaignResult {
         let dc = DcTest::new(&self.p);
         let scan = ScanTest::new(&self.p);
         let bist = Bist::new(&self.p);
-        let records = self
-            .universe()
-            .faults()
-            .iter()
-            .map(|&fault| {
-                let effect = resolve_effect(&fault, &self.p);
-                FaultRecord {
-                    fault,
-                    effect,
-                    dc: dc.detects(&effect),
-                    scan: scan.detects(&effect),
-                    bist: bist.detects(&effect),
-                }
-            })
-            .collect();
+        let universe = self.universe();
+        let records = rt::par::parallel_map_with(threads, universe.faults(), |&fault| {
+            let effect = resolve_effect(&fault, &self.p);
+            FaultRecord {
+                fault,
+                effect,
+                dc: dc.detects(&effect),
+                scan: scan.detects(&effect),
+                bist: bist.detects(&effect),
+            }
+        });
         CampaignResult { records }
+    }
+
+    /// Runs the campaign on the calling thread only — the reference
+    /// implementation the parallel path is tested against.
+    pub fn run_sequential(&self) -> CampaignResult {
+        self.run_on(1)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msim::fault::MosFault;
+    use msim::fault::{FaultKind, MosFault};
 
     // One shared campaign run for the whole module (it is the expensive
     // part of the test suite).
@@ -265,6 +291,28 @@ mod tests {
                 ref gross => panic!("gross effect escaped: {:?} from {}", gross, rec.fault),
             }
         }
+    }
+
+    #[test]
+    fn empty_campaign_reports_zero_coverage() {
+        // Regression: an empty record set used to read 100 % on all
+        // tiers, so an accidentally empty campaign looked perfect.
+        let r = CampaignResult::from_records(Vec::new());
+        assert_eq!(r.coverage_dc(), 0.0);
+        assert_eq!(r.coverage_dc_scan(), 0.0);
+        assert_eq!(r.coverage_total(), 0.0);
+        // The per-kind vacuous truth is intentionally preserved.
+        assert_eq!(r.coverage_of_kind(FaultKind::CapShort), 1.0);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let c = FaultCampaign::new(&DesignParams::paper());
+        let seq = c.run_sequential();
+        for threads in [2, 4] {
+            assert_eq!(c.run_on(threads), seq, "diverged at {threads} threads");
+        }
+        assert_eq!(*result(), seq);
     }
 
     #[test]

@@ -99,7 +99,8 @@ impl DcTest {
         }
         // Bias comparison through the window comparator.
         let nominal = self.p.vmid;
-        self.rx.bias_flagged(nominal + self.bias_error(effect), nominal)
+        self.rx
+            .bias_flagged(nominal + self.bias_error(effect), nominal)
     }
 }
 

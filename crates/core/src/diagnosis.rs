@@ -116,7 +116,10 @@ impl SignatureDictionary {
                 scan: rec.scan,
                 bist: rec.bist,
             };
-            *map.entry(sig).or_default().entry(rec.fault.block).or_insert(0) += 1;
+            *map.entry(sig)
+                .or_default()
+                .entry(rec.fault.block)
+                .or_insert(0) += 1;
         }
         SignatureDictionary { map }
     }
@@ -138,15 +141,14 @@ impl SignatureDictionary {
     /// Diagnostic resolution: the mean number of candidate blocks over the
     /// failing signatures that occur (lower = sharper diagnosis).
     pub fn mean_resolution(&self) -> f64 {
-        let failing: Vec<_> = self
-            .map
-            .iter()
-            .filter(|(sig, _)| sig.any())
-            .collect();
+        let failing: Vec<_> = self.map.iter().filter(|(sig, _)| sig.any()).collect();
         if failing.is_empty() {
             return 0.0;
         }
-        failing.iter().map(|(_, blocks)| blocks.len()).sum::<usize>() as f64
+        failing
+            .iter()
+            .map(|(_, blocks)| blocks.len())
+            .sum::<usize>() as f64
             / failing.len() as f64
     }
 }

@@ -13,6 +13,11 @@
 //! * the **escape inflation** — a marginal fault slipping past because
 //!   mismatch widened the effective threshold.
 //!
+//! Trials are split into fixed 512-die chunks, each drawing from its own
+//! [`rt::rng::Rng::seed_from_stream`] substream, and the chunks are fanned
+//! across cores by [`rt::par`]; because the chunk grid depends only on the
+//! trial count, the result is bit-identical on 1 or N threads.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,8 +34,11 @@
 use link::rx::ReceiverFrontEnd;
 use msim::params::DesignParams;
 use msim::units::Volt;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rng::Rng;
+
+/// Dies per parallel chunk. Part of the determinism contract: the chunk
+/// grid is a function of the trial count only, never of the thread count.
+const CHUNK_TRIALS: usize = 512;
 
 /// Monte-Carlo driver for DC-comparator mismatch.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,16 +88,34 @@ impl MonteCarlo {
         }
     }
 
-    /// Simulates `trials` virtual dies with the given seed.
+    /// Simulates `trials` virtual dies with the given seed, fanning
+    /// fixed-size chunks of dies across the available cores. The record
+    /// is identical for any thread count (see the module docs).
     pub fn run(&self, trials: usize, seed: u64) -> MismatchResult {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let chunks = trials.div_ceil(CHUNK_TRIALS);
+        let per_chunk = rt::par::parallel_map_indexed(chunks, |chunk| {
+            let in_chunk = CHUNK_TRIALS.min(trials - chunk * CHUNK_TRIALS);
+            self.run_chunk(in_chunk, Rng::seed_from_stream(seed, chunk as u64))
+        });
+        let (false_failures, escapes) = per_chunk
+            .iter()
+            .fold((0, 0), |(f, e), &(cf, ce)| (f + cf, e + ce));
+        MismatchResult {
+            trials,
+            false_failures,
+            marginal_fault_escapes: escapes,
+        }
+    }
+
+    /// One chunk of dies: `(false_failures, escapes)`.
+    fn run_chunk(&self, trials: usize, mut rng: Rng) -> (usize, usize) {
         let healthy = self.p.dc_test_input();
         // A 20 mV erosion fault: nominally detected (30 - 20 = 10 < 15).
         let faulty = healthy - Volt::from_mv(20.0);
         let mut false_failures = 0;
         let mut escapes = 0;
         for _ in 0..trials {
-            let delta = Volt(gaussian(&mut rng) * self.sigma.value());
+            let delta = Volt(rng.gaussian() * self.sigma.value());
             // The die's comparator has offset 15 mV + delta.
             let offset = (self.p.cmp_offset + delta).max(Volt::from_mv(0.1));
             let rx = ReceiverFrontEnd::new(offset);
@@ -102,11 +128,7 @@ impl MonteCarlo {
                 escapes += 1;
             }
         }
-        MismatchResult {
-            trials,
-            false_failures,
-            marginal_fault_escapes: escapes,
-        }
+        (false_failures, escapes)
     }
 
     /// Sweeps mismatch sigma and returns `(sigma_mv, result)` pairs —
@@ -120,12 +142,6 @@ impl MonteCarlo {
             })
             .collect()
     }
-}
-
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 #[cfg(test)]
@@ -166,6 +182,16 @@ mod tests {
         let mc = MonteCarlo::new(&DesignParams::paper(), Volt::from_mv(5.0));
         assert_eq!(mc.run(1000, 9), mc.run(1000, 9));
         assert_ne!(mc.run(1000, 9), mc.run(1000, 10));
+    }
+
+    #[test]
+    fn ragged_chunk_counts_still_sum_to_trials() {
+        // 1300 trials = 2 full 512-die chunks + one 276-die remainder.
+        let mc = MonteCarlo::new(&DesignParams::paper(), Volt::from_mv(10.0));
+        let r = mc.run(1300, 3);
+        assert_eq!(r.trials, 1300);
+        assert!(r.false_failures <= 1300 && r.marginal_fault_escapes <= 1300);
+        assert_eq!(r, mc.run(1300, 3));
     }
 
     #[test]

@@ -28,8 +28,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rng::Rng;
 
 use crate::circuit::Circuit;
 use crate::logic::Logic;
@@ -105,16 +104,16 @@ pub fn weighted_vectors(
         weight > 0.0 && weight < 1.0,
         "weight must be strictly inside (0, 1)"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let pi = circuit.inputs().len();
     let ff = circuit.dff_count();
     (0..count)
         .map(|_| ScanVector {
             pi: (0..pi)
-                .map(|_| Logic::from_bool(rng.gen_bool(weight)))
+                .map(|_| Logic::from_bool(rng.chance(weight)))
                 .collect(),
             load: (0..ff)
-                .map(|_| Logic::from_bool(rng.gen_bool(weight)))
+                .map(|_| Logic::from_bool(rng.chance(weight)))
                 .collect(),
         })
         .collect()
@@ -177,7 +176,10 @@ mod tests {
         let high = count_ones(&weighted_vectors(&c, 64, 5, 0.9));
         let total = 64 * 16;
         assert!(low < total / 5, "low-weight not skewed: {low}/{total}");
-        assert!(high > total * 4 / 5, "high-weight not skewed: {high}/{total}");
+        assert!(
+            high > total * 4 / 5,
+            "high-weight not skewed: {high}/{total}"
+        );
     }
 
     #[test]
@@ -188,10 +190,7 @@ mod tests {
         use crate::stuck_at::scan_coverage;
         let sm = SwitchMatrix::new(10);
         let balanced = scan_coverage(sm.circuit(), &random_vectors(sm.circuit(), 48, 9));
-        let weighted = scan_coverage(
-            sm.circuit(),
-            &weighted_vectors(sm.circuit(), 48, 9, 0.12),
-        );
+        let weighted = scan_coverage(sm.circuit(), &weighted_vectors(sm.circuit(), 48, 9, 0.12));
         assert!(
             weighted.coverage() > balanced.coverage(),
             "weighted {} <= balanced {}",

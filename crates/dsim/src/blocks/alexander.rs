@@ -109,12 +109,7 @@ impl AlexanderPd {
 
     /// Clocks one bit through the samplers and returns `(up, dn)` after
     /// the edge (`None` while samples are still unknown).
-    pub fn sample(
-        &self,
-        state: &mut SimState,
-        din: bool,
-        edge: bool,
-    ) -> Option<(bool, bool)> {
+    pub fn sample(&self, state: &mut SimState, din: bool, edge: bool) -> Option<(bool, bool)> {
         state.set_input(&self.circuit, self.din, Logic::from_bool(din));
         state.set_input(&self.circuit, self.edge, Logic::from_bool(edge));
         self.circuit.tick(state);

@@ -62,7 +62,7 @@ impl ControlFsm {
         let above = c.input("above");
         let below = c.input("below");
         let armed = c.net("armed"); // state: request already serviced
-        // req = above | below
+                                    // req = above | below
         let req = c.net("req");
         c.gate(GateKind::Or, &[above, below], req);
         // fire = req & !armed

@@ -133,10 +133,7 @@ impl LockCounter {
 
     /// Whether the counter has saturated (all ones).
     pub fn saturated(&self, state: &SimState) -> bool {
-        state
-            .ff_values()
-            .iter()
-            .all(|&b| b == Logic::One)
+        state.ff_values().iter().all(|&b| b == Logic::One)
     }
 }
 

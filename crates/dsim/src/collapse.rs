@@ -211,7 +211,12 @@ mod tests {
         let classes = collapse_faults(&c);
         let a0_class = classes
             .iter()
-            .find(|cl| cl.members.contains(&StuckAtFault { net: a, stuck_high: false }))
+            .find(|cl| {
+                cl.members.contains(&StuckAtFault {
+                    net: a,
+                    stuck_high: false,
+                })
+            })
             .unwrap();
         assert_eq!(a0_class.members.len(), 1, "stem fault must stay alone");
     }
@@ -257,7 +262,10 @@ mod tests {
     fn collapse_reduces_real_blocks() {
         use crate::blocks::switch_matrix::SwitchMatrix;
         for (name, ratio) in [
-            ("lock counter", collapse_ratio(LockCounter::new(3).circuit())),
+            (
+                "lock counter",
+                collapse_ratio(LockCounter::new(3).circuit()),
+            ),
             (
                 "switch matrix",
                 collapse_ratio(SwitchMatrix::new(4).circuit()),

@@ -140,8 +140,7 @@ impl<'a> View<'a> {
         for _ in 0..=self.circuit.gates().len() {
             let mut changed = false;
             for g in self.circuit.gates() {
-                let good_ins: Vec<Logic> =
-                    g.inputs().iter().map(|i| vals[i.0].good()).collect();
+                let good_ins: Vec<Logic> = g.inputs().iter().map(|i| vals[i.0].good()).collect();
                 let faulty_ins: Vec<Logic> =
                     g.inputs().iter().map(|i| vals[i.0].faulty()).collect();
                 let good = eval_gate(g.kind(), &good_ins);
@@ -174,8 +173,7 @@ impl<'a> View<'a> {
             .iter()
             .enumerate()
             .filter(|(_, g)| {
-                vals[g.output().0] == V5::X
-                    && g.inputs().iter().any(|i| vals[i.0].is_d())
+                vals[g.output().0] == V5::X && g.inputs().iter().any(|i| vals[i.0].is_d())
             })
             .map(|(gi, _)| gi)
             .collect()
@@ -205,33 +203,29 @@ impl<'a> View<'a> {
                 GateKind::Buf => (g.inputs()[0], value),
                 GateKind::Not => (g.inputs()[0], !value),
                 GateKind::And | GateKind::Nand => {
-                    let v = if g.kind() == GateKind::Nand { !value } else { value };
+                    let v = if g.kind() == GateKind::Nand {
+                        !value
+                    } else {
+                        value
+                    };
                     // To set an AND output to 1, all inputs must be 1
                     // (pick any X input); to 0, one X input suffices.
-                    let pick = g
-                        .inputs()
-                        .iter()
-                        .find(|i| vals[i.0] == V5::X)
-                        .copied()?;
+                    let pick = g.inputs().iter().find(|i| vals[i.0] == V5::X).copied()?;
                     (pick, v)
                 }
                 GateKind::Or | GateKind::Nor => {
-                    let v = if g.kind() == GateKind::Nor { !value } else { value };
-                    let pick = g
-                        .inputs()
-                        .iter()
-                        .find(|i| vals[i.0] == V5::X)
-                        .copied()?;
+                    let v = if g.kind() == GateKind::Nor {
+                        !value
+                    } else {
+                        value
+                    };
+                    let pick = g.inputs().iter().find(|i| vals[i.0] == V5::X).copied()?;
                     (pick, v)
                 }
                 GateKind::Xor | GateKind::Xnor | GateKind::Mux => {
                     // Pick any X input; value heuristic: propagate the
                     // requested value directly.
-                    let pick = g
-                        .inputs()
-                        .iter()
-                        .find(|i| vals[i.0] == V5::X)
-                        .copied()?;
+                    let pick = g.inputs().iter().find(|i| vals[i.0] == V5::X).copied()?;
                     (pick, value)
                 }
             };
@@ -304,8 +298,8 @@ pub fn generate_test(circuit: &Circuit, fault: StuckAtFault) -> Option<ScanVecto
             })
         };
 
-        let decision = objective
-            .and_then(|(net, value)| view.backtrace(net, value, &vals, &assigned));
+        let decision =
+            objective.and_then(|(net, value)| view.backtrace(net, value, &vals, &assigned));
 
         match decision {
             Some((ppi, value)) => {

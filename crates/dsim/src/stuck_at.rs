@@ -111,11 +111,7 @@ fn respond(circuit: &Circuit, v: &ScanVector, fault: Option<StuckAtFault>) -> Sc
 /// A response difference counts as detection only when the golden value is
 /// known; an `X` in the golden response cannot be compared on a tester.
 fn differs(golden: &ScanResponse, faulty: &ScanResponse) -> bool {
-    let cmp = |g: &[Logic], f: &[Logic]| {
-        g.iter()
-            .zip(f)
-            .any(|(gv, fv)| gv.is_known() && gv != fv)
-    };
+    let cmp = |g: &[Logic], f: &[Logic]| g.iter().zip(f).any(|(gv, fv)| gv.is_known() && gv != fv);
     cmp(&golden.po, &faulty.po) || cmp(&golden.capture, &faulty.capture)
 }
 

@@ -179,9 +179,7 @@ impl TransitionCoverage {
 }
 
 fn differs(golden: &Response, faulty: &Response) -> bool {
-    let cmp = |g: &[Logic], f: &[Logic]| {
-        g.iter().zip(f).any(|(gv, fv)| gv.is_known() && gv != fv)
-    };
+    let cmp = |g: &[Logic], f: &[Logic]| g.iter().zip(f).any(|(gv, fv)| gv.is_known() && gv != fv);
     cmp(&golden.po, &faulty.po) || cmp(&golden.capture, &faulty.capture)
 }
 
@@ -290,7 +288,12 @@ mod tests {
         // are fully covered. Demonstrate on its gate-level blocks.
         let blocks: Vec<(&str, Circuit, usize, u64)> = vec![
             ("divider", Divider::new(3).circuit().clone(), 256, 11),
-            ("lock counter", LockCounter::new(3).circuit().clone(), 256, 13),
+            (
+                "lock counter",
+                LockCounter::new(3).circuit().clone(),
+                256,
+                13,
+            ),
             ("control FSM", ControlFsm::new().circuit().clone(), 256, 17),
         ];
         for (name, circuit, n, seed) in blocks {

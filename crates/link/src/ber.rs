@@ -85,19 +85,25 @@ impl BerModel {
     }
 
     /// The bathtub curve: `points` samples of `(phase, BER)` across one UI
-    /// centered on the eye.
+    /// centered on the eye. Dense curves (>= 1024 points, the experiment
+    /// binaries' sweeps) are fanned across cores; each point is an
+    /// independent closed-form evaluation, so the output is identical to
+    /// the sequential sweep.
     ///
     /// # Panics
     ///
     /// Panics if `points < 2`.
     pub fn bathtub(&self, points: usize) -> Vec<(f64, f64)> {
         assert!(points >= 2, "a curve needs at least two points");
-        (0..points)
-            .map(|i| {
-                let phi = self.center_ui - 0.5 + i as f64 / (points - 1) as f64;
-                (phi, self.ber_at(phi))
-            })
-            .collect()
+        let point = |i: usize| {
+            let phi = self.center_ui - 0.5 + i as f64 / (points - 1) as f64;
+            (phi, self.ber_at(phi))
+        };
+        if points >= 1024 {
+            rt::par::parallel_map_indexed(points, point)
+        } else {
+            (0..points).map(point).collect()
+        }
     }
 
     /// The timing margin (total open span, in UI) at a target BER:
@@ -139,7 +145,10 @@ mod tests {
         for d in [0.05, 0.1, 0.2, 0.28] {
             let left = m.ber_at(0.37 - d);
             let right = m.ber_at(0.37 + d);
-            assert!((left - right).abs() < 1e-12 * left.max(1e-300), "asymmetric at {d}");
+            assert!(
+                (left - right).abs() < 1e-12 * left.max(1e-300),
+                "asymmetric at {d}"
+            );
             assert!(left >= center);
         }
     }
@@ -192,6 +201,20 @@ mod tests {
         assert!(curve[0].1 > 0.3);
         assert!(curve[50].1 < 1e-9);
         assert!(curve[100].1 > 0.3);
+    }
+
+    #[test]
+    fn dense_bathtub_matches_pointwise_evaluation() {
+        // The parallel path (>= 1024 points) must agree bit-for-bit with
+        // direct evaluation.
+        let m = BerModel::new(0.37, 0.3, 0.045);
+        let curve = m.bathtub(2048);
+        assert_eq!(curve.len(), 2048);
+        for (i, (phi, ber)) in curve.iter().enumerate().step_by(257) {
+            let expected_phi = 0.37 - 0.5 + i as f64 / 2047.0;
+            assert_eq!(*phi, expected_phi);
+            assert_eq!(*ber, m.ber_at(expected_phi));
+        }
     }
 
     #[test]

@@ -154,7 +154,9 @@ impl EyeDiagram {
 
     /// Folds a received waveform against its transmitted bit sequence,
     /// scanning integer-UI latencies `0..=max_delay_ui` and returning the
-    /// eye for the best alignment.
+    /// eye for the best alignment. Candidate alignments are independent
+    /// full folds of the waveform, so they are fanned across cores; ties
+    /// keep the smallest delay, exactly as the sequential scan did.
     ///
     /// The waveform must hold `bits.len() * oversample` samples (one UI of
     /// `oversample` points per bit), as produced by
@@ -174,8 +176,7 @@ impl EyeDiagram {
             bits.len() * oversample,
             "waveform/bit length mismatch"
         );
-        let mut best: Option<EyeDiagram> = None;
-        for delay in 0..=max_delay_ui {
+        let candidates = rt::par::parallel_map_indexed(max_delay_ui + 1, |delay| {
             let mut eye = EyeDiagram::new(oversample);
             // Sample k belongs to UI k/oversample; attribute it to the bit
             // transmitted `delay` UIs earlier.
@@ -190,6 +191,10 @@ impl EyeDiagram {
                 }
                 eye.add(k % oversample, bits[bit_idx], *v);
             }
+            eye
+        });
+        let mut best: Option<EyeDiagram> = None;
+        for eye in candidates {
             let keep = match &best {
                 None => true,
                 Some(b) => eye.best().1 > b.best().1,

@@ -31,11 +31,11 @@
 //!
 //! ```
 //! use link::{config::LinkConfig, LowSwingLink};
-//! use rand::{rngs::StdRng, Rng, SeedableRng};
+//! use rt::rng::Rng;
 //!
 //! let mut link = LowSwingLink::new(LinkConfig::paper())?;
-//! let mut rng = StdRng::seed_from_u64(1);
-//! let bits: Vec<bool> = (0..256).map(|_| rng.gen()).collect();
+//! let mut rng = Rng::seed_from_u64(1);
+//! let bits: Vec<bool> = (0..256).map(|_| rng.next_bool()).collect();
 //! let eye = link.eye(&bits);
 //! let (_, opening) = eye.best();
 //! assert!(opening.mv() > 10.0, "equalized eye must be open, got {opening}");
@@ -47,9 +47,9 @@
 
 pub mod ber;
 pub mod channel;
-pub mod dll_bist;
 pub mod config;
 pub mod crossing;
+pub mod dll_bist;
 pub mod eye;
 pub mod netlists;
 pub mod pd;
@@ -163,12 +163,11 @@ impl LowSwingLink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rt::rng::Rng;
 
     fn prbs(n: usize, seed: u64) -> Vec<bool> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| rng.gen()).collect()
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_bool()).collect()
     }
 
     #[test]

@@ -227,9 +227,12 @@ pub fn rx_bias() -> Netlist {
 /// One clocked comparator half (Fig. 6 topology) with full node
 /// connectivity: the clock switch gates the tail, the mirror folds onto
 /// the decision node, the inverter squares the output.
+/// One comparator device row: (name, type, w, l, role, [d, g, s] nodes).
+type CmpDev = (&'static str, MosType, f64, f64, DeviceRole, [String; 3]);
+
 fn clocked_comparator(nl: &mut Netlist, instance: u8, tag: &str) {
     let n = |base: &str| format!("{base}_{tag}");
-    let devs: [(&str, MosType, f64, f64, DeviceRole, [String; 3]); 8] = [
+    let devs: [CmpDev; 8] = [
         (
             "MIP",
             MosType::Nmos,
@@ -317,10 +320,34 @@ pub fn window_comparator() -> Netlist {
 /// (Fig. 8).
 pub fn weak_charge_pump() -> Netlist {
     let mut nl = Netlist::new("weak-charge-pump");
-    nl.add_mos(Mos::new("MSU", MosType::Pmos, 1.0, 0.13, DeviceRole::CpSwitchUp));
-    nl.add_mos(Mos::new("MSD", MosType::Nmos, 0.5, 0.13, DeviceRole::CpSwitchDn));
-    nl.add_mos(Mos::new("MCP", MosType::Pmos, 2.0, 0.5, DeviceRole::CpSourceP));
-    nl.add_mos(Mos::new("MCN", MosType::Nmos, 1.0, 0.5, DeviceRole::CpSinkN));
+    nl.add_mos(Mos::new(
+        "MSU",
+        MosType::Pmos,
+        1.0,
+        0.13,
+        DeviceRole::CpSwitchUp,
+    ));
+    nl.add_mos(Mos::new(
+        "MSD",
+        MosType::Nmos,
+        0.5,
+        0.13,
+        DeviceRole::CpSwitchDn,
+    ));
+    nl.add_mos(Mos::new(
+        "MCP",
+        MosType::Pmos,
+        2.0,
+        0.5,
+        DeviceRole::CpSourceP,
+    ));
+    nl.add_mos(Mos::new(
+        "MCN",
+        MosType::Nmos,
+        1.0,
+        0.5,
+        DeviceRole::CpSinkN,
+    ));
     for i in 0..2u8 {
         nl.add_mos(
             Mos::new(
@@ -363,7 +390,13 @@ pub fn weak_charge_pump() -> Netlist {
             .with_instance(i),
         );
     }
-    nl.add_mos(Mos::new("MAT", MosType::Nmos, 1.0, 0.5, DeviceRole::CpAmpTail));
+    nl.add_mos(Mos::new(
+        "MAT",
+        MosType::Nmos,
+        1.0,
+        0.5,
+        DeviceRole::CpAmpTail,
+    ));
     nl.add_capacitor(Capacitor::new("Cloop", 2e-12, DeviceRole::LoopFilterCap));
     nl.add_capacitor(Capacitor::new("Cbal", 0.5e-12, DeviceRole::BalanceCap));
     nl
@@ -372,10 +405,34 @@ pub fn weak_charge_pump() -> Netlist {
 /// The strong charge pump (Fig. 8).
 pub fn strong_charge_pump() -> Netlist {
     let mut nl = Netlist::new("strong-charge-pump");
-    nl.add_mos(Mos::new("MSU", MosType::Pmos, 4.0, 0.13, DeviceRole::CpSwitchUp));
-    nl.add_mos(Mos::new("MSD", MosType::Nmos, 2.0, 0.13, DeviceRole::CpSwitchDn));
-    nl.add_mos(Mos::new("MCP", MosType::Pmos, 8.0, 0.5, DeviceRole::CpSourceP));
-    nl.add_mos(Mos::new("MCN", MosType::Nmos, 4.0, 0.5, DeviceRole::CpSinkN));
+    nl.add_mos(Mos::new(
+        "MSU",
+        MosType::Pmos,
+        4.0,
+        0.13,
+        DeviceRole::CpSwitchUp,
+    ));
+    nl.add_mos(Mos::new(
+        "MSD",
+        MosType::Nmos,
+        2.0,
+        0.13,
+        DeviceRole::CpSwitchDn,
+    ));
+    nl.add_mos(Mos::new(
+        "MCP",
+        MosType::Pmos,
+        8.0,
+        0.5,
+        DeviceRole::CpSourceP,
+    ));
+    nl.add_mos(Mos::new(
+        "MCN",
+        MosType::Nmos,
+        4.0,
+        0.5,
+        DeviceRole::CpSinkN,
+    ));
     nl
 }
 
@@ -384,20 +441,44 @@ pub fn vcdl() -> Netlist {
     let mut nl = Netlist::new("vcdl");
     for stage in 0..2u8 {
         nl.add_mos(
-            Mos::new(format!("MIP{stage}"), MosType::Pmos, 2.0, 0.13, DeviceRole::VcdlInvP)
-                .with_instance(stage),
+            Mos::new(
+                format!("MIP{stage}"),
+                MosType::Pmos,
+                2.0,
+                0.13,
+                DeviceRole::VcdlInvP,
+            )
+            .with_instance(stage),
         );
         nl.add_mos(
-            Mos::new(format!("MIN{stage}"), MosType::Nmos, 1.0, 0.13, DeviceRole::VcdlInvN)
-                .with_instance(stage),
+            Mos::new(
+                format!("MIN{stage}"),
+                MosType::Nmos,
+                1.0,
+                0.13,
+                DeviceRole::VcdlInvN,
+            )
+            .with_instance(stage),
         );
         nl.add_mos(
-            Mos::new(format!("MSN{stage}"), MosType::Nmos, 1.0, 0.26, DeviceRole::VcdlStarveN)
-                .with_instance(stage),
+            Mos::new(
+                format!("MSN{stage}"),
+                MosType::Nmos,
+                1.0,
+                0.26,
+                DeviceRole::VcdlStarveN,
+            )
+            .with_instance(stage),
         );
         nl.add_mos(
-            Mos::new(format!("MSP{stage}"), MosType::Pmos, 2.0, 0.26, DeviceRole::VcdlStarveP)
-                .with_instance(stage),
+            Mos::new(
+                format!("MSP{stage}"),
+                MosType::Pmos,
+                2.0,
+                0.26,
+                DeviceRole::VcdlStarveP,
+            )
+            .with_instance(stage),
         );
     }
     // Instance 0 is the diode-connected mirror reference.

@@ -42,7 +42,10 @@ impl Prbs {
     /// `1..length`, or the seed is zero.
     pub fn new(length: u32, tap: u32, seed: u32) -> Prbs {
         assert!((1..=31).contains(&length), "LFSR length out of range");
-        assert!((1..length).contains(&tap), "tap must be inside the register");
+        assert!(
+            (1..length).contains(&tap),
+            "tap must be inside the register"
+        );
         let mask = (1u32 << length) - 1;
         assert!(seed & mask != 0, "the all-zero LFSR state locks up");
         Prbs {

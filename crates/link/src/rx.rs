@@ -77,7 +77,11 @@ impl ReceiverFrontEnd {
 
     /// Whether the DC decision matches the expectation for the driven bit.
     pub fn dc_pass(&self, diff: Volt, driven_one: bool) -> bool {
-        let expected = if driven_one { (true, false) } else { (false, true) };
+        let expected = if driven_one {
+            (true, false)
+        } else {
+            (false, true)
+        };
         self.dc_decision(diff) == expected
     }
 

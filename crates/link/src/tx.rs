@@ -167,7 +167,10 @@ mod tests {
         let a = tx.drive(true);
         // Next drives emit the previous symbol.
         let b = tx.drive(false); // emits the pending `true`
-        assert!(b >= a - Volt::from_mv(1.0), "latched symbol should still be high");
+        assert!(
+            b >= a - Volt::from_mv(1.0),
+            "latched symbol should still be high"
+        );
         let c = tx.drive(false); // now the `false` emerges (with transition boost)
         assert!(c < Volt(0.6));
     }

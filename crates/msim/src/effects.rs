@@ -267,7 +267,9 @@ pub fn resolve_effect(fault: &Fault, p: &DesignParams) -> AnalogEffect {
             BlockKind::WindowComparator => {
                 resolve_window_comparator(fault.role, fault.instance, mf, p)
             }
-            BlockKind::WeakChargePump => resolve_charge_pump(fault.role, fault.instance, mf, Pump::Weak, p),
+            BlockKind::WeakChargePump => {
+                resolve_charge_pump(fault.role, fault.instance, mf, Pump::Weak, p)
+            }
             BlockKind::StrongChargePump => {
                 resolve_charge_pump(fault.role, fault.instance, mf, Pump::Strong, p)
             }
@@ -460,7 +462,12 @@ fn resolve_termination(role: DeviceRole, mf: MosFault, p: &DesignParams) -> Anal
 /// The stack's top device (instance 0) is diode-connected — its
 /// gate–drain short is structurally invisible; on the remaining devices
 /// the short re-wires the divider tap.
-fn resolve_rx_bias(role: DeviceRole, instance: u8, mf: MosFault, _p: &DesignParams) -> AnalogEffect {
+fn resolve_rx_bias(
+    role: DeviceRole,
+    instance: u8,
+    mf: MosFault,
+    _p: &DesignParams,
+) -> AnalogEffect {
     use MosFault::*;
     assert!(
         role == DeviceRole::RxBiasDivider,
@@ -774,10 +781,7 @@ mod tests {
                 FaultKind::Mos(mf),
             );
             match (mf, resolve_effect(&f, &p)) {
-                (
-                    MosFault::DrainOpen | MosFault::SourceOpen,
-                    AnalogEffect::ArmImbalance { dv },
-                ) => {
+                (MosFault::DrainOpen | MosFault::SourceOpen, AnalogEffect::ArmImbalance { dv }) => {
                     assert!(dv.mv() < 15.0, "finger open should be partial: {dv}")
                 }
                 (_, AnalogEffect::ArmImbalance { dv }) => {

@@ -525,7 +525,11 @@ impl Netlist {
                             n.drain,
                             n.gate,
                             n.source,
-                            if m.mos_type() == MosType::Nmos { "gnd" } else { "vdd" },
+                            if m.mos_type() == MosType::Nmos {
+                                "gnd"
+                            } else {
+                                "vdd"
+                            },
                             model,
                             m.w_um(),
                             m.l_um()
@@ -778,7 +782,10 @@ mod tests {
         nl.add_mos(Mos::new("MX", MosType::Pmos, 2.0, 0.13, DeviceRole::TxBufP));
         let spice = nl.to_spice();
         assert!(spice.contains("MX * role=tx-buf-p PMOS W=2u L=0.13u"));
-        assert!(nl.dangling_nodes().is_empty(), "role-only devices have no nodes");
+        assert!(
+            nl.dangling_nodes().is_empty(),
+            "role-only devices have no nodes"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl Waveform {
     ///
     /// Panics if `dt` is not strictly positive.
     pub fn starting_at(t0: Sec, dt: Sec) -> Waveform {
-        assert!(dt.value() > 0.0, "waveform sample interval must be positive");
+        assert!(
+            dt.value() > 0.0,
+            "waveform sample interval must be positive"
+        );
         Waveform {
             t0,
             dt,
@@ -70,7 +73,10 @@ impl Waveform {
     ///
     /// Panics if `dt` is not strictly positive.
     pub fn from_samples(t0: Sec, dt: Sec, samples: Vec<Volt>) -> Waveform {
-        assert!(dt.value() > 0.0, "waveform sample interval must be positive");
+        assert!(
+            dt.value() > 0.0,
+            "waveform sample interval must be positive"
+        );
         Waveform { t0, dt, samples }
     }
 

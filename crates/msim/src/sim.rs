@@ -122,12 +122,7 @@ impl Trace {
     /// are padded with empty cells.
     pub fn to_csv(&self) -> String {
         let names = self.channel_names();
-        let rows = self
-            .channels
-            .values()
-            .map(Waveform::len)
-            .max()
-            .unwrap_or(0);
+        let rows = self.channels.values().map(Waveform::len).max().unwrap_or(0);
         let mut out = String::new();
         out.push_str("time_s");
         for n in &names {

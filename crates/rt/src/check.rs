@@ -1,0 +1,146 @@
+//! A small seeded property-test harness (the in-tree `proptest`
+//! replacement).
+//!
+//! A property is a closure over a [`Rng`] that asserts its invariant with
+//! ordinary `assert!` macros. The harness runs it for a fixed number of
+//! cases; case `i` draws from the reproducible stream
+//! `Rng::seed_from_stream(seed, i)`, so a failure report identifies the
+//! exact stream to replay — shrink-free by design (inputs here are small
+//! enough to eyeball).
+//!
+//! # Examples
+//!
+//! ```
+//! rt::check::check("addition commutes", |rng| {
+//!     let a = rng.range_f64(-1e6, 1e6);
+//!     let b = rng.range_f64(-1e6, 1e6);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::Rng;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 256;
+
+/// Default harness seed. Changing it re-randomizes every property in the
+/// workspace at once.
+pub const DEFAULT_SEED: u64 = 0x1057_5EED;
+
+/// Runs `property` for [`DEFAULT_CASES`] cases under [`DEFAULT_SEED`].
+///
+/// # Panics
+///
+/// Panics (re-raising the property's own panic) after reporting the
+/// failing case index and stream seed on stderr.
+pub fn check<F>(name: &str, property: F)
+where
+    F: FnMut(&mut Rng),
+{
+    check_with(name, DEFAULT_CASES, DEFAULT_SEED, property);
+}
+
+/// Runs `property` for `cases` cases under [`DEFAULT_SEED`].
+///
+/// # Panics
+///
+/// See [`check`].
+pub fn check_cases<F>(name: &str, cases: usize, property: F)
+where
+    F: FnMut(&mut Rng),
+{
+    check_with(name, cases, DEFAULT_SEED, property);
+}
+
+/// Runs `property` for `cases` cases, case `i` drawing from
+/// `Rng::seed_from_stream(seed, i)`.
+///
+/// # Panics
+///
+/// Panics if `cases == 0`, or re-raises the property's panic after
+/// reporting the failing case on stderr. To replay a reported failure in
+/// isolation, call the property once with
+/// `Rng::seed_from_stream(seed, failing_case)`.
+pub fn check_with<F>(name: &str, cases: usize, seed: u64, mut property: F)
+where
+    F: FnMut(&mut Rng),
+{
+    assert!(cases > 0, "a property needs at least one case");
+    for case in 0..cases as u64 {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng::seed_from_stream(seed, case);
+            property(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (replay with Rng::seed_from_stream({seed:#x}, {case}))"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Draws a vector of length `len_lo..len_hi` filled by `gen` — the
+/// workhorse collection generator for properties.
+///
+/// # Panics
+///
+/// Panics if the length range is empty.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    len_lo: usize,
+    len_hi: usize,
+    mut gen: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let len = rng.range_usize(len_lo, len_hi);
+    (0..len).map(|_| gen(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runs = 0usize;
+        check_cases("counts cases", 37, |_| runs += 1);
+        assert_eq!(runs, 37);
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut first: Vec<u64> = Vec::new();
+        check_cases("record", 8, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        check_cases("record again", 8, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+        // Distinct cases draw from distinct streams.
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn failure_is_reported_and_reraised() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_cases("fails eventually", 64, |rng| {
+                // Fails on the first case whose draw is odd.
+                assert_eq!(rng.next_u64() % 2, 0, "odd draw");
+            });
+        }));
+        assert!(result.is_err(), "failing property must panic");
+    }
+
+    #[test]
+    fn vec_of_respects_bounds() {
+        check_cases("vec bounds", 32, |rng| {
+            let v = vec_of(rng, 2, 24, |r| r.next_bool());
+            assert!((2..24).contains(&v.len()));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one case")]
+    fn zero_cases_rejected() {
+        check_cases("empty", 0, |_| {});
+    }
+}

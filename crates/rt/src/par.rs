@@ -1,0 +1,173 @@
+//! Chunked parallel map on scoped threads.
+//!
+//! The executor splits the input into at most `threads` contiguous chunks,
+//! runs one `std::thread::scope` worker per chunk and re-assembles the
+//! results **in input order**, so for a pure per-item function the output
+//! is byte-identical to the sequential loop regardless of the thread
+//! count. When only one core is available (or one chunk suffices) no
+//! thread is spawned at all — the sequential fallback runs in the calling
+//! thread.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = rt::par::parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the executor will use by default: the
+/// machine's available parallelism, or 1 when it cannot be queried.
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` with the default thread count, preserving order.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_with(threads(), items, f)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, preserving order.
+///
+/// The result equals `items.iter().map(f).collect()` for any pure `f`:
+/// chunks are contiguous and re-concatenated in input order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates the first panic raised by `f`
+/// on a worker thread.
+pub fn parallel_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert!(threads > 0, "at least one worker thread is required");
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(|| slice.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        chunks = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect();
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Maps `f` over the index range `0..n` with the default thread count,
+/// preserving order. The indexed twin of [`parallel_map`] for loops that
+/// have no input slice (Monte-Carlo chunks, sweep grids).
+pub fn parallel_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    parallel_map_indexed_with(threads(), n, f)
+}
+
+/// Maps `f` over `0..n` on up to `threads` workers, preserving order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates the first panic raised by `f`.
+pub fn parallel_map_indexed_with<U, F>(threads: usize, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    parallel_map_with(threads, &indices, |&i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 4, 7] {
+            let out = parallel_map_with(threads, &items, |&x| x * 2);
+            let expected: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+            assert_eq!(out, expected, "order broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xA5).collect();
+        for threads in 1..=8 {
+            let par = parallel_map_with(threads, &items, |&x| x.wrapping_mul(x) ^ 0xA5);
+            assert_eq!(par, sequential);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map_with(4, &empty, |&x| x).is_empty());
+        assert_eq!(parallel_map_with(4, &[9u8], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map_with(4, &items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn indexed_variant_agrees_with_slice_variant() {
+        let by_index = parallel_map_indexed_with(3, 50, |i| i * i);
+        let items: Vec<usize> = (0..50).collect();
+        let by_slice = parallel_map_with(3, &items, |&i| i * i);
+        assert_eq!(by_index, by_slice);
+    }
+
+    #[test]
+    fn default_thread_count_is_positive() {
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_rejected() {
+        let _ = parallel_map_with(0, &[1], |&x: &i32| x);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_with(2, &[1, 2, 3, 4], |&x: &i32| {
+                assert!(x < 3, "boom at {x}");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Wall-clock micro-benchmark harness (the in-tree `criterion`
+//! replacement).
+//!
+//! A [`Bench`] group runs each closure through a warm-up pass, calibrates
+//! an iteration count against a time budget, then measures a batch of
+//! samples and reports min / median / mean nanoseconds per iteration.
+//! Results accumulate so a bench binary can print one aligned table at
+//! the end.
+//!
+//! # Examples
+//!
+//! ```
+//! let mut bench = rt::timing::Bench::new("demo");
+//! bench.run("sum_1k", || (0..1000u64).sum::<u64>());
+//! assert_eq!(bench.results().len(), 1);
+//! ```
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark timing summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations per measured sample.
+    pub iters_per_sample: u64,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Fastest sample, in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample, in nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean over all samples, in nanoseconds per iteration.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the median sample.
+    pub fn throughput_per_sec(&self) -> f64 {
+        1e9 / self.median_ns
+    }
+}
+
+impl fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<44} {:>12}  {:>12}  {:>12}",
+            self.name,
+            format_ns(self.min_ns),
+            format_ns(self.median_ns),
+            format_ns(self.mean_ns),
+        )
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a time budget.
+#[derive(Debug)]
+pub struct Bench {
+    title: String,
+    budget: Duration,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Creates a group with the default budget (roughly 0.25 s of
+    /// measurement per benchmark, 10 samples).
+    pub fn new(title: impl Into<String>) -> Bench {
+        Bench {
+            title: title.into(),
+            budget: Duration::from_millis(250),
+            samples: 10,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn with_budget(mut self, budget: Duration) -> Bench {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn with_samples(mut self, samples: usize) -> Bench {
+        assert!(samples > 0, "at least one sample is required");
+        self.samples = samples;
+        self
+    }
+
+    /// Measures `f`, recording and returning its summary.
+    pub fn run<R>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> R) -> &BenchResult {
+        // Warm-up and calibration: time single iterations until we can
+        // size a batch that fills budget/samples.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < self.budget / 10 {
+            black_box(f());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let sample_budget = self.budget.as_secs_f64() / self.samples as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+
+        let result = BenchResult {
+            name: name.into(),
+            iters_per_sample,
+            samples: self.samples,
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+        };
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All recorded results in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders the aligned summary table.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "=== {} ===\n{:<44} {:>12}  {:>12}  {:>12}\n",
+            self.title, "benchmark", "min", "median", "mean"
+        );
+        for r in &self.results {
+            out.push_str(&format!("{r}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Bench {
+        Bench::new("test")
+            .with_budget(Duration::from_millis(20))
+            .with_samples(3)
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let mut b = quick();
+        let r = b.run("spin", || (0..100u64).product::<u64>());
+        assert!(r.min_ns > 0.0);
+        assert!(r.median_ns >= r.min_ns);
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.throughput_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn slower_work_measures_slower() {
+        let mut b = quick();
+        let fast = b.run("fast", || black_box(1u64) + 1).median_ns;
+        let slow = b
+            .run("slow", || {
+                (0..10_000u64).fold(0u64, |a, x| a ^ x.wrapping_mul(31))
+            })
+            .median_ns;
+        assert!(slow > fast, "slow {slow} <= fast {fast}");
+    }
+
+    #[test]
+    fn report_lists_all_runs() {
+        let mut b = quick();
+        b.run("one", || 1);
+        b.run("two", || 2);
+        let report = b.report();
+        assert!(report.contains("one") && report.contains("two"));
+        assert_eq!(b.results().len(), 2);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5.0e3).ends_with("µs"));
+        assert!(format_ns(5.0e6).ends_with("ms"));
+        assert!(format_ns(5.0e9).ends_with('s'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = Bench::new("x").with_samples(0);
+    }
+}

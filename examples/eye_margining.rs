@@ -10,8 +10,7 @@
 use link::config::LinkConfig;
 use link::LowSwingLink;
 use msim::units::Hertz;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rng::Rng;
 
 fn opening_at(rate_gbps: f64, boost: f64, bits: &[bool]) -> f64 {
     let mut cfg = LinkConfig::paper();
@@ -22,11 +21,14 @@ fn opening_at(rate_gbps: f64, boost: f64, bits: &[bool]) -> f64 {
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(9);
-    let bits: Vec<bool> = (0..512).map(|_| rng.gen()).collect();
+    let mut rng = Rng::seed_from_u64(9);
+    let bits: Vec<bool> = (0..512).map(|_| rng.next_bool()).collect();
 
     println!("=== Eye opening vs data rate on the 2 kΩ / 1 pF wire ===\n");
-    println!("{:>10}  {:>14}  {:>14}", "rate", "unequalized", "FFE (boost 2)");
+    println!(
+        "{:>10}  {:>14}  {:>14}",
+        "rate", "unequalized", "FFE (boost 2)"
+    );
     let mut max_plain = 0.0f64;
     let mut max_eq = 0.0f64;
     for rate in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0] {
@@ -38,7 +40,11 @@ fn main() {
         if eq > 5.0 {
             max_eq = rate;
         }
-        let marker = if (rate - 2.5).abs() < 1e-9 { " <- paper" } else { "" };
+        let marker = if (rate - 2.5).abs() < 1e-9 {
+            " <- paper"
+        } else {
+            ""
+        };
         println!("{rate:>7} Gb/s  {plain:>11.1} mV  {eq:>11.1} mV{marker}");
     }
 

@@ -14,8 +14,7 @@ use dft::bist::Bist;
 use dft::dc_test::DcTest;
 use dft::scan_test::ScanTest;
 use msim::effects::{resolve_effect, AnalogEffect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rng::Rng;
 
 const LOT_SIZE: usize = 200;
 const DEFECT_RATE: f64 = 0.25; // deliberately high to exercise the flow
@@ -27,7 +26,7 @@ fn main() {
     let dc = DcTest::new(&p);
     let scan = ScanTest::new(&p);
     let bist = Bist::new(&p);
-    let mut rng = StdRng::seed_from_u64(2016);
+    let mut rng = Rng::seed_from_u64(2016);
 
     let mut healthy_dies = 0usize;
     let mut caught_dc = 0usize;
@@ -37,9 +36,9 @@ fn main() {
     let mut false_failures = 0usize;
 
     for die in 0..LOT_SIZE {
-        let defect = rng.gen_bool(DEFECT_RATE);
+        let defect = rng.chance(DEFECT_RATE);
         let effect = if defect {
-            let f = universe.faults()[rng.gen_range(0..universe.len())];
+            let f = universe.faults()[rng.below(universe.len())];
             resolve_effect(&f, &p)
         } else {
             AnalogEffect::None
@@ -70,7 +69,10 @@ fn main() {
         }
     }
 
-    println!("\n=== Lot report ({LOT_SIZE} dies, {:.0} % defect rate) ===", DEFECT_RATE * 100.0);
+    println!(
+        "\n=== Lot report ({LOT_SIZE} dies, {:.0} % defect rate) ===",
+        DEFECT_RATE * 100.0
+    );
     println!("  shipped healthy   : {healthy_dies}");
     println!("  failed at DC      : {caught_dc}");
     println!("  failed at scan    : {caught_scan}");
@@ -78,8 +80,17 @@ fn main() {
     println!("  defective shipped : {escapes}");
     println!("  false failures    : {false_failures}");
 
-    let defective = LOT_SIZE - healthy_dies - false_failures - escapes
-        - (LOT_SIZE - healthy_dies - false_failures - escapes - caught_dc - caught_scan - caught_bist);
+    let defective = LOT_SIZE
+        - healthy_dies
+        - false_failures
+        - escapes
+        - (LOT_SIZE
+            - healthy_dies
+            - false_failures
+            - escapes
+            - caught_dc
+            - caught_scan
+            - caught_bist);
     let caught = caught_dc + caught_scan + caught_bist;
     println!(
         "  lot fault coverage: {:.1} % ({caught}/{} defective dies caught)",

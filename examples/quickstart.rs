@@ -52,7 +52,10 @@ fn main() {
 
     // 5. Run the tiers: DC blind, scan masked, BIST catches it.
     println!("DC test   : {}", verdict(dc.detects(&effect)));
-    println!("scan test : {} (current sources biased as switches)", verdict(scan.detects(&effect)));
+    println!(
+        "scan test : {} (current sources biased as switches)",
+        verdict(scan.detects(&effect))
+    );
     let v = bist.execute(&effect);
     println!(
         "BIST      : {} (Vp flagged by the 150 mV CP-BIST window: {})",

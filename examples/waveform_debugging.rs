@@ -15,8 +15,7 @@ use link::synchronizer::{RunConfig, Synchronizer};
 use link::LowSwingLink;
 use msim::params::DesignParams;
 use msim::sim::Trace;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rng::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Analog: trace the synchronizer and export a VCD.
@@ -59,8 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. The eye, as ASCII art.
     let mut link = LowSwingLink::new(LinkConfig::paper())?;
-    let mut rng = StdRng::seed_from_u64(4);
-    let bits: Vec<bool> = (0..512).map(|_| rng.gen()).collect();
+    let mut rng = Rng::seed_from_u64(4);
+    let bits: Vec<bool> = (0..512).map(|_| rng.next_bool()).collect();
     let eye = link.eye(&bits);
     let (phase, opening) = eye.best();
     println!(

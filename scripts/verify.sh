@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the workspace.
+#
+# The build is hermetic (zero external dependencies, including
+# dev-dependencies), so everything below runs with --offline and must
+# pass with an empty registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "verify: OK"

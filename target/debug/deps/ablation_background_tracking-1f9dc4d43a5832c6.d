@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_background_tracking-1f9dc4d43a5832c6.d: crates/bench/src/bin/ablation_background_tracking.rs
+
+/root/repo/target/debug/deps/ablation_background_tracking-1f9dc4d43a5832c6: crates/bench/src/bin/ablation_background_tracking.rs
+
+crates/bench/src/bin/ablation_background_tracking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_background_tracking-8d89c5a3275e5b8d.d: crates/bench/src/bin/ablation_background_tracking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_background_tracking-8d89c5a3275e5b8d.rmeta: crates/bench/src/bin/ablation_background_tracking.rs Cargo.toml
+
+crates/bench/src/bin/ablation_background_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

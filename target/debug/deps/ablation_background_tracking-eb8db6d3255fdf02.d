@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_background_tracking-eb8db6d3255fdf02.d: crates/bench/src/bin/ablation_background_tracking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_background_tracking-eb8db6d3255fdf02.rmeta: crates/bench/src/bin/ablation_background_tracking.rs Cargo.toml
+
+crates/bench/src/bin/ablation_background_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

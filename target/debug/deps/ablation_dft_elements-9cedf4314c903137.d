@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dft_elements-9cedf4314c903137.d: crates/bench/src/bin/ablation_dft_elements.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dft_elements-9cedf4314c903137.rmeta: crates/bench/src/bin/ablation_dft_elements.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dft_elements.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

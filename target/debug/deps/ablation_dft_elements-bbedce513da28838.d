@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dft_elements-bbedce513da28838.d: crates/bench/src/bin/ablation_dft_elements.rs
+
+/root/repo/target/debug/deps/ablation_dft_elements-bbedce513da28838: crates/bench/src/bin/ablation_dft_elements.rs
+
+crates/bench/src/bin/ablation_dft_elements.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fine_loop-1655d1ce41b7ea0c.d: crates/bench/src/bin/ablation_fine_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fine_loop-1655d1ce41b7ea0c.rmeta: crates/bench/src/bin/ablation_fine_loop.rs Cargo.toml
+
+crates/bench/src/bin/ablation_fine_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fine_loop-9ae6ab7338caf82a.d: crates/bench/src/bin/ablation_fine_loop.rs
+
+/root/repo/target/debug/deps/ablation_fine_loop-9ae6ab7338caf82a: crates/bench/src/bin/ablation_fine_loop.rs
+
+crates/bench/src/bin/ablation_fine_loop.rs:

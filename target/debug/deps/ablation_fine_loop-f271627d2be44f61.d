@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fine_loop-f271627d2be44f61.d: crates/bench/src/bin/ablation_fine_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fine_loop-f271627d2be44f61.rmeta: crates/bench/src/bin/ablation_fine_loop.rs Cargo.toml
+
+crates/bench/src/bin/ablation_fine_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

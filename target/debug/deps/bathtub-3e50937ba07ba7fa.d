@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bathtub-3e50937ba07ba7fa.d: crates/bench/src/bin/bathtub.rs
+
+/root/repo/target/debug/deps/bathtub-3e50937ba07ba7fa: crates/bench/src/bin/bathtub.rs
+
+crates/bench/src/bin/bathtub.rs:

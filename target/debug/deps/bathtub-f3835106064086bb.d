@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bathtub-f3835106064086bb.d: crates/bench/src/bin/bathtub.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbathtub-f3835106064086bb.rmeta: crates/bench/src/bin/bathtub.rs Cargo.toml
+
+crates/bench/src/bin/bathtub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

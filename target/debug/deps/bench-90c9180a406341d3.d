@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-90c9180a406341d3.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-90c9180a406341d3.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

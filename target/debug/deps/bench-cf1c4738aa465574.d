@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-cf1c4738aa465574.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-cf1c4738aa465574.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-cf1c4738aa465574.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

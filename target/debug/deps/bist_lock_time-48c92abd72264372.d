@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bist_lock_time-48c92abd72264372.d: crates/bench/src/bin/bist_lock_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbist_lock_time-48c92abd72264372.rmeta: crates/bench/src/bin/bist_lock_time.rs Cargo.toml
+
+crates/bench/src/bin/bist_lock_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bist_lock_time-8f4fdb3642af9bbd.d: crates/bench/src/bin/bist_lock_time.rs
+
+/root/repo/target/debug/deps/bist_lock_time-8f4fdb3642af9bbd: crates/bench/src/bin/bist_lock_time.rs
+
+crates/bench/src/bin/bist_lock_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/co_simulation-7887c00741543e4a.d: crates/core/../../tests/co_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libco_simulation-7887c00741543e4a.rmeta: crates/core/../../tests/co_simulation.rs Cargo.toml
+
+crates/core/../../tests/co_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/co_simulation-b55b60eba7c5799c.d: crates/core/../../tests/co_simulation.rs
+
+/root/repo/target/debug/deps/co_simulation-b55b60eba7c5799c: crates/core/../../tests/co_simulation.rs
+
+crates/core/../../tests/co_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corner_sweep-24ecffb2b1f6c5fd.d: crates/bench/src/bin/corner_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorner_sweep-24ecffb2b1f6c5fd.rmeta: crates/bench/src/bin/corner_sweep.rs Cargo.toml
+
+crates/bench/src/bin/corner_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corner_sweep-4e8d4d6877dedeb3.d: crates/bench/src/bin/corner_sweep.rs
+
+/root/repo/target/debug/deps/corner_sweep-4e8d4d6877dedeb3: crates/bench/src/bin/corner_sweep.rs
+
+crates/bench/src/bin/corner_sweep.rs:

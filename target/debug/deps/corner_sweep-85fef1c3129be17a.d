@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corner_sweep-85fef1c3129be17a.d: crates/bench/src/bin/corner_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorner_sweep-85fef1c3129be17a.rmeta: crates/bench/src/bin/corner_sweep.rs Cargo.toml
+
+crates/bench/src/bin/corner_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverage_progression-742dcc8daf03dae4.d: crates/bench/src/bin/coverage_progression.rs
+
+/root/repo/target/debug/deps/coverage_progression-742dcc8daf03dae4: crates/bench/src/bin/coverage_progression.rs
+
+crates/bench/src/bin/coverage_progression.rs:

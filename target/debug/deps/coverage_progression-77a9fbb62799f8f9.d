@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coverage_progression-77a9fbb62799f8f9.d: crates/bench/src/bin/coverage_progression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoverage_progression-77a9fbb62799f8f9.rmeta: crates/bench/src/bin/coverage_progression.rs Cargo.toml
+
+crates/bench/src/bin/coverage_progression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crosstalk-3ac3dedcf375e2a5.d: crates/bench/src/bin/crosstalk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrosstalk-3ac3dedcf375e2a5.rmeta: crates/bench/src/bin/crosstalk.rs Cargo.toml
+
+crates/bench/src/bin/crosstalk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crosstalk-3f592fedcc7baf9d.d: crates/bench/src/bin/crosstalk.rs
+
+/root/repo/target/debug/deps/crosstalk-3f592fedcc7baf9d: crates/bench/src/bin/crosstalk.rs
+
+crates/bench/src/bin/crosstalk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crosstalk-6828d6b58c2c79e2.d: crates/bench/src/bin/crosstalk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrosstalk-6828d6b58c2c79e2.rmeta: crates/bench/src/bin/crosstalk.rs Cargo.toml
+
+crates/bench/src/bin/crosstalk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

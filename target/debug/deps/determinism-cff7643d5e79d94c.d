@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cff7643d5e79d94c.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cff7643d5e79d94c: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

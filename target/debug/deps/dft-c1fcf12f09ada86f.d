@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/dft-c1fcf12f09ada86f.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/architecture.rs crates/core/src/bist.rs crates/core/src/campaign.rs crates/core/src/chain_a.rs crates/core/src/chain_b.rs crates/core/src/dc_test.rs crates/core/src/diagnosis.rs crates/core/src/mismatch.rs crates/core/src/multilane.rs crates/core/src/overhead.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/scan_test.rs crates/core/src/test_program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft-c1fcf12f09ada86f.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/architecture.rs crates/core/src/bist.rs crates/core/src/campaign.rs crates/core/src/chain_a.rs crates/core/src/chain_b.rs crates/core/src/dc_test.rs crates/core/src/diagnosis.rs crates/core/src/mismatch.rs crates/core/src/multilane.rs crates/core/src/overhead.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/scan_test.rs crates/core/src/test_program.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/architecture.rs:
+crates/core/src/bist.rs:
+crates/core/src/campaign.rs:
+crates/core/src/chain_a.rs:
+crates/core/src/chain_b.rs:
+crates/core/src/dc_test.rs:
+crates/core/src/diagnosis.rs:
+crates/core/src/mismatch.rs:
+crates/core/src/multilane.rs:
+crates/core/src/overhead.rs:
+crates/core/src/quality.rs:
+crates/core/src/report.rs:
+crates/core/src/scan_test.rs:
+crates/core/src/test_program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dft-c98e92c4148fdc2d.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/architecture.rs crates/core/src/bist.rs crates/core/src/campaign.rs crates/core/src/chain_a.rs crates/core/src/chain_b.rs crates/core/src/dc_test.rs crates/core/src/diagnosis.rs crates/core/src/mismatch.rs crates/core/src/multilane.rs crates/core/src/overhead.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/scan_test.rs crates/core/src/test_program.rs
+
+/root/repo/target/debug/deps/libdft-c98e92c4148fdc2d.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/architecture.rs crates/core/src/bist.rs crates/core/src/campaign.rs crates/core/src/chain_a.rs crates/core/src/chain_b.rs crates/core/src/dc_test.rs crates/core/src/diagnosis.rs crates/core/src/mismatch.rs crates/core/src/multilane.rs crates/core/src/overhead.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/scan_test.rs crates/core/src/test_program.rs
+
+/root/repo/target/debug/deps/libdft-c98e92c4148fdc2d.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/architecture.rs crates/core/src/bist.rs crates/core/src/campaign.rs crates/core/src/chain_a.rs crates/core/src/chain_b.rs crates/core/src/dc_test.rs crates/core/src/diagnosis.rs crates/core/src/mismatch.rs crates/core/src/multilane.rs crates/core/src/overhead.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/scan_test.rs crates/core/src/test_program.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/architecture.rs:
+crates/core/src/bist.rs:
+crates/core/src/campaign.rs:
+crates/core/src/chain_a.rs:
+crates/core/src/chain_b.rs:
+crates/core/src/dc_test.rs:
+crates/core/src/diagnosis.rs:
+crates/core/src/mismatch.rs:
+crates/core/src/multilane.rs:
+crates/core/src/overhead.rs:
+crates/core/src/quality.rs:
+crates/core/src/report.rs:
+crates/core/src/scan_test.rs:
+crates/core/src/test_program.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/digital_coverage-41872e845d117c1c.d: crates/bench/src/bin/digital_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdigital_coverage-41872e845d117c1c.rmeta: crates/bench/src/bin/digital_coverage.rs Cargo.toml
+
+crates/bench/src/bin/digital_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/digital_coverage-7504f30dd855d546.d: crates/bench/src/bin/digital_coverage.rs
+
+/root/repo/target/debug/deps/digital_coverage-7504f30dd855d546: crates/bench/src/bin/digital_coverage.rs
+
+crates/bench/src/bin/digital_coverage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/digital_scan-314f88e8a743a4eb.d: crates/bench/benches/digital_scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdigital_scan-314f88e8a743a4eb.rmeta: crates/bench/benches/digital_scan.rs Cargo.toml
+
+crates/bench/benches/digital_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dll_bist_check-a4ec2202b751fa46.d: crates/bench/src/bin/dll_bist_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdll_bist_check-a4ec2202b751fa46.rmeta: crates/bench/src/bin/dll_bist_check.rs Cargo.toml
+
+crates/bench/src/bin/dll_bist_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dll_bist_check-b224c0b884f8f793.d: crates/bench/src/bin/dll_bist_check.rs
+
+/root/repo/target/debug/deps/dll_bist_check-b224c0b884f8f793: crates/bench/src/bin/dll_bist_check.rs
+
+crates/bench/src/bin/dll_bist_check.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/dsim-3fd0654a74b975da.d: crates/dsim/src/lib.rs crates/dsim/src/atpg.rs crates/dsim/src/blocks/mod.rs crates/dsim/src/blocks/alexander.rs crates/dsim/src/blocks/divider.rs crates/dsim/src/blocks/fsm.rs crates/dsim/src/blocks/lock_counter.rs crates/dsim/src/blocks/ring_counter.rs crates/dsim/src/blocks/switch_matrix.rs crates/dsim/src/circuit.rs crates/dsim/src/collapse.rs crates/dsim/src/logic.rs crates/dsim/src/podem.rs crates/dsim/src/scan.rs crates/dsim/src/stuck_at.rs crates/dsim/src/transition.rs crates/dsim/src/waves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsim-3fd0654a74b975da.rmeta: crates/dsim/src/lib.rs crates/dsim/src/atpg.rs crates/dsim/src/blocks/mod.rs crates/dsim/src/blocks/alexander.rs crates/dsim/src/blocks/divider.rs crates/dsim/src/blocks/fsm.rs crates/dsim/src/blocks/lock_counter.rs crates/dsim/src/blocks/ring_counter.rs crates/dsim/src/blocks/switch_matrix.rs crates/dsim/src/circuit.rs crates/dsim/src/collapse.rs crates/dsim/src/logic.rs crates/dsim/src/podem.rs crates/dsim/src/scan.rs crates/dsim/src/stuck_at.rs crates/dsim/src/transition.rs crates/dsim/src/waves.rs Cargo.toml
+
+crates/dsim/src/lib.rs:
+crates/dsim/src/atpg.rs:
+crates/dsim/src/blocks/mod.rs:
+crates/dsim/src/blocks/alexander.rs:
+crates/dsim/src/blocks/divider.rs:
+crates/dsim/src/blocks/fsm.rs:
+crates/dsim/src/blocks/lock_counter.rs:
+crates/dsim/src/blocks/ring_counter.rs:
+crates/dsim/src/blocks/switch_matrix.rs:
+crates/dsim/src/circuit.rs:
+crates/dsim/src/collapse.rs:
+crates/dsim/src/logic.rs:
+crates/dsim/src/podem.rs:
+crates/dsim/src/scan.rs:
+crates/dsim/src/stuck_at.rs:
+crates/dsim/src/transition.rs:
+crates/dsim/src/waves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

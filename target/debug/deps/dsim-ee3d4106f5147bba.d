@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/dsim-ee3d4106f5147bba.d: crates/dsim/src/lib.rs crates/dsim/src/atpg.rs crates/dsim/src/blocks/mod.rs crates/dsim/src/blocks/alexander.rs crates/dsim/src/blocks/divider.rs crates/dsim/src/blocks/fsm.rs crates/dsim/src/blocks/lock_counter.rs crates/dsim/src/blocks/ring_counter.rs crates/dsim/src/blocks/switch_matrix.rs crates/dsim/src/circuit.rs crates/dsim/src/collapse.rs crates/dsim/src/logic.rs crates/dsim/src/podem.rs crates/dsim/src/scan.rs crates/dsim/src/stuck_at.rs crates/dsim/src/transition.rs crates/dsim/src/waves.rs
+
+/root/repo/target/debug/deps/libdsim-ee3d4106f5147bba.rlib: crates/dsim/src/lib.rs crates/dsim/src/atpg.rs crates/dsim/src/blocks/mod.rs crates/dsim/src/blocks/alexander.rs crates/dsim/src/blocks/divider.rs crates/dsim/src/blocks/fsm.rs crates/dsim/src/blocks/lock_counter.rs crates/dsim/src/blocks/ring_counter.rs crates/dsim/src/blocks/switch_matrix.rs crates/dsim/src/circuit.rs crates/dsim/src/collapse.rs crates/dsim/src/logic.rs crates/dsim/src/podem.rs crates/dsim/src/scan.rs crates/dsim/src/stuck_at.rs crates/dsim/src/transition.rs crates/dsim/src/waves.rs
+
+/root/repo/target/debug/deps/libdsim-ee3d4106f5147bba.rmeta: crates/dsim/src/lib.rs crates/dsim/src/atpg.rs crates/dsim/src/blocks/mod.rs crates/dsim/src/blocks/alexander.rs crates/dsim/src/blocks/divider.rs crates/dsim/src/blocks/fsm.rs crates/dsim/src/blocks/lock_counter.rs crates/dsim/src/blocks/ring_counter.rs crates/dsim/src/blocks/switch_matrix.rs crates/dsim/src/circuit.rs crates/dsim/src/collapse.rs crates/dsim/src/logic.rs crates/dsim/src/podem.rs crates/dsim/src/scan.rs crates/dsim/src/stuck_at.rs crates/dsim/src/transition.rs crates/dsim/src/waves.rs
+
+crates/dsim/src/lib.rs:
+crates/dsim/src/atpg.rs:
+crates/dsim/src/blocks/mod.rs:
+crates/dsim/src/blocks/alexander.rs:
+crates/dsim/src/blocks/divider.rs:
+crates/dsim/src/blocks/fsm.rs:
+crates/dsim/src/blocks/lock_counter.rs:
+crates/dsim/src/blocks/ring_counter.rs:
+crates/dsim/src/blocks/switch_matrix.rs:
+crates/dsim/src/circuit.rs:
+crates/dsim/src/collapse.rs:
+crates/dsim/src/logic.rs:
+crates/dsim/src/podem.rs:
+crates/dsim/src/scan.rs:
+crates/dsim/src/stuck_at.rs:
+crates/dsim/src/transition.rs:
+crates/dsim/src/waves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6c0d4711f4fb02bb.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6c0d4711f4fb02bb: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

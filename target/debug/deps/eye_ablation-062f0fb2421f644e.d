@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eye_ablation-062f0fb2421f644e.d: crates/bench/src/bin/eye_ablation.rs
+
+/root/repo/target/debug/deps/eye_ablation-062f0fb2421f644e: crates/bench/src/bin/eye_ablation.rs
+
+crates/bench/src/bin/eye_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eye_ablation-46e1365634955999.d: crates/bench/src/bin/eye_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeye_ablation-46e1365634955999.rmeta: crates/bench/src/bin/eye_ablation.rs Cargo.toml
+
+crates/bench/src/bin/eye_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-1b3e7b63cdcbfb4b.d: crates/core/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-1b3e7b63cdcbfb4b: crates/core/../../tests/failure_injection.rs
+
+crates/core/../../tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-ddd6e626ff0dcace.d: crates/core/../../tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-ddd6e626ff0dcace.rmeta: crates/core/../../tests/failure_injection.rs Cargo.toml
+
+crates/core/../../tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

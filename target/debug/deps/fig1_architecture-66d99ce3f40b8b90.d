@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_architecture-66d99ce3f40b8b90.d: crates/bench/src/bin/fig1_architecture.rs
+
+/root/repo/target/debug/deps/fig1_architecture-66d99ce3f40b8b90: crates/bench/src/bin/fig1_architecture.rs
+
+crates/bench/src/bin/fig1_architecture.rs:

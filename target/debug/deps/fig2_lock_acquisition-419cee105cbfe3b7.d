@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_lock_acquisition-419cee105cbfe3b7.d: crates/bench/src/bin/fig2_lock_acquisition.rs
+
+/root/repo/target/debug/deps/fig2_lock_acquisition-419cee105cbfe3b7: crates/bench/src/bin/fig2_lock_acquisition.rs
+
+crates/bench/src/bin/fig2_lock_acquisition.rs:

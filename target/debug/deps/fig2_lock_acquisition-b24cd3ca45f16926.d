@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_lock_acquisition-b24cd3ca45f16926.d: crates/bench/src/bin/fig2_lock_acquisition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_lock_acquisition-b24cd3ca45f16926.rmeta: crates/bench/src/bin/fig2_lock_acquisition.rs Cargo.toml
+
+crates/bench/src/bin/fig2_lock_acquisition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

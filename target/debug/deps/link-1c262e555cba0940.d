@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/link-1c262e555cba0940.d: crates/link/src/lib.rs crates/link/src/ber.rs crates/link/src/channel.rs crates/link/src/config.rs crates/link/src/crossing.rs crates/link/src/dll_bist.rs crates/link/src/eye.rs crates/link/src/netlists.rs crates/link/src/pd.rs crates/link/src/power.rs crates/link/src/prbs.rs crates/link/src/rx.rs crates/link/src/synchronizer.rs crates/link/src/tx.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblink-1c262e555cba0940.rmeta: crates/link/src/lib.rs crates/link/src/ber.rs crates/link/src/channel.rs crates/link/src/config.rs crates/link/src/crossing.rs crates/link/src/dll_bist.rs crates/link/src/eye.rs crates/link/src/netlists.rs crates/link/src/pd.rs crates/link/src/power.rs crates/link/src/prbs.rs crates/link/src/rx.rs crates/link/src/synchronizer.rs crates/link/src/tx.rs Cargo.toml
+
+crates/link/src/lib.rs:
+crates/link/src/ber.rs:
+crates/link/src/channel.rs:
+crates/link/src/config.rs:
+crates/link/src/crossing.rs:
+crates/link/src/dll_bist.rs:
+crates/link/src/eye.rs:
+crates/link/src/netlists.rs:
+crates/link/src/pd.rs:
+crates/link/src/power.rs:
+crates/link/src/prbs.rs:
+crates/link/src/rx.rs:
+crates/link/src/synchronizer.rs:
+crates/link/src/tx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

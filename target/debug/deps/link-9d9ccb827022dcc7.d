@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/link-9d9ccb827022dcc7.d: crates/link/src/lib.rs crates/link/src/ber.rs crates/link/src/channel.rs crates/link/src/config.rs crates/link/src/crossing.rs crates/link/src/dll_bist.rs crates/link/src/eye.rs crates/link/src/netlists.rs crates/link/src/pd.rs crates/link/src/power.rs crates/link/src/prbs.rs crates/link/src/rx.rs crates/link/src/synchronizer.rs crates/link/src/tx.rs
+
+/root/repo/target/debug/deps/link-9d9ccb827022dcc7: crates/link/src/lib.rs crates/link/src/ber.rs crates/link/src/channel.rs crates/link/src/config.rs crates/link/src/crossing.rs crates/link/src/dll_bist.rs crates/link/src/eye.rs crates/link/src/netlists.rs crates/link/src/pd.rs crates/link/src/power.rs crates/link/src/prbs.rs crates/link/src/rx.rs crates/link/src/synchronizer.rs crates/link/src/tx.rs
+
+crates/link/src/lib.rs:
+crates/link/src/ber.rs:
+crates/link/src/channel.rs:
+crates/link/src/config.rs:
+crates/link/src/crossing.rs:
+crates/link/src/dll_bist.rs:
+crates/link/src/eye.rs:
+crates/link/src/netlists.rs:
+crates/link/src/pd.rs:
+crates/link/src/power.rs:
+crates/link/src/prbs.rs:
+crates/link/src/rx.rs:
+crates/link/src/synchronizer.rs:
+crates/link/src/tx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mismatch_monte_carlo-220e0d11f81dc594.d: crates/bench/src/bin/mismatch_monte_carlo.rs
+
+/root/repo/target/debug/deps/mismatch_monte_carlo-220e0d11f81dc594: crates/bench/src/bin/mismatch_monte_carlo.rs
+
+crates/bench/src/bin/mismatch_monte_carlo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mismatch_monte_carlo-afffee5bbfbf5bfd.d: crates/bench/src/bin/mismatch_monte_carlo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmismatch_monte_carlo-afffee5bbfbf5bfd.rmeta: crates/bench/src/bin/mismatch_monte_carlo.rs Cargo.toml
+
+crates/bench/src/bin/mismatch_monte_carlo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

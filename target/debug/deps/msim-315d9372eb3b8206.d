@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/msim-315d9372eb3b8206.d: crates/msim/src/lib.rs crates/msim/src/blocks/mod.rs crates/msim/src/blocks/bias.rs crates/msim/src/blocks/charge_pump.rs crates/msim/src/blocks/comparator.rs crates/msim/src/blocks/dll.rs crates/msim/src/blocks/vcdl.rs crates/msim/src/effects.rs crates/msim/src/fault.rs crates/msim/src/netlist.rs crates/msim/src/params.rs crates/msim/src/signal.rs crates/msim/src/sim.rs crates/msim/src/units.rs crates/msim/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsim-315d9372eb3b8206.rmeta: crates/msim/src/lib.rs crates/msim/src/blocks/mod.rs crates/msim/src/blocks/bias.rs crates/msim/src/blocks/charge_pump.rs crates/msim/src/blocks/comparator.rs crates/msim/src/blocks/dll.rs crates/msim/src/blocks/vcdl.rs crates/msim/src/effects.rs crates/msim/src/fault.rs crates/msim/src/netlist.rs crates/msim/src/params.rs crates/msim/src/signal.rs crates/msim/src/sim.rs crates/msim/src/units.rs crates/msim/src/vcd.rs Cargo.toml
+
+crates/msim/src/lib.rs:
+crates/msim/src/blocks/mod.rs:
+crates/msim/src/blocks/bias.rs:
+crates/msim/src/blocks/charge_pump.rs:
+crates/msim/src/blocks/comparator.rs:
+crates/msim/src/blocks/dll.rs:
+crates/msim/src/blocks/vcdl.rs:
+crates/msim/src/effects.rs:
+crates/msim/src/fault.rs:
+crates/msim/src/netlist.rs:
+crates/msim/src/params.rs:
+crates/msim/src/signal.rs:
+crates/msim/src/sim.rs:
+crates/msim/src/units.rs:
+crates/msim/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

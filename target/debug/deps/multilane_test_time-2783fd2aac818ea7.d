@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multilane_test_time-2783fd2aac818ea7.d: crates/bench/src/bin/multilane_test_time.rs
+
+/root/repo/target/debug/deps/multilane_test_time-2783fd2aac818ea7: crates/bench/src/bin/multilane_test_time.rs
+
+crates/bench/src/bin/multilane_test_time.rs:

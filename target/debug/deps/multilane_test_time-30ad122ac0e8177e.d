@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multilane_test_time-30ad122ac0e8177e.d: crates/bench/src/bin/multilane_test_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultilane_test_time-30ad122ac0e8177e.rmeta: crates/bench/src/bin/multilane_test_time.rs Cargo.toml
+
+crates/bench/src/bin/multilane_test_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d0dcabfff97773d3.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-d0dcabfff97773d3: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_comparison-0b8588515d814857.d: crates/bench/src/bin/power_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_comparison-0b8588515d814857.rmeta: crates/bench/src/bin/power_comparison.rs Cargo.toml
+
+crates/bench/src/bin/power_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_comparison-bacdc7122542485a.d: crates/bench/src/bin/power_comparison.rs
+
+/root/repo/target/debug/deps/power_comparison-bacdc7122542485a: crates/bench/src/bin/power_comparison.rs
+
+crates/bench/src/bin/power_comparison.rs:

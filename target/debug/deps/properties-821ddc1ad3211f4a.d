@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-821ddc1ad3211f4a.d: crates/core/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-821ddc1ad3211f4a.rmeta: crates/core/../../tests/properties.rs Cargo.toml
+
+crates/core/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9f828a0ec869db16.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9f828a0ec869db16: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties_ext-1c6eb7fe80feb51a.d: crates/core/../../tests/properties_ext.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties_ext-1c6eb7fe80feb51a.rmeta: crates/core/../../tests/properties_ext.rs Cargo.toml
+
+crates/core/../../tests/properties_ext.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_ext-90e0d9efcd67f6b5.d: crates/core/../../tests/properties_ext.rs
+
+/root/repo/target/debug/deps/properties_ext-90e0d9efcd67f6b5: crates/core/../../tests/properties_ext.rs
+
+crates/core/../../tests/properties_ext.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduction_report-26dafa7d7cb3598b.d: crates/bench/src/bin/reproduction_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduction_report-26dafa7d7cb3598b.rmeta: crates/bench/src/bin/reproduction_report.rs Cargo.toml
+
+crates/bench/src/bin/reproduction_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_report-352f4f81820307f6.d: crates/bench/src/bin/reproduction_report.rs
+
+/root/repo/target/debug/deps/reproduction_report-352f4f81820307f6: crates/bench/src/bin/reproduction_report.rs
+
+crates/bench/src/bin/reproduction_report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rt-9a363b02a18b6817.d: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+/root/repo/target/debug/deps/librt-9a363b02a18b6817.rlib: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+/root/repo/target/debug/deps/librt-9a363b02a18b6817.rmeta: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/check.rs:
+crates/rt/src/par.rs:
+crates/rt/src/rng.rs:
+crates/rt/src/timing.rs:

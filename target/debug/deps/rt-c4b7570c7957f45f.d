@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rt-c4b7570c7957f45f.d: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt-c4b7570c7957f45f.rmeta: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+crates/rt/src/check.rs:
+crates/rt/src/par.rs:
+crates/rt/src/rng.rs:
+crates/rt/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rt-f0e956aa8a4be8f3.d: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+/root/repo/target/debug/deps/rt-f0e956aa8a4be8f3: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/check.rs:
+crates/rt/src/par.rs:
+crates/rt/src/rng.rs:
+crates/rt/src/timing.rs:

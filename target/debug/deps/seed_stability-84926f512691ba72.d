@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seed_stability-84926f512691ba72.d: crates/bench/src/bin/seed_stability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseed_stability-84926f512691ba72.rmeta: crates/bench/src/bin/seed_stability.rs Cargo.toml
+
+crates/bench/src/bin/seed_stability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

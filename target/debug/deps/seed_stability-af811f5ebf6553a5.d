@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seed_stability-af811f5ebf6553a5.d: crates/bench/src/bin/seed_stability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseed_stability-af811f5ebf6553a5.rmeta: crates/bench/src/bin/seed_stability.rs Cargo.toml
+
+crates/bench/src/bin/seed_stability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

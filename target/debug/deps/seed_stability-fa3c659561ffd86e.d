@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seed_stability-fa3c659561ffd86e.d: crates/bench/src/bin/seed_stability.rs
+
+/root/repo/target/debug/deps/seed_stability-fa3c659561ffd86e: crates/bench/src/bin/seed_stability.rs
+
+crates/bench/src/bin/seed_stability.rs:

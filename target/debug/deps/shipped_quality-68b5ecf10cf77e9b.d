@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shipped_quality-68b5ecf10cf77e9b.d: crates/bench/src/bin/shipped_quality.rs
+
+/root/repo/target/debug/deps/shipped_quality-68b5ecf10cf77e9b: crates/bench/src/bin/shipped_quality.rs
+
+crates/bench/src/bin/shipped_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shipped_quality-79ac7d26e0bcb534.d: crates/bench/src/bin/shipped_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshipped_quality-79ac7d26e0bcb534.rmeta: crates/bench/src/bin/shipped_quality.rs Cargo.toml
+
+crates/bench/src/bin/shipped_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

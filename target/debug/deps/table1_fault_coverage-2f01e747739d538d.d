@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_fault_coverage-2f01e747739d538d.d: crates/bench/src/bin/table1_fault_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_fault_coverage-2f01e747739d538d.rmeta: crates/bench/src/bin/table1_fault_coverage.rs Cargo.toml
+
+crates/bench/src/bin/table1_fault_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_fault_coverage-851e68e4b46c0135.d: crates/bench/src/bin/table1_fault_coverage.rs
+
+/root/repo/target/debug/deps/table1_fault_coverage-851e68e4b46c0135: crates/bench/src/bin/table1_fault_coverage.rs
+
+crates/bench/src/bin/table1_fault_coverage.rs:

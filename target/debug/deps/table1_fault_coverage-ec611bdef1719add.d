@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_fault_coverage-ec611bdef1719add.d: crates/bench/src/bin/table1_fault_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_fault_coverage-ec611bdef1719add.rmeta: crates/bench/src/bin/table1_fault_coverage.rs Cargo.toml
+
+crates/bench/src/bin/table1_fault_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

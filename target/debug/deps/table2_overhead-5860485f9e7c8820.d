@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_overhead-5860485f9e7c8820.d: crates/bench/src/bin/table2_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_overhead-5860485f9e7c8820.rmeta: crates/bench/src/bin/table2_overhead.rs Cargo.toml
+
+crates/bench/src/bin/table2_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

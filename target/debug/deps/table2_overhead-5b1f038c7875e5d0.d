@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_overhead-5b1f038c7875e5d0.d: crates/bench/src/bin/table2_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_overhead-5b1f038c7875e5d0.rmeta: crates/bench/src/bin/table2_overhead.rs Cargo.toml
+
+crates/bench/src/bin/table2_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

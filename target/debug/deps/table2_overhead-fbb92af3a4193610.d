@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_overhead-fbb92af3a4193610.d: crates/bench/src/bin/table2_overhead.rs
+
+/root/repo/target/debug/deps/table2_overhead-fbb92af3a4193610: crates/bench/src/bin/table2_overhead.rs
+
+crates/bench/src/bin/table2_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/test_program_listing-645231b0436dd098.d: crates/bench/src/bin/test_program_listing.rs
+
+/root/repo/target/debug/deps/test_program_listing-645231b0436dd098: crates/bench/src/bin/test_program_listing.rs
+
+crates/bench/src/bin/test_program_listing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/test_program_listing-96fafdd044d83019.d: crates/bench/src/bin/test_program_listing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtest_program_listing-96fafdd044d83019.rmeta: crates/bench/src/bin/test_program_listing.rs Cargo.toml
+
+crates/bench/src/bin/test_program_listing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

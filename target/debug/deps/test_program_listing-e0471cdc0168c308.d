@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/test_program_listing-e0471cdc0168c308.d: crates/bench/src/bin/test_program_listing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtest_program_listing-e0471cdc0168c308.rmeta: crates/bench/src/bin/test_program_listing.rs Cargo.toml
+
+crates/bench/src/bin/test_program_listing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/test_tiers-72c400ffbd54e7ca.d: crates/bench/benches/test_tiers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtest_tiers-72c400ffbd54e7ca.rmeta: crates/bench/benches/test_tiers.rs Cargo.toml
+
+crates/bench/benches/test_tiers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eye_margining-4916d750001bbcfe.d: crates/core/../../examples/eye_margining.rs
+
+/root/repo/target/debug/examples/eye_margining-4916d750001bbcfe: crates/core/../../examples/eye_margining.rs
+
+crates/core/../../examples/eye_margining.rs:

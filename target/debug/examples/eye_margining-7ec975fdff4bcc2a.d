@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/eye_margining-7ec975fdff4bcc2a.d: crates/core/../../examples/eye_margining.rs Cargo.toml
+
+/root/repo/target/debug/examples/libeye_margining-7ec975fdff4bcc2a.rmeta: crates/core/../../examples/eye_margining.rs Cargo.toml
+
+crates/core/../../examples/eye_margining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

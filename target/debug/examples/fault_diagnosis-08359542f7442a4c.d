@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_diagnosis-08359542f7442a4c.d: crates/core/../../examples/fault_diagnosis.rs
+
+/root/repo/target/debug/examples/fault_diagnosis-08359542f7442a4c: crates/core/../../examples/fault_diagnosis.rs
+
+crates/core/../../examples/fault_diagnosis.rs:

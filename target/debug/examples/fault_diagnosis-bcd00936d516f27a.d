@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_diagnosis-bcd00936d516f27a.d: crates/core/../../examples/fault_diagnosis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_diagnosis-bcd00936d516f27a.rmeta: crates/core/../../examples/fault_diagnosis.rs Cargo.toml
+
+crates/core/../../examples/fault_diagnosis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

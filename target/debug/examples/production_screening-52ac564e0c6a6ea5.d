@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/production_screening-52ac564e0c6a6ea5.d: crates/core/../../examples/production_screening.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproduction_screening-52ac564e0c6a6ea5.rmeta: crates/core/../../examples/production_screening.rs Cargo.toml
+
+crates/core/../../examples/production_screening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/production_screening-9dbabc76506da33c.d: crates/core/../../examples/production_screening.rs
+
+/root/repo/target/debug/examples/production_screening-9dbabc76506da33c: crates/core/../../examples/production_screening.rs
+
+crates/core/../../examples/production_screening.rs:

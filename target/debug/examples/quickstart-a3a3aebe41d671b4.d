@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a3a3aebe41d671b4.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a3a3aebe41d671b4: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

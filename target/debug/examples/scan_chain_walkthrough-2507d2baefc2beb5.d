@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scan_chain_walkthrough-2507d2baefc2beb5.d: crates/core/../../examples/scan_chain_walkthrough.rs
+
+/root/repo/target/debug/examples/scan_chain_walkthrough-2507d2baefc2beb5: crates/core/../../examples/scan_chain_walkthrough.rs
+
+crates/core/../../examples/scan_chain_walkthrough.rs:

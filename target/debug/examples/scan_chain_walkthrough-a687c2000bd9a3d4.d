@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scan_chain_walkthrough-a687c2000bd9a3d4.d: crates/core/../../examples/scan_chain_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscan_chain_walkthrough-a687c2000bd9a3d4.rmeta: crates/core/../../examples/scan_chain_walkthrough.rs Cargo.toml
+
+crates/core/../../examples/scan_chain_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

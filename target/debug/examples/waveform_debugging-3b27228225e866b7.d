@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform_debugging-3b27228225e866b7.d: crates/core/../../examples/waveform_debugging.rs
+
+/root/repo/target/debug/examples/waveform_debugging-3b27228225e866b7: crates/core/../../examples/waveform_debugging.rs
+
+crates/core/../../examples/waveform_debugging.rs:

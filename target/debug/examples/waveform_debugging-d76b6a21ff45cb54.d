@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/waveform_debugging-d76b6a21ff45cb54.d: crates/core/../../examples/waveform_debugging.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwaveform_debugging-d76b6a21ff45cb54.rmeta: crates/core/../../examples/waveform_debugging.rs Cargo.toml
+
+crates/core/../../examples/waveform_debugging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

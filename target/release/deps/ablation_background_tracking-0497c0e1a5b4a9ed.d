@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_background_tracking-0497c0e1a5b4a9ed.d: crates/bench/src/bin/ablation_background_tracking.rs
+
+/root/repo/target/release/deps/ablation_background_tracking-0497c0e1a5b4a9ed: crates/bench/src/bin/ablation_background_tracking.rs
+
+crates/bench/src/bin/ablation_background_tracking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_background_tracking-a26a7a7c1cc10272.d: crates/bench/src/bin/ablation_background_tracking.rs
+
+/root/repo/target/release/deps/ablation_background_tracking-a26a7a7c1cc10272: crates/bench/src/bin/ablation_background_tracking.rs
+
+crates/bench/src/bin/ablation_background_tracking.rs:

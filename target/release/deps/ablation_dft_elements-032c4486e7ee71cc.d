@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dft_elements-032c4486e7ee71cc.d: crates/bench/src/bin/ablation_dft_elements.rs
+
+/root/repo/target/release/deps/ablation_dft_elements-032c4486e7ee71cc: crates/bench/src/bin/ablation_dft_elements.rs
+
+crates/bench/src/bin/ablation_dft_elements.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dft_elements-467cc13f2e862991.d: crates/bench/src/bin/ablation_dft_elements.rs
+
+/root/repo/target/release/deps/ablation_dft_elements-467cc13f2e862991: crates/bench/src/bin/ablation_dft_elements.rs
+
+crates/bench/src/bin/ablation_dft_elements.rs:

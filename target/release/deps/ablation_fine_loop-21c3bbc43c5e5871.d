@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fine_loop-21c3bbc43c5e5871.d: crates/bench/src/bin/ablation_fine_loop.rs
+
+/root/repo/target/release/deps/ablation_fine_loop-21c3bbc43c5e5871: crates/bench/src/bin/ablation_fine_loop.rs
+
+crates/bench/src/bin/ablation_fine_loop.rs:

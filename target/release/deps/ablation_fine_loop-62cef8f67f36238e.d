@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fine_loop-62cef8f67f36238e.d: crates/bench/src/bin/ablation_fine_loop.rs
+
+/root/repo/target/release/deps/ablation_fine_loop-62cef8f67f36238e: crates/bench/src/bin/ablation_fine_loop.rs
+
+crates/bench/src/bin/ablation_fine_loop.rs:

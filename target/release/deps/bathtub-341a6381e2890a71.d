@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bathtub-341a6381e2890a71.d: crates/bench/src/bin/bathtub.rs
+
+/root/repo/target/release/deps/bathtub-341a6381e2890a71: crates/bench/src/bin/bathtub.rs
+
+crates/bench/src/bin/bathtub.rs:

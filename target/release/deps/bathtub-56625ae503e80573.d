@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bathtub-56625ae503e80573.d: crates/bench/src/bin/bathtub.rs
+
+/root/repo/target/release/deps/bathtub-56625ae503e80573: crates/bench/src/bin/bathtub.rs
+
+crates/bench/src/bin/bathtub.rs:

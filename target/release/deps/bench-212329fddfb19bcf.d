@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-212329fddfb19bcf.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-212329fddfb19bcf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-212329fddfb19bcf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-a60e2a6452870322.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-a60e2a6452870322: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

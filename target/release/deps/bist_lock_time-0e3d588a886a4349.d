@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bist_lock_time-0e3d588a886a4349.d: crates/bench/src/bin/bist_lock_time.rs
+
+/root/repo/target/release/deps/bist_lock_time-0e3d588a886a4349: crates/bench/src/bin/bist_lock_time.rs
+
+crates/bench/src/bin/bist_lock_time.rs:

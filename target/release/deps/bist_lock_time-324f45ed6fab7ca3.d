@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bist_lock_time-324f45ed6fab7ca3.d: crates/bench/src/bin/bist_lock_time.rs
+
+/root/repo/target/release/deps/bist_lock_time-324f45ed6fab7ca3: crates/bench/src/bin/bist_lock_time.rs
+
+crates/bench/src/bin/bist_lock_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/co_simulation-1b68fae9228b9de6.d: crates/core/../../tests/co_simulation.rs
+
+/root/repo/target/release/deps/co_simulation-1b68fae9228b9de6: crates/core/../../tests/co_simulation.rs
+
+crates/core/../../tests/co_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corner_sweep-089e78a9a4940200.d: crates/bench/src/bin/corner_sweep.rs
+
+/root/repo/target/release/deps/corner_sweep-089e78a9a4940200: crates/bench/src/bin/corner_sweep.rs
+
+crates/bench/src/bin/corner_sweep.rs:

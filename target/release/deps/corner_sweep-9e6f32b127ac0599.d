@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corner_sweep-9e6f32b127ac0599.d: crates/bench/src/bin/corner_sweep.rs
+
+/root/repo/target/release/deps/corner_sweep-9e6f32b127ac0599: crates/bench/src/bin/corner_sweep.rs
+
+crates/bench/src/bin/corner_sweep.rs:

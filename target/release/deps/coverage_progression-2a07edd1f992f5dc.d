@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coverage_progression-2a07edd1f992f5dc.d: crates/bench/src/bin/coverage_progression.rs
+
+/root/repo/target/release/deps/coverage_progression-2a07edd1f992f5dc: crates/bench/src/bin/coverage_progression.rs
+
+crates/bench/src/bin/coverage_progression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coverage_progression-63d7a48235c5f295.d: crates/bench/src/bin/coverage_progression.rs
+
+/root/repo/target/release/deps/coverage_progression-63d7a48235c5f295: crates/bench/src/bin/coverage_progression.rs
+
+crates/bench/src/bin/coverage_progression.rs:

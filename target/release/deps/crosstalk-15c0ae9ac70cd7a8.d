@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crosstalk-15c0ae9ac70cd7a8.d: crates/bench/src/bin/crosstalk.rs
+
+/root/repo/target/release/deps/crosstalk-15c0ae9ac70cd7a8: crates/bench/src/bin/crosstalk.rs
+
+crates/bench/src/bin/crosstalk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crosstalk-9e2287e8eb51e0fe.d: crates/bench/src/bin/crosstalk.rs
+
+/root/repo/target/release/deps/crosstalk-9e2287e8eb51e0fe: crates/bench/src/bin/crosstalk.rs
+
+crates/bench/src/bin/crosstalk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-0102eae15c7b7250.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-0102eae15c7b7250: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/dft-4ebe148e1ec83a8e.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/architecture.rs crates/core/src/bist.rs crates/core/src/campaign.rs crates/core/src/chain_a.rs crates/core/src/chain_b.rs crates/core/src/dc_test.rs crates/core/src/diagnosis.rs crates/core/src/mismatch.rs crates/core/src/multilane.rs crates/core/src/overhead.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/scan_test.rs crates/core/src/test_program.rs
+
+/root/repo/target/release/deps/libdft-4ebe148e1ec83a8e.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/architecture.rs crates/core/src/bist.rs crates/core/src/campaign.rs crates/core/src/chain_a.rs crates/core/src/chain_b.rs crates/core/src/dc_test.rs crates/core/src/diagnosis.rs crates/core/src/mismatch.rs crates/core/src/multilane.rs crates/core/src/overhead.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/scan_test.rs crates/core/src/test_program.rs
+
+/root/repo/target/release/deps/libdft-4ebe148e1ec83a8e.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/architecture.rs crates/core/src/bist.rs crates/core/src/campaign.rs crates/core/src/chain_a.rs crates/core/src/chain_b.rs crates/core/src/dc_test.rs crates/core/src/diagnosis.rs crates/core/src/mismatch.rs crates/core/src/multilane.rs crates/core/src/overhead.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/scan_test.rs crates/core/src/test_program.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/architecture.rs:
+crates/core/src/bist.rs:
+crates/core/src/campaign.rs:
+crates/core/src/chain_a.rs:
+crates/core/src/chain_b.rs:
+crates/core/src/dc_test.rs:
+crates/core/src/diagnosis.rs:
+crates/core/src/mismatch.rs:
+crates/core/src/multilane.rs:
+crates/core/src/overhead.rs:
+crates/core/src/quality.rs:
+crates/core/src/report.rs:
+crates/core/src/scan_test.rs:
+crates/core/src/test_program.rs:

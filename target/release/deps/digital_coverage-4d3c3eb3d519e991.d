@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/digital_coverage-4d3c3eb3d519e991.d: crates/bench/src/bin/digital_coverage.rs
+
+/root/repo/target/release/deps/digital_coverage-4d3c3eb3d519e991: crates/bench/src/bin/digital_coverage.rs
+
+crates/bench/src/bin/digital_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/digital_coverage-b7ae8cbfd5178c9d.d: crates/bench/src/bin/digital_coverage.rs
+
+/root/repo/target/release/deps/digital_coverage-b7ae8cbfd5178c9d: crates/bench/src/bin/digital_coverage.rs
+
+crates/bench/src/bin/digital_coverage.rs:

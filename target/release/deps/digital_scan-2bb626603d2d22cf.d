@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/digital_scan-2bb626603d2d22cf.d: crates/bench/benches/digital_scan.rs
+
+/root/repo/target/release/deps/digital_scan-2bb626603d2d22cf: crates/bench/benches/digital_scan.rs
+
+crates/bench/benches/digital_scan.rs:

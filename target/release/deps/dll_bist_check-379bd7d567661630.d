@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dll_bist_check-379bd7d567661630.d: crates/bench/src/bin/dll_bist_check.rs
+
+/root/repo/target/release/deps/dll_bist_check-379bd7d567661630: crates/bench/src/bin/dll_bist_check.rs
+
+crates/bench/src/bin/dll_bist_check.rs:

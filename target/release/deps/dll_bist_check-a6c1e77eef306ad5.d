@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dll_bist_check-a6c1e77eef306ad5.d: crates/bench/src/bin/dll_bist_check.rs
+
+/root/repo/target/release/deps/dll_bist_check-a6c1e77eef306ad5: crates/bench/src/bin/dll_bist_check.rs
+
+crates/bench/src/bin/dll_bist_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-e32de57cb949128e.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-e32de57cb949128e: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

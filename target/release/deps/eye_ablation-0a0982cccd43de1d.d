@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eye_ablation-0a0982cccd43de1d.d: crates/bench/src/bin/eye_ablation.rs
+
+/root/repo/target/release/deps/eye_ablation-0a0982cccd43de1d: crates/bench/src/bin/eye_ablation.rs
+
+crates/bench/src/bin/eye_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eye_ablation-d342cb1daee0ddde.d: crates/bench/src/bin/eye_ablation.rs
+
+/root/repo/target/release/deps/eye_ablation-d342cb1daee0ddde: crates/bench/src/bin/eye_ablation.rs
+
+crates/bench/src/bin/eye_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-c2a08d4d8f0c01e3.d: crates/core/../../tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-c2a08d4d8f0c01e3: crates/core/../../tests/failure_injection.rs
+
+crates/core/../../tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_architecture-4b65aa70521b8880.d: crates/bench/src/bin/fig1_architecture.rs
+
+/root/repo/target/release/deps/fig1_architecture-4b65aa70521b8880: crates/bench/src/bin/fig1_architecture.rs
+
+crates/bench/src/bin/fig1_architecture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_architecture-fddf2143befd4fb3.d: crates/bench/src/bin/fig1_architecture.rs
+
+/root/repo/target/release/deps/fig1_architecture-fddf2143befd4fb3: crates/bench/src/bin/fig1_architecture.rs
+
+crates/bench/src/bin/fig1_architecture.rs:

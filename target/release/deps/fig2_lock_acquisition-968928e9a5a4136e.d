@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_lock_acquisition-968928e9a5a4136e.d: crates/bench/src/bin/fig2_lock_acquisition.rs
+
+/root/repo/target/release/deps/fig2_lock_acquisition-968928e9a5a4136e: crates/bench/src/bin/fig2_lock_acquisition.rs
+
+crates/bench/src/bin/fig2_lock_acquisition.rs:

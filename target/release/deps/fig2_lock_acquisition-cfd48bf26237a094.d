@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_lock_acquisition-cfd48bf26237a094.d: crates/bench/src/bin/fig2_lock_acquisition.rs
+
+/root/repo/target/release/deps/fig2_lock_acquisition-cfd48bf26237a094: crates/bench/src/bin/fig2_lock_acquisition.rs
+
+crates/bench/src/bin/fig2_lock_acquisition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mismatch_monte_carlo-40abb604767e446e.d: crates/bench/src/bin/mismatch_monte_carlo.rs
+
+/root/repo/target/release/deps/mismatch_monte_carlo-40abb604767e446e: crates/bench/src/bin/mismatch_monte_carlo.rs
+
+crates/bench/src/bin/mismatch_monte_carlo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mismatch_monte_carlo-505b002efb9966c3.d: crates/bench/src/bin/mismatch_monte_carlo.rs
+
+/root/repo/target/release/deps/mismatch_monte_carlo-505b002efb9966c3: crates/bench/src/bin/mismatch_monte_carlo.rs
+
+crates/bench/src/bin/mismatch_monte_carlo.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/msim-d04d4918ca712157.d: crates/msim/src/lib.rs crates/msim/src/blocks/mod.rs crates/msim/src/blocks/bias.rs crates/msim/src/blocks/charge_pump.rs crates/msim/src/blocks/comparator.rs crates/msim/src/blocks/dll.rs crates/msim/src/blocks/vcdl.rs crates/msim/src/effects.rs crates/msim/src/fault.rs crates/msim/src/netlist.rs crates/msim/src/params.rs crates/msim/src/signal.rs crates/msim/src/sim.rs crates/msim/src/units.rs crates/msim/src/vcd.rs
+
+/root/repo/target/release/deps/libmsim-d04d4918ca712157.rlib: crates/msim/src/lib.rs crates/msim/src/blocks/mod.rs crates/msim/src/blocks/bias.rs crates/msim/src/blocks/charge_pump.rs crates/msim/src/blocks/comparator.rs crates/msim/src/blocks/dll.rs crates/msim/src/blocks/vcdl.rs crates/msim/src/effects.rs crates/msim/src/fault.rs crates/msim/src/netlist.rs crates/msim/src/params.rs crates/msim/src/signal.rs crates/msim/src/sim.rs crates/msim/src/units.rs crates/msim/src/vcd.rs
+
+/root/repo/target/release/deps/libmsim-d04d4918ca712157.rmeta: crates/msim/src/lib.rs crates/msim/src/blocks/mod.rs crates/msim/src/blocks/bias.rs crates/msim/src/blocks/charge_pump.rs crates/msim/src/blocks/comparator.rs crates/msim/src/blocks/dll.rs crates/msim/src/blocks/vcdl.rs crates/msim/src/effects.rs crates/msim/src/fault.rs crates/msim/src/netlist.rs crates/msim/src/params.rs crates/msim/src/signal.rs crates/msim/src/sim.rs crates/msim/src/units.rs crates/msim/src/vcd.rs
+
+crates/msim/src/lib.rs:
+crates/msim/src/blocks/mod.rs:
+crates/msim/src/blocks/bias.rs:
+crates/msim/src/blocks/charge_pump.rs:
+crates/msim/src/blocks/comparator.rs:
+crates/msim/src/blocks/dll.rs:
+crates/msim/src/blocks/vcdl.rs:
+crates/msim/src/effects.rs:
+crates/msim/src/fault.rs:
+crates/msim/src/netlist.rs:
+crates/msim/src/params.rs:
+crates/msim/src/signal.rs:
+crates/msim/src/sim.rs:
+crates/msim/src/units.rs:
+crates/msim/src/vcd.rs:

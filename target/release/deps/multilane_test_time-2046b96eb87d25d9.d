@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multilane_test_time-2046b96eb87d25d9.d: crates/bench/src/bin/multilane_test_time.rs
+
+/root/repo/target/release/deps/multilane_test_time-2046b96eb87d25d9: crates/bench/src/bin/multilane_test_time.rs
+
+crates/bench/src/bin/multilane_test_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multilane_test_time-69d556fa1e17950b.d: crates/bench/src/bin/multilane_test_time.rs
+
+/root/repo/target/release/deps/multilane_test_time-69d556fa1e17950b: crates/bench/src/bin/multilane_test_time.rs
+
+crates/bench/src/bin/multilane_test_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-0920af52e36cd637.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-0920af52e36cd637: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/power_comparison-0d92daf33b3b7b8c.d: crates/bench/src/bin/power_comparison.rs
+
+/root/repo/target/release/deps/power_comparison-0d92daf33b3b7b8c: crates/bench/src/bin/power_comparison.rs
+
+crates/bench/src/bin/power_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/power_comparison-67d750318220d4a8.d: crates/bench/src/bin/power_comparison.rs
+
+/root/repo/target/release/deps/power_comparison-67d750318220d4a8: crates/bench/src/bin/power_comparison.rs
+
+crates/bench/src/bin/power_comparison.rs:

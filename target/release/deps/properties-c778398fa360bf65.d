@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-c778398fa360bf65.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/release/deps/properties-c778398fa360bf65: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties_ext-5617d7bbca5b309d.d: crates/core/../../tests/properties_ext.rs
+
+/root/repo/target/release/deps/properties_ext-5617d7bbca5b309d: crates/core/../../tests/properties_ext.rs
+
+crates/core/../../tests/properties_ext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduction_report-2027c2870a1f7ebd.d: crates/bench/src/bin/reproduction_report.rs
+
+/root/repo/target/release/deps/reproduction_report-2027c2870a1f7ebd: crates/bench/src/bin/reproduction_report.rs
+
+crates/bench/src/bin/reproduction_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduction_report-484cc48774a5e135.d: crates/bench/src/bin/reproduction_report.rs
+
+/root/repo/target/release/deps/reproduction_report-484cc48774a5e135: crates/bench/src/bin/reproduction_report.rs
+
+crates/bench/src/bin/reproduction_report.rs:

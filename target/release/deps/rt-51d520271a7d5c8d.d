@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rt-51d520271a7d5c8d.d: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+/root/repo/target/release/deps/rt-51d520271a7d5c8d: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/check.rs:
+crates/rt/src/par.rs:
+crates/rt/src/rng.rs:
+crates/rt/src/timing.rs:

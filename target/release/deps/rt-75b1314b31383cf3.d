@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rt-75b1314b31383cf3.d: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+/root/repo/target/release/deps/librt-75b1314b31383cf3.rlib: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+/root/repo/target/release/deps/librt-75b1314b31383cf3.rmeta: crates/rt/src/lib.rs crates/rt/src/check.rs crates/rt/src/par.rs crates/rt/src/rng.rs crates/rt/src/timing.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/check.rs:
+crates/rt/src/par.rs:
+crates/rt/src/rng.rs:
+crates/rt/src/timing.rs:

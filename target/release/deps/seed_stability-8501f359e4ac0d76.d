@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seed_stability-8501f359e4ac0d76.d: crates/bench/src/bin/seed_stability.rs
+
+/root/repo/target/release/deps/seed_stability-8501f359e4ac0d76: crates/bench/src/bin/seed_stability.rs
+
+crates/bench/src/bin/seed_stability.rs:

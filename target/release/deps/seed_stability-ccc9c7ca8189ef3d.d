@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seed_stability-ccc9c7ca8189ef3d.d: crates/bench/src/bin/seed_stability.rs
+
+/root/repo/target/release/deps/seed_stability-ccc9c7ca8189ef3d: crates/bench/src/bin/seed_stability.rs
+
+crates/bench/src/bin/seed_stability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shipped_quality-2f5f7aaa7b1a8267.d: crates/bench/src/bin/shipped_quality.rs
+
+/root/repo/target/release/deps/shipped_quality-2f5f7aaa7b1a8267: crates/bench/src/bin/shipped_quality.rs
+
+crates/bench/src/bin/shipped_quality.rs:

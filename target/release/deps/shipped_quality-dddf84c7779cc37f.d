@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shipped_quality-dddf84c7779cc37f.d: crates/bench/src/bin/shipped_quality.rs
+
+/root/repo/target/release/deps/shipped_quality-dddf84c7779cc37f: crates/bench/src/bin/shipped_quality.rs
+
+crates/bench/src/bin/shipped_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-2795e8880382d56b.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-2795e8880382d56b: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_fault_coverage-c0eb3d0a553953c4.d: crates/bench/src/bin/table1_fault_coverage.rs
+
+/root/repo/target/release/deps/table1_fault_coverage-c0eb3d0a553953c4: crates/bench/src/bin/table1_fault_coverage.rs
+
+crates/bench/src/bin/table1_fault_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_fault_coverage-c8a2607fe5e4878a.d: crates/bench/src/bin/table1_fault_coverage.rs
+
+/root/repo/target/release/deps/table1_fault_coverage-c8a2607fe5e4878a: crates/bench/src/bin/table1_fault_coverage.rs
+
+crates/bench/src/bin/table1_fault_coverage.rs:

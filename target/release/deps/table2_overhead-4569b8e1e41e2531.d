@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_overhead-4569b8e1e41e2531.d: crates/bench/src/bin/table2_overhead.rs
+
+/root/repo/target/release/deps/table2_overhead-4569b8e1e41e2531: crates/bench/src/bin/table2_overhead.rs
+
+crates/bench/src/bin/table2_overhead.rs:

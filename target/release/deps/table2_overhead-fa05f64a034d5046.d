@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_overhead-fa05f64a034d5046.d: crates/bench/src/bin/table2_overhead.rs
+
+/root/repo/target/release/deps/table2_overhead-fa05f64a034d5046: crates/bench/src/bin/table2_overhead.rs
+
+crates/bench/src/bin/table2_overhead.rs:

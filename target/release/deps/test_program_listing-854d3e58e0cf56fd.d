@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/test_program_listing-854d3e58e0cf56fd.d: crates/bench/src/bin/test_program_listing.rs
+
+/root/repo/target/release/deps/test_program_listing-854d3e58e0cf56fd: crates/bench/src/bin/test_program_listing.rs
+
+crates/bench/src/bin/test_program_listing.rs:

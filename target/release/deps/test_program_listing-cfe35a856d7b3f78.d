@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/test_program_listing-cfe35a856d7b3f78.d: crates/bench/src/bin/test_program_listing.rs
+
+/root/repo/target/release/deps/test_program_listing-cfe35a856d7b3f78: crates/bench/src/bin/test_program_listing.rs
+
+crates/bench/src/bin/test_program_listing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/test_tiers-7e27bc44c0e9b7fc.d: crates/bench/benches/test_tiers.rs
+
+/root/repo/target/release/deps/test_tiers-7e27bc44c0e9b7fc: crates/bench/benches/test_tiers.rs
+
+crates/bench/benches/test_tiers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/eye_margining-6e001f78c7d14cc6.d: crates/core/../../examples/eye_margining.rs
+
+/root/repo/target/release/examples/eye_margining-6e001f78c7d14cc6: crates/core/../../examples/eye_margining.rs
+
+crates/core/../../examples/eye_margining.rs:

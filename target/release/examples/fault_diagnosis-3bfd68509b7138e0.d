@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_diagnosis-3bfd68509b7138e0.d: crates/core/../../examples/fault_diagnosis.rs
+
+/root/repo/target/release/examples/fault_diagnosis-3bfd68509b7138e0: crates/core/../../examples/fault_diagnosis.rs
+
+crates/core/../../examples/fault_diagnosis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/production_screening-d1edabf09ec7b7d2.d: crates/core/../../examples/production_screening.rs
+
+/root/repo/target/release/examples/production_screening-d1edabf09ec7b7d2: crates/core/../../examples/production_screening.rs
+
+crates/core/../../examples/production_screening.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-caf7951cfee32615.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-caf7951cfee32615: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scan_chain_walkthrough-52e5b0a0980bfc4c.d: crates/core/../../examples/scan_chain_walkthrough.rs
+
+/root/repo/target/release/examples/scan_chain_walkthrough-52e5b0a0980bfc4c: crates/core/../../examples/scan_chain_walkthrough.rs
+
+crates/core/../../examples/scan_chain_walkthrough.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/waveform_debugging-d89298e97c923319.d: crates/core/../../examples/waveform_debugging.rs
+
+/root/repo/target/release/examples/waveform_debugging-d89298e97c923319: crates/core/../../examples/waveform_debugging.rs
+
+crates/core/../../examples/waveform_debugging.rs:

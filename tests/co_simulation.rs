@@ -128,7 +128,10 @@ fn healthy_run_records_a_decision_per_divided_clock() {
     };
     sync.run(&rc, Some(&mut trace));
     let decisions = decisions_from(&trace);
-    assert_eq!(decisions.len() as u64, rc.cycles / u64::from(p.divider_ratio));
+    assert_eq!(
+        decisions.len() as u64,
+        rc.cycles / u64::from(p.divider_ratio)
+    );
     // All decision codes are in range.
     assert!(decisions.iter().all(|d| (1..=3).contains(d)));
 }

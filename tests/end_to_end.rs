@@ -12,12 +12,11 @@ use msim::effects::{resolve_effect, AnalogEffect};
 use msim::fault::FaultUniverse;
 use msim::params::DesignParams;
 use msim::sim::Trace;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rng::Rng;
 
 fn prbs(n: usize, seed: u64) -> Vec<bool> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen()).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_bool()).collect()
 }
 
 /// The waveform-level eye the synchronizer assumes exists: the equalized
@@ -36,8 +35,7 @@ fn waveform_eye_and_phase_domain_lock_are_consistent() {
     let out = sync.run(&RunConfig::paper_bist(), None);
     assert!(out.locked);
     // The locked sampling instant sits at the configured eye center.
-    let err =
-        link::pd::BangBangPd::wrap_error(sync.sampling_tau_ui(), cfg.eye_center_ui);
+    let err = link::pd::BangBangPd::wrap_error(sync.sampling_tau_ui(), cfg.eye_center_ui);
     assert!(err.abs() < 0.03, "lock point off eye center by {err} UI");
 }
 
@@ -98,7 +96,12 @@ fn universe_resolution_is_total_and_gross_effects_detected() {
                 | AnalogEffect::CouplingDcShift { .. }
         );
         if gross {
-            assert!(rec.detected(), "gross effect escaped: {} {:?}", rec.fault, rec.effect);
+            assert!(
+                rec.detected(),
+                "gross effect escaped: {} {:?}",
+                rec.fault,
+                rec.effect
+            );
         }
     }
 }

@@ -63,7 +63,10 @@ fn claim_table_one_row_ordering() {
     assert_eq!(cov(FaultKind::Mos(MosFault::DrainSourceShort)), 1.0);
     assert_eq!(cov(FaultKind::CapShort), 1.0);
     let gate_open = cov(FaultKind::Mos(MosFault::GateOpen));
-    assert!(gate_open < 0.92, "gate open {gate_open:.3} should be lowest");
+    assert!(
+        gate_open < 0.92,
+        "gate open {gate_open:.3} should be lowest"
+    );
     assert!((0.82..0.92).contains(&gate_open));
     for k in [
         FaultKind::Mos(MosFault::DrainOpen),
@@ -91,12 +94,8 @@ fn claim_tiers_are_incomparable_sets() {
     // Both tests required: removing either drops coverage.
     let with_all = r.coverage_total();
     let without_bist = r.coverage_dc_scan();
-    let without_scan = r
-        .records()
-        .iter()
-        .filter(|rec| rec.dc || rec.bist)
-        .count() as f64
-        / r.total() as f64;
+    let without_scan =
+        r.records().iter().filter(|rec| rec.dc || rec.bist).count() as f64 / r.total() as f64;
     assert!(without_bist < with_all);
     assert!(without_scan < with_all);
 }
@@ -119,7 +118,10 @@ fn claim_dynamic_mismatch_scan_only() {
         .expect("TG drain open in universe");
     let e = resolve_effect(&f, &p);
     assert!(!DcTest::new(&p).detects(&e), "must be invisible at DC");
-    assert!(ScanTest::new(&p).detects(&e), "must be caught while toggling");
+    assert!(
+        ScanTest::new(&p).detects(&e),
+        "must be caught while toggling"
+    );
 }
 
 /// §III: the scan conversion "masks a drain source short fault in the
@@ -205,7 +207,9 @@ fn claim_digital_blocks_fully_covered() {
         ("ring counter", link.ring_counter().circuit(), 128),
         ("switch matrix", link.switch_matrix().circuit(), 512),
         ("divider", link.divider().circuit(), 64),
-        ("lock detector", link.lock_detector().circuit(), 64),
+        // Pattern counts re-pinned for the in-tree xoshiro256++ streams
+        // (the rand 0.8 StdRng streams needed 64 here).
+        ("lock detector", link.lock_detector().circuit(), 128),
         ("control FSM", link.control_fsm().circuit(), 32),
         ("Alexander PD", link.phase_detector().circuit(), 64),
     ];

@@ -1,7 +1,7 @@
-//! Extended property-based tests: the test-generation machinery
-//! (PODEM, fault collapsing, exhaustive fault simulation) cross-validated
-//! against each other on randomly generated circuits, plus invariants of
-//! the PRBS, BER and crossing extensions.
+//! Extended property-based tests (in-tree `rt::check` harness): the
+//! test-generation machinery (PODEM, fault collapsing, exhaustive fault
+//! simulation) cross-validated against each other on randomly generated
+//! circuits, plus invariants of the PRBS, BER and crossing extensions.
 
 use dsim::atpg::exhaustive_vectors;
 use dsim::circuit::{Circuit, GateKind, NetId};
@@ -12,74 +12,80 @@ use link::ber::BerModel;
 use link::crossing::CrossingPlan;
 use link::prbs::Prbs;
 use msim::params::DesignParams;
-use proptest::prelude::*;
+use rt::check::check_cases;
+use rt::rng::Rng;
 
-/// Seed description of a random combinational circuit: per gate a kind
-/// selector and two input selectors over the nets created so far.
-fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    let gate_seed = (0u8..7, 0usize..64, 0usize..64);
-    (2usize..=4, prop::collection::vec(gate_seed, 2..8)).prop_map(|(n_pi, gates)| {
-        let mut c = Circuit::new("random");
-        let mut nets: Vec<NetId> = (0..n_pi).map(|i| c.input(format!("i{i}"))).collect();
-        for (gi, (kind_sel, a_sel, b_sel)) in gates.into_iter().enumerate() {
-            let a = nets[a_sel % nets.len()];
-            let b = nets[b_sel % nets.len()];
-            let y = c.net(format!("g{gi}"));
-            match kind_sel {
-                0 => c.gate(GateKind::And, &[a, b], y),
-                1 => c.gate(GateKind::Or, &[a, b], y),
-                2 => c.gate(GateKind::Nand, &[a, b], y),
-                3 => c.gate(GateKind::Nor, &[a, b], y),
-                4 => c.gate(GateKind::Xor, &[a, b], y),
-                5 => c.gate(GateKind::Not, &[a], y),
-                _ => c.gate(GateKind::Buf, &[a], y),
-            }
-            nets.push(y);
+/// Draws a random combinational circuit: 2–4 primary inputs, 2–7 gates,
+/// each gate wired to previously created nets (the in-tree equivalent of
+/// the old proptest strategy).
+fn random_circuit(rng: &mut Rng) -> Circuit {
+    let n_pi = rng.range_usize(2, 5);
+    let n_gates = rng.range_usize(2, 8);
+    let mut c = Circuit::new("random");
+    let mut nets: Vec<NetId> = (0..n_pi).map(|i| c.input(format!("i{i}"))).collect();
+    for gi in 0..n_gates {
+        let a = nets[rng.below(nets.len())];
+        let b = nets[rng.below(nets.len())];
+        let y = c.net(format!("g{gi}"));
+        match rng.below(7) {
+            0 => c.gate(GateKind::And, &[a, b], y),
+            1 => c.gate(GateKind::Or, &[a, b], y),
+            2 => c.gate(GateKind::Nand, &[a, b], y),
+            3 => c.gate(GateKind::Nor, &[a, b], y),
+            4 => c.gate(GateKind::Xor, &[a, b], y),
+            5 => c.gate(GateKind::Not, &[a], y),
+            _ => c.gate(GateKind::Buf, &[a], y),
         }
-        // The final net is the primary output.
-        c.output(*nets.last().expect("at least one net"));
-        c
-    })
+        nets.push(y);
+    }
+    // The final net is the primary output.
+    c.output(*nets.last().expect("at least one net"));
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// PODEM soundness: every generated vector really detects its target
-    /// fault under the independent fault simulator.
-    #[test]
-    fn podem_vectors_are_sound(c in arb_circuit()) {
+/// PODEM soundness: every generated vector really detects its target
+/// fault under the independent fault simulator.
+#[test]
+fn podem_vectors_are_sound() {
+    check_cases("podem_vectors_are_sound", 64, |rng| {
+        let c = random_circuit(rng);
         for fault in enumerate_faults(&c) {
             if let Some(v) = generate_test(&c, fault) {
                 let cov = scan_coverage(&c, &[v]);
-                prop_assert!(
+                assert!(
                     !cov.undetected().contains(&fault),
                     "{fault} not detected by its own PODEM vector"
                 );
             }
         }
-    }
+    });
+}
 
-    /// PODEM completeness: a fault PODEM calls untestable is missed by the
-    /// *exhaustive* vector set too (no false untestability claims).
-    #[test]
-    fn podem_untestable_faults_really_are(c in arb_circuit()) {
+/// PODEM completeness: a fault PODEM calls untestable is missed by the
+/// *exhaustive* vector set too (no false untestability claims).
+#[test]
+fn podem_untestable_faults_really_are() {
+    check_cases("podem_untestable_faults_really_are", 64, |rng| {
+        let c = random_circuit(rng);
         let all = exhaustive_vectors(&c).expect("small circuit");
         let cov = scan_coverage(&c, &all);
         for fault in enumerate_faults(&c) {
             if generate_test(&c, fault).is_none() {
-                prop_assert!(
+                assert!(
                     cov.undetected().contains(&fault),
                     "PODEM claimed {fault} untestable but exhaustive patterns catch it"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Collapsing soundness: all members of an equivalence class have
-    /// identical detection outcomes under exhaustive patterns.
-    #[test]
-    fn collapse_classes_are_true_equivalences(c in arb_circuit()) {
+/// Collapsing soundness: all members of an equivalence class have
+/// identical detection outcomes under exhaustive patterns.
+#[test]
+fn collapse_classes_are_true_equivalences() {
+    check_cases("collapse_classes_are_true_equivalences", 64, |rng| {
+        let c = random_circuit(rng);
         let all = exhaustive_vectors(&c).expect("small circuit");
         let cov = scan_coverage(&c, &all);
         let undetected = cov.undetected();
@@ -89,18 +95,21 @@ proptest! {
                 .iter()
                 .map(|f| !undetected.contains(f))
                 .collect();
-            prop_assert!(
+            assert!(
                 outcomes.windows(2).all(|w| w[0] == w[1]),
                 "class {:?} members diverge",
                 class.representative
             );
         }
-    }
+    });
+}
 
-    /// The detected-fault count from the collapsed list equals the full
-    /// list (collapse loses no coverage information).
-    #[test]
-    fn collapse_preserves_coverage_measure(c in arb_circuit()) {
+/// The detected-fault count from the collapsed list equals the full list
+/// (collapse loses no coverage information).
+#[test]
+fn collapse_preserves_coverage_measure() {
+    check_cases("collapse_preserves_coverage_measure", 64, |rng| {
+        let c = random_circuit(rng);
         let all = exhaustive_vectors(&c).expect("small circuit");
         let cov = scan_coverage(&c, &all);
         let full_detected = cov.detected();
@@ -110,17 +119,18 @@ proptest! {
             .filter(|cl| !cov.undetected().contains(&cl.representative))
             .map(|cl| cl.members.len())
             .sum();
-        prop_assert_eq!(full_detected, class_detected);
-    }
+        assert_eq!(full_detected, class_detected);
+    });
+}
 
-    /// PRBS generators repeat with the full maximal-length period for the
-    /// lengths where the `x^n + x^(n-1) + 1` trinomial is primitive, from
-    /// any nonzero seed.
-    #[test]
-    fn prbs_maximal_length_properties(
-        length in prop::sample::select(vec![3u32, 4, 6, 7]),
-        seed in 1u32..1000,
-    ) {
+/// PRBS generators repeat with the full maximal-length period for the
+/// lengths where the `x^n + x^(n-1) + 1` trinomial is primitive, from any
+/// nonzero seed.
+#[test]
+fn prbs_maximal_length_properties() {
+    check_cases("prbs_maximal_length_properties", 64, |rng| {
+        let length = [3u32, 4, 6, 7][rng.below(4)];
+        let seed = rng.range_usize(1, 1000) as u32;
         let tap = length - 1;
         let mask = (1u32 << length) - 1;
         let seed = (seed & mask).max(1);
@@ -128,43 +138,48 @@ proptest! {
         let period = gen.period() as usize;
         let first: Vec<bool> = gen.by_ref().take(period).collect();
         let second: Vec<bool> = gen.take(period).collect();
-        prop_assert_eq!(&first, &second);
+        assert_eq!(first, second);
         // Maximal-length balance: exactly 2^(n-1) ones per period.
         let ones = first.iter().filter(|b| **b).count();
-        prop_assert_eq!(ones, 1 << (length - 1));
-    }
+        assert_eq!(ones, 1 << (length - 1));
+    });
+}
 
-    /// The bathtub is symmetric about the eye center and monotone from
-    /// the center outward.
-    #[test]
-    fn bathtub_symmetry_and_monotonicity(
-        center in 0.1f64..0.9,
-        half in 0.05f64..0.4,
-        sigma in 0.01f64..0.2,
-    ) {
+/// The bathtub is symmetric about the eye center and monotone from the
+/// center outward.
+#[test]
+fn bathtub_symmetry_and_monotonicity() {
+    check_cases("bathtub_symmetry_and_monotonicity", 256, |rng| {
+        let center = rng.range_f64(0.1, 0.9);
+        let half = rng.range_f64(0.05, 0.4);
+        let sigma = rng.range_f64(0.01, 0.2);
         let m = BerModel::new(center, half, sigma);
         let mut last = m.ber_at(center);
         for k in 1..=20 {
             let d = k as f64 * 0.025;
             let l = m.ber_at(center - d);
             let r = m.ber_at(center + d);
-            prop_assert!((l - r).abs() <= 1e-9 * l.max(1e-300));
-            prop_assert!(r >= last - 1e-15, "not monotone at offset {d}");
+            assert!((l - r).abs() <= 1e-9 * l.max(1e-300));
+            assert!(r >= last - 1e-15, "not monotone at offset {d}");
             last = r;
         }
-    }
+    });
+}
 
-    /// The domain-crossing plan always yields a margin of at least
-    /// `0.5 - vcdl_range` for any coarse word and legal VCDL range.
-    #[test]
-    fn crossing_margin_lower_bound(word in 0usize..10, range in 0.101f64..0.3) {
+/// The domain-crossing plan always yields a margin of at least
+/// `0.5 - vcdl_range` for any coarse word and legal VCDL range.
+#[test]
+fn crossing_margin_lower_bound() {
+    check_cases("crossing_margin_lower_bound", 256, |rng| {
+        let word = rng.below(10);
+        let range = rng.range_f64(0.101, 0.3);
         let mut p = DesignParams::paper();
         p.vcdl_range_ui = range;
         let plan = CrossingPlan::from_coarse_word(&p, word);
-        prop_assert!(
+        assert!(
             plan.setup_margin_ui >= 0.5 - range - 1e-9,
             "word {word}, range {range}: margin {}",
             plan.setup_margin_ui
         );
-    }
+    });
 }
