@@ -1,0 +1,69 @@
+//! Bounded fuzz smoke run — the tier-1 conformance gate.
+//!
+//! Fixed seed, fully offline, a couple of seconds: fuzzes the stitched
+//! clock-control chain (chain B) from a deliberately small ATPG
+//! baseline, asserts the run is byte-identical at 1 and 4 worker
+//! threads, that coverage strictly grows over the baseline, that the
+//! corpus survives a save/load roundtrip under `results/corpus/`, and
+//! that the cheap differential oracles agree on the fuzzed corpus.
+
+use std::path::Path;
+
+use conform::corpus;
+use conform::fuzz::{fuzz, FuzzConfig};
+use conform::oracle::{check_all, DiffOracle, LogicVsTransitionOracle, ScanVsFunctionalOracle};
+use dft::chain_b::ChainB;
+use dsim::atpg::random_vectors;
+use dsim::transition::two_pattern_tests;
+
+fn main() {
+    let chain = ChainB::new(4);
+    let circuit = chain.circuit();
+    // A deliberately thin baseline: enough to anchor the corpus, small
+    // enough to leave activation points for the fuzzer to find.
+    let baseline = random_vectors(circuit, 4, 41);
+
+    let cfg = FuzzConfig::smoke(0xC0FFEE);
+    let single = fuzz(circuit, &baseline, &cfg);
+    let pooled = fuzz(
+        circuit,
+        &baseline,
+        &FuzzConfig {
+            threads: 4,
+            ..cfg.clone()
+        },
+    );
+    assert_eq!(
+        single.corpus, pooled.corpus,
+        "fuzz corpus depends on the thread count"
+    );
+    assert_eq!(single.coverage, pooled.coverage);
+    assert!(
+        single.gain() > 0,
+        "fuzzer found no new activation points over the ATPG baseline"
+    );
+
+    let path = Path::new("results/corpus/chain_b_smoke.corpus");
+    corpus::save(path, &single.corpus).expect("corpus save");
+    let reloaded = corpus::load(path).expect("corpus load");
+    assert_eq!(reloaded, single.corpus, "corpus roundtrip");
+
+    // The fuzzed corpus doubles as differential-oracle stimulus.
+    let scan_oracle = ScanVsFunctionalOracle::new(circuit.clone(), single.corpus.clone());
+    let transition_oracle =
+        LogicVsTransitionOracle::new(circuit.clone(), two_pattern_tests(&single.corpus));
+    let oracles: [&dyn DiffOracle; 2] = [&scan_oracle, &transition_oracle];
+    if let Err(divergence) = check_all(oracles) {
+        panic!("{divergence}");
+    }
+
+    println!(
+        "fuzz smoke: {} baseline + {} accepted mutants, coverage {}/{} (+{} over baseline), {} executions",
+        baseline.len(),
+        single.accepted,
+        single.coverage.points(),
+        single.coverage.total(),
+        single.gain(),
+        single.executions,
+    );
+}

@@ -1,0 +1,150 @@
+//! Plain-text corpus persistence.
+//!
+//! One vector per line, primary-input bits then a `|` separator then the
+//! scan-load bits, each bit `0`, `1` or `x` — diffable, greppable, and
+//! stable across platforms. Fuzz corpora live under `results/corpus/`
+//! (untracked; a corpus is reproducible from its seed).
+//!
+//! # Examples
+//!
+//! ```
+//! use conform::corpus;
+//! use dsim::logic::Logic;
+//! use dsim::scan::ScanVector;
+//!
+//! let dir = std::env::temp_dir().join("conform-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("demo.corpus");
+//! let vectors = vec![ScanVector {
+//!     pi: vec![Logic::One, Logic::X],
+//!     load: vec![Logic::Zero],
+//! }];
+//! corpus::save(&path, &vectors).unwrap();
+//! assert_eq!(corpus::load(&path).unwrap(), vectors);
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use dsim::logic::Logic;
+use dsim::scan::ScanVector;
+
+fn char_of(b: Logic) -> char {
+    match b {
+        Logic::Zero => '0',
+        Logic::One => '1',
+        Logic::X => 'x',
+    }
+}
+
+fn logic_of(c: char) -> Option<Logic> {
+    match c {
+        '0' => Some(Logic::Zero),
+        '1' => Some(Logic::One),
+        'x' => Some(Logic::X),
+        _ => None,
+    }
+}
+
+fn line_of(v: &ScanVector) -> String {
+    let pi: String = v.pi.iter().map(|&b| char_of(b)).collect();
+    let load: String = v.load.iter().map(|&b| char_of(b)).collect();
+    format!("{pi}|{load}")
+}
+
+fn parse_line(line: &str) -> Option<ScanVector> {
+    let (pi, load) = line.split_once('|')?;
+    Some(ScanVector {
+        pi: pi.chars().map(logic_of).collect::<Option<Vec<_>>>()?,
+        load: load.chars().map(logic_of).collect::<Option<Vec<_>>>()?,
+    })
+}
+
+/// Writes `vectors` to `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(path: &Path, vectors: &[ScanVector]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut text = String::new();
+    for v in vectors {
+        text.push_str(&line_of(v));
+        text.push('\n');
+    }
+    fs::write(path, text)
+}
+
+/// Reads a corpus back.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a malformed line yields
+/// [`io::ErrorKind::InvalidData`].
+pub fn load(path: &Path) -> io::Result<Vec<ScanVector>> {
+    let text = fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            parse_line(l).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed corpus line: {l:?}"),
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join("conform-corpus-tests").join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_vectors() {
+        let vectors = vec![
+            ScanVector {
+                pi: vec![Logic::Zero, Logic::One, Logic::X],
+                load: vec![Logic::One],
+            },
+            ScanVector {
+                pi: vec![],
+                load: vec![Logic::Zero, Logic::Zero],
+            },
+        ];
+        let path = tmp("roundtrip.corpus");
+        save(&path, &vectors).unwrap();
+        assert_eq!(load(&path).unwrap(), vectors);
+    }
+
+    #[test]
+    fn empty_corpus_roundtrips() {
+        let path = tmp("empty.corpus");
+        save(&path, &[]).unwrap();
+        assert!(load(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_line_is_invalid_data() {
+        let path = tmp("malformed.corpus");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "01|0z\n").unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn missing_separator_is_invalid_data() {
+        let path = tmp("nosep.corpus");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "0101\n").unwrap();
+        assert_eq!(load(&path).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+}

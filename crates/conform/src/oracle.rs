@@ -1,0 +1,439 @@
+//! Differential oracles: two independent routes through the same
+//! semantics must agree.
+//!
+//! Each oracle packages one cross-check the repository previously relied
+//! on a single hand-written test (or nothing) for:
+//!
+//! * [`ScanVsFunctionalOracle`] — the scan protocol (shift-based load and
+//!   unload) against direct functional simulation (`apply_vector`),
+//! * [`LogicVsTransitionOracle`] — fault-free launch-on-capture
+//!   transition simulation against two chained logic-sim cycles,
+//! * [`BehavioralVsGateOracle`] — the behavioral phase-domain
+//!   synchronizer against a gate-level replay of its window-comparator
+//!   decisions through `dft::chain_b`,
+//! * [`CampaignSnapshotOracle`] — the full fault campaign against the
+//!   paper's golden coverage snapshot under tolerance.
+//!
+//! The behavioral-vs-gate oracle carries a [`SeededMutant`] hook so the
+//! oracle itself can be mutation-tested: a deliberately wrong wiring must
+//! be *caught*, guarding the whole subsystem against going vacuous.
+//!
+//! # Examples
+//!
+//! ```
+//! use conform::oracle::{DiffOracle, ScanVsFunctionalOracle};
+//! use dft::chain_b::ChainB;
+//! use dsim::atpg::random_vectors;
+//!
+//! let chain = ChainB::new(4);
+//! let vectors = random_vectors(chain.circuit(), 16, 3);
+//! let oracle = ScanVsFunctionalOracle::new(chain.circuit().clone(), vectors);
+//! assert!(oracle.check().is_ok());
+//! ```
+
+use dft::campaign::FaultCampaign;
+use dft::chain_b::ChainB;
+use dsim::circuit::{Circuit, SimState};
+use dsim::logic::Logic;
+use dsim::scan::{apply_vector, shift, ScanVector};
+use dsim::transition::{launch_capture_response, TwoPatternTest};
+use link::synchronizer::{decisions_from_trace, RunConfig, Synchronizer};
+use msim::effects::AnalogEffect;
+use msim::params::DesignParams;
+use msim::sim::Trace;
+
+/// A cross-check failure: the two routes disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Name of the oracle that fired.
+    pub oracle: &'static str,
+    /// What disagreed, with enough context to reproduce.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oracle '{}' diverged: {}", self.oracle, self.detail)
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// A differential oracle: two independently implemented routes through
+/// the same semantics, checked for agreement.
+pub trait DiffOracle {
+    /// Stable oracle name (used in reports).
+    fn name(&self) -> &'static str;
+    /// Runs both routes and compares; `Err` carries the first divergence.
+    fn check(&self) -> Result<(), Divergence>;
+}
+
+/// Runs every oracle, stopping at the first divergence.
+pub fn check_all<'a>(
+    oracles: impl IntoIterator<Item = &'a dyn DiffOracle>,
+) -> Result<(), Divergence> {
+    for oracle in oracles {
+        oracle.check()?;
+    }
+    Ok(())
+}
+
+/// Scan protocol vs functional simulation: loading the chain by shifting
+/// and unloading the capture by shifting must observe exactly what
+/// `apply_vector` computes directly.
+#[derive(Debug, Clone)]
+pub struct ScanVsFunctionalOracle {
+    circuit: Circuit,
+    vectors: Vec<ScanVector>,
+}
+
+impl ScanVsFunctionalOracle {
+    /// An oracle over `vectors` on `circuit`.
+    pub fn new(circuit: Circuit, vectors: Vec<ScanVector>) -> ScanVsFunctionalOracle {
+        ScanVsFunctionalOracle { circuit, vectors }
+    }
+}
+
+impl DiffOracle for ScanVsFunctionalOracle {
+    fn name(&self) -> &'static str {
+        "scan-vs-functional"
+    }
+
+    fn check(&self) -> Result<(), Divergence> {
+        let c = &self.circuit;
+        let n = c.dff_count();
+        for (i, v) in self.vectors.iter().enumerate() {
+            // Route A: direct functional application.
+            let direct = apply_vector(c, &mut SimState::for_circuit(c), v);
+
+            // Route B: the tester's view — shift the load image in (first
+            // bit shifted ends up in the last flip-flop, so shift the
+            // image reversed), launch and capture functionally, then
+            // shift the captured state out again.
+            let mut s = SimState::for_circuit(c);
+            let mut image = v.load.clone();
+            image.reverse();
+            shift(&mut s, c, &image);
+            for (&net, &val) in c.inputs().iter().zip(&v.pi) {
+                s.set_input(c, net, val);
+            }
+            c.eval(&mut s);
+            let po = s.read_outputs(c);
+            c.tick(&mut s);
+            let mut unloaded = shift(&mut s, c, &vec![Logic::Zero; n]);
+            unloaded.reverse();
+
+            if po != direct.po || unloaded != direct.capture {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{}: vector {i}: shift route (po {po:?}, capture {unloaded:?}) \
+                         vs functional (po {:?}, capture {:?})",
+                        c.name(),
+                        direct.po,
+                        direct.capture,
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fault-free transition simulation vs chained logic simulation: the
+/// launch-on-capture two-pattern semantics must equal two back-to-back
+/// `apply_vector` cycles where the second load is the first capture.
+#[derive(Debug, Clone)]
+pub struct LogicVsTransitionOracle {
+    circuit: Circuit,
+    tests: Vec<TwoPatternTest>,
+}
+
+impl LogicVsTransitionOracle {
+    /// An oracle over `tests` on `circuit`.
+    pub fn new(circuit: Circuit, tests: Vec<TwoPatternTest>) -> LogicVsTransitionOracle {
+        LogicVsTransitionOracle { circuit, tests }
+    }
+}
+
+impl DiffOracle for LogicVsTransitionOracle {
+    fn name(&self) -> &'static str {
+        "logic-vs-transition"
+    }
+
+    fn check(&self) -> Result<(), Divergence> {
+        let c = &self.circuit;
+        for (i, t) in self.tests.iter().enumerate() {
+            // Route A: the transition simulator without a fault.
+            let trans = launch_capture_response(c, t, None);
+
+            // Route B: two chained logic-sim scan cycles.
+            let mut s = SimState::for_circuit(c);
+            let first = apply_vector(c, &mut s, &t.init);
+            let chained = ScanVector {
+                pi: t.launch.pi.clone(),
+                load: first.capture,
+            };
+            let second = apply_vector(c, &mut s, &chained);
+
+            if second.po != trans.po || second.capture != trans.capture {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{}: test {i}: chained logic-sim (po {:?}, capture {:?}) \
+                         vs transition-sim (po {:?}, capture {:?})",
+                        c.name(),
+                        second.po,
+                        second.capture,
+                        trans.po,
+                        trans.capture,
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A deliberately seeded behavioral mutant for mutation-testing the
+/// behavioral-vs-gate oracle itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeededMutant {
+    /// Healthy wiring.
+    #[default]
+    None,
+    /// The window comparator's polarity is flipped at the gate-level
+    /// capture flip-flops: *above* drives the `below` capture and vice
+    /// versa, so the ring counter rotates the wrong way. The oracle must
+    /// catch this — if it does not, it has gone vacuous.
+    FlippedComparatorPolarity,
+}
+
+/// Behavioral synchronizer vs gate-level chain-B replay: the behavioral
+/// run's window-comparator decisions, replayed through the gate-level
+/// FSM + ring counter + lock detector, must select the same DLL phase
+/// and log the same (saturated) correction count.
+#[derive(Debug, Clone)]
+pub struct BehavioralVsGateOracle {
+    params: DesignParams,
+    start_phases: Vec<usize>,
+    mutant: SeededMutant,
+}
+
+impl BehavioralVsGateOracle {
+    /// An oracle at the given design point, replaying from DLL phases 0
+    /// and `dll_phases / 2`.
+    pub fn new(params: &DesignParams) -> BehavioralVsGateOracle {
+        BehavioralVsGateOracle {
+            start_phases: vec![0, params.dll_phases / 2],
+            params: params.clone(),
+            mutant: SeededMutant::None,
+        }
+    }
+
+    /// Installs a seeded mutant (mutation-testing hook).
+    pub fn with_mutant(mut self, mutant: SeededMutant) -> BehavioralVsGateOracle {
+        self.mutant = mutant;
+        self
+    }
+
+    /// Replays a decision stream into the gate-level chain; returns the
+    /// final one-hot ring position and the lock-detector count.
+    fn gate_replay(&self, chain: &ChainB, decisions: &[u8], start: usize) -> (Option<usize>, u8) {
+        let c = chain.circuit();
+        let mut s = SimState::for_circuit(c);
+        // Scan image: capture FFs zero, FSM disarmed, ring one-hot at the
+        // start phase, lock counter clear.
+        let mut image = vec![Logic::Zero; 3];
+        for i in 0..chain.phases() {
+            image.push(Logic::from_bool(i == start));
+        }
+        image.extend([Logic::Zero; 3]);
+        s.load_ffs(&image);
+
+        let inputs = c.inputs().to_vec();
+        for &d in decisions {
+            let (above, below) = match d {
+                3 => (true, false),
+                2 => (false, true),
+                _ => (false, false),
+            };
+            let (above, below) = match self.mutant {
+                SeededMutant::None => (above, below),
+                SeededMutant::FlippedComparatorPolarity => (below, above),
+            };
+            s.set_input(c, inputs[0], Logic::from_bool(above));
+            s.set_input(c, inputs[1], Logic::from_bool(below));
+            s.set_input(c, inputs[2], Logic::Zero);
+            // One divided clock: capture the comparator outputs, then act.
+            c.tick(&mut s);
+            c.tick(&mut s);
+        }
+
+        let ffs = s.ff_values();
+        let ring = &ffs[3..3 + chain.phases()];
+        let ones: Vec<usize> = ring
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == Logic::One)
+            .map(|(i, _)| i)
+            .collect();
+        let hot = if ones.len() == 1 { Some(ones[0]) } else { None };
+        let lock = ffs[3 + chain.phases()..]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u8::from(b == Logic::One) << i)
+            .sum();
+        (hot, lock)
+    }
+}
+
+impl DiffOracle for BehavioralVsGateOracle {
+    fn name(&self) -> &'static str {
+        "behavioral-vs-gate"
+    }
+
+    fn check(&self) -> Result<(), Divergence> {
+        let p = &self.params;
+        let chain = ChainB::new(p.dll_phases);
+        for &start in &self.start_phases {
+            let mut sync = Synchronizer::new(p).with_initial_phase(start);
+            let mut trace = Trace::new(p.ui());
+            let out = sync.run(&RunConfig::paper_bist(), Some(&mut trace));
+            let decisions = decisions_from_trace(&trace);
+            let (hot, lock) = self.gate_replay(&chain, &decisions, start);
+
+            if hot != Some(out.final_phase) {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "start phase {start}: gate-level ring at {hot:?}, \
+                         behavioral at {}",
+                        out.final_phase
+                    ),
+                });
+            }
+            if u64::from(lock) != out.corrections.min(7) {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "start phase {start}: gate-level lock count {lock}, \
+                         behavioral corrections {} (saturating at 7)",
+                        out.corrections
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Golden coverage snapshot the campaign is checked against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageSnapshot {
+    /// DC-tier coverage.
+    pub dc: f64,
+    /// Cumulative DC + scan coverage.
+    pub dc_scan: f64,
+    /// Cumulative DC + scan + BIST coverage.
+    pub total: f64,
+}
+
+impl CoverageSnapshot {
+    /// The paper's Section IV ladder: 50.4 % → 74.3 % → 94.8 %.
+    pub fn paper() -> CoverageSnapshot {
+        CoverageSnapshot {
+            dc: 0.504,
+            dc_scan: 0.743,
+            total: 0.948,
+        }
+    }
+}
+
+/// Fault-free vs faulted campaigns against the golden snapshot: the
+/// aggregate coverage ladder must sit within tolerance of the paper's
+/// numbers, faults resolving to no behavioral effect must never be
+/// detected, and the scan/BIST fault sets must intersect without either
+/// containing the other (the paper's tier-set relation).
+#[derive(Debug, Clone)]
+pub struct CampaignSnapshotOracle {
+    params: DesignParams,
+    snapshot: CoverageSnapshot,
+    tolerance: f64,
+}
+
+impl CampaignSnapshotOracle {
+    /// An oracle against the paper snapshot with a 0.10 tolerance (the
+    /// netlist granularity differs from the paper's in the decimals).
+    pub fn new(params: &DesignParams) -> CampaignSnapshotOracle {
+        CampaignSnapshotOracle {
+            params: params.clone(),
+            snapshot: CoverageSnapshot::paper(),
+            tolerance: 0.10,
+        }
+    }
+
+    /// Overrides the golden snapshot and tolerance.
+    pub fn with_snapshot(mut self, snapshot: CoverageSnapshot, tolerance: f64) -> Self {
+        self.snapshot = snapshot;
+        self.tolerance = tolerance;
+        self
+    }
+}
+
+impl DiffOracle for CampaignSnapshotOracle {
+    fn name(&self) -> &'static str {
+        "campaign-snapshot"
+    }
+
+    fn check(&self) -> Result<(), Divergence> {
+        let result = FaultCampaign::new(&self.params).run();
+        let got = CoverageSnapshot {
+            dc: result.coverage_dc(),
+            dc_scan: result.coverage_dc_scan(),
+            total: result.coverage_total(),
+        };
+        for (name, got, want) in [
+            ("dc", got.dc, self.snapshot.dc),
+            ("dc+scan", got.dc_scan, self.snapshot.dc_scan),
+            ("total", got.total, self.snapshot.total),
+        ] {
+            if (got - want).abs() > self.tolerance {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{name} coverage {got:.3} outside {want:.3} ± {:.3}",
+                        self.tolerance
+                    ),
+                });
+            }
+        }
+        // A fault with no behavioral effect has nothing to detect; a tier
+        // claiming it would be hallucinating coverage.
+        for r in result.records() {
+            if matches!(r.effect, AnalogEffect::None) && r.detected() {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!("effect-free fault {} reported detected", r.fault),
+                });
+            }
+        }
+        // The paper: scan and BIST fault sets intersect, neither contains
+        // the other.
+        if result.scan_only().is_empty()
+            || result.bist_only().is_empty()
+            || result.scan_and_bist().is_empty()
+        {
+            return Err(Divergence {
+                oracle: self.name(),
+                detail: format!(
+                    "tier-set relation broken: scan-only {}, bist-only {}, both {}",
+                    result.scan_only().len(),
+                    result.bist_only().len(),
+                    result.scan_and_bist().len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}

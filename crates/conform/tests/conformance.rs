@@ -1,0 +1,122 @@
+//! Conformance suite: the differential oracles agree on the healthy
+//! workspace, the seeded mutant is caught (mutation-testing the oracle
+//! itself), and the coverage-guided fuzzer is deterministic and strictly
+//! beats its ATPG baseline.
+
+use conform::coverage::set_coverage;
+use conform::fuzz::{fuzz, FuzzConfig};
+use conform::oracle::{
+    check_all, BehavioralVsGateOracle, CampaignSnapshotOracle, DiffOracle, LogicVsTransitionOracle,
+    ScanVsFunctionalOracle, SeededMutant,
+};
+use dft::chain_b::ChainB;
+use dsim::atpg::random_vectors;
+use dsim::blocks::divider::Divider;
+use dsim::blocks::fsm::ControlFsm;
+use dsim::blocks::lock_counter::LockCounter;
+use dsim::transition::two_pattern_tests;
+use msim::params::DesignParams;
+
+#[test]
+fn scan_protocol_agrees_with_functional_simulation() {
+    let blocks = [
+        ("chain-b", ChainB::new(4).circuit().clone()),
+        ("divider", Divider::new(3).circuit().clone()),
+        ("lock-counter", LockCounter::new(3).circuit().clone()),
+        ("control-fsm", ControlFsm::new().circuit().clone()),
+    ];
+    for (name, circuit) in blocks {
+        let vectors = random_vectors(&circuit, 64, 19);
+        let oracle = ScanVsFunctionalOracle::new(circuit, vectors);
+        assert!(oracle.check().is_ok(), "{name}: {:?}", oracle.check());
+    }
+}
+
+#[test]
+fn transition_simulation_agrees_with_chained_logic_simulation() {
+    let blocks = [
+        ("chain-b", ChainB::new(4).circuit().clone()),
+        ("divider", Divider::new(3).circuit().clone()),
+        ("lock-counter", LockCounter::new(3).circuit().clone()),
+        ("control-fsm", ControlFsm::new().circuit().clone()),
+    ];
+    for (name, circuit) in blocks {
+        let tests = two_pattern_tests(&random_vectors(&circuit, 64, 23));
+        let oracle = LogicVsTransitionOracle::new(circuit, tests);
+        assert!(oracle.check().is_ok(), "{name}: {:?}", oracle.check());
+    }
+}
+
+#[test]
+fn behavioral_and_gate_level_agree_on_the_healthy_design() {
+    let oracle = BehavioralVsGateOracle::new(&DesignParams::paper());
+    assert!(oracle.check().is_ok(), "{:?}", oracle.check());
+}
+
+#[test]
+fn seeded_mutant_is_caught_by_the_oracle() {
+    // Mutation-testing the oracle itself: a flipped comparator polarity
+    // at the gate-level capture flip-flops must produce a divergence. An
+    // oracle that misses it has gone vacuous.
+    let oracle = BehavioralVsGateOracle::new(&DesignParams::paper())
+        .with_mutant(SeededMutant::FlippedComparatorPolarity);
+    let divergence = oracle.check().expect_err("mutant must be caught");
+    assert_eq!(divergence.oracle, "behavioral-vs-gate");
+}
+
+#[test]
+fn campaign_matches_the_paper_snapshot() {
+    let oracle = CampaignSnapshotOracle::new(&DesignParams::paper());
+    assert!(oracle.check().is_ok(), "{:?}", oracle.check());
+}
+
+#[test]
+fn check_all_stops_at_the_first_divergence() {
+    let p = DesignParams::paper();
+    let healthy = BehavioralVsGateOracle::new(&p);
+    let mutated = healthy
+        .clone()
+        .with_mutant(SeededMutant::FlippedComparatorPolarity);
+    let oracles: [&dyn DiffOracle; 2] = [&mutated, &healthy];
+    let err = check_all(oracles).expect_err("mutant first");
+    assert_eq!(err.oracle, "behavioral-vs-gate");
+}
+
+#[test]
+fn fuzz_corpus_is_thread_count_invariant() {
+    let chain = ChainB::new(4);
+    let baseline = random_vectors(chain.circuit(), 4, 41);
+    let cfg = FuzzConfig::smoke(0xC0FFEE);
+    let single = fuzz(chain.circuit(), &baseline, &cfg);
+    for threads in [2, 4, 7] {
+        let pooled = fuzz(
+            chain.circuit(),
+            &baseline,
+            &FuzzConfig {
+                threads,
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(
+            single.corpus, pooled.corpus,
+            "diverged at {threads} threads"
+        );
+        assert_eq!(single.coverage, pooled.coverage);
+    }
+}
+
+#[test]
+fn fuzzer_strictly_increases_coverage_over_the_atpg_baseline() {
+    let chain = ChainB::new(4);
+    let baseline = random_vectors(chain.circuit(), 4, 41);
+    let base_cov = set_coverage(chain.circuit(), &baseline);
+    let report = fuzz(chain.circuit(), &baseline, &FuzzConfig::smoke(0xC0FFEE));
+    assert_eq!(report.baseline_points, base_cov.points());
+    assert!(
+        report.coverage.points() > base_cov.points(),
+        "no gain: {} vs baseline {}",
+        report.coverage.points(),
+        base_cov.points()
+    );
+    assert_eq!(report.gain(), report.coverage.points() - base_cov.points());
+}

@@ -306,6 +306,25 @@ mod tests {
     }
 
     #[test]
+    fn empty_fraction_vs_kind_coverage_asymmetry_is_pinned() {
+        // The documented asymmetry, pinned for every fault kind: on an
+        // empty record set the whole-campaign fractions read 0.0 (an
+        // empty campaign has demonstrated nothing), while every per-kind
+        // coverage reads the vacuous 1.0 (no member of an absent Table-I
+        // row can escape). Neither side may silently adopt the other's
+        // convention.
+        let r = CampaignResult::from_records(Vec::new());
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.coverage_dc(), 0.0);
+        assert_eq!(r.coverage_dc_scan(), 0.0);
+        assert_eq!(r.coverage_total(), 0.0);
+        for kind in FaultKind::ALL {
+            assert_eq!(r.by_kind(kind), (0, 0), "{kind}");
+            assert_eq!(r.coverage_of_kind(kind), 1.0, "{kind}");
+        }
+    }
+
+    #[test]
     fn parallel_run_matches_sequential() {
         let c = FaultCampaign::new(&DesignParams::paper());
         let seq = c.run_sequential();

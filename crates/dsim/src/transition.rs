@@ -90,9 +90,11 @@ pub fn two_pattern_tests(vectors: &[ScanVector]) -> Vec<TwoPatternTest> {
 /// Response of one two-pattern test: outputs and captured state after the
 /// launch-to-capture cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Response {
-    po: Vec<Logic>,
-    capture: Vec<Logic>,
+pub struct TwoPatternResponse {
+    /// Primary outputs strobed at the capture edge.
+    pub po: Vec<Logic>,
+    /// Flip-flop state captured after the launch-to-capture cycle.
+    pub capture: Vec<Logic>,
 }
 
 /// Simulates one two-pattern test, optionally with a transition fault.
@@ -102,8 +104,14 @@ struct Response {
 /// and evaluates to the final value `v1`. A slow-to-rise fault on net `n`
 /// forces `n` back to `v0` during the capture evaluation whenever
 /// `v0 = 0 ∧ v1 = 1` (the late transition has not arrived at the capture
-/// edge); symmetrically for slow-to-fall.
-fn respond(circuit: &Circuit, test: &TwoPatternTest, fault: Option<TransitionFault>) -> Response {
+/// edge); symmetrically for slow-to-fall. With `fault: None` this is the
+/// fault-free launch-on-capture semantics differential oracles compare
+/// against plain logic simulation.
+pub fn launch_capture_response(
+    circuit: &Circuit,
+    test: &TwoPatternTest,
+    fault: Option<TransitionFault>,
+) -> TwoPatternResponse {
     // V1: initialization pattern settles every net to its pre-launch
     // value v0.
     let mut state = SimState::for_circuit(circuit);
@@ -139,7 +147,7 @@ fn respond(circuit: &Circuit, test: &TwoPatternTest, fault: Option<TransitionFau
     // Strobe and capture.
     let po = state.read_outputs(circuit);
     circuit.tick(&mut state);
-    Response {
+    TwoPatternResponse {
         po,
         capture: state.ff_values().to_vec(),
     }
@@ -178,21 +186,24 @@ impl TransitionCoverage {
     }
 }
 
-fn differs(golden: &Response, faulty: &Response) -> bool {
+fn differs(golden: &TwoPatternResponse, faulty: &TwoPatternResponse) -> bool {
     let cmp = |g: &[Logic], f: &[Logic]| g.iter().zip(f).any(|(gv, fv)| gv.is_known() && gv != fv);
     cmp(&golden.po, &faulty.po) || cmp(&golden.capture, &faulty.capture)
 }
 
 /// Fault-simulates the transition universe against the test set.
 pub fn transition_coverage(circuit: &Circuit, tests: &[TwoPatternTest]) -> TransitionCoverage {
-    let golden: Vec<Response> = tests.iter().map(|t| respond(circuit, t, None)).collect();
+    let golden: Vec<TwoPatternResponse> = tests
+        .iter()
+        .map(|t| launch_capture_response(circuit, t, None))
+        .collect();
     let mut detected = 0;
     let mut undetected = Vec::new();
     for fault in enumerate_transition_faults(circuit) {
         let hit = tests
             .iter()
             .zip(&golden)
-            .any(|(t, g)| differs(g, &respond(circuit, t, Some(fault))));
+            .any(|(t, g)| differs(g, &launch_capture_response(circuit, t, Some(fault))));
         if hit {
             detected += 1;
         } else {
@@ -244,8 +255,8 @@ mod tests {
             },
         };
         let y = NetId(2);
-        let golden = respond(&c, &t, None);
-        let str_resp = respond(
+        let golden = launch_capture_response(&c, &t, None);
+        let str_resp = launch_capture_response(
             &c,
             &t,
             Some(TransitionFault {
@@ -255,7 +266,7 @@ mod tests {
         );
         assert!(differs(&golden, &str_resp), "STR must be caught");
         // The falling fault is NOT excited by a rising test.
-        let stf_resp = respond(
+        let stf_resp = launch_capture_response(
             &c,
             &t,
             Some(TransitionFault {

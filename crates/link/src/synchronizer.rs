@@ -351,6 +351,22 @@ impl Synchronizer {
     }
 }
 
+/// Extracts the per-divided-clock window-comparator decision stream from a
+/// traced run: the `win` channel codes recorded by [`Synchronizer::run`]
+/// (1 = inside, 2 = below, 3 = above), with the 0 "no check this cycle"
+/// samples dropped. This is the hand-off record that gate-level replays
+/// (`dft::chain_b`) and the conformance oracles consume.
+pub fn decisions_from_trace(trace: &Trace) -> Vec<u8> {
+    trace
+        .channel("win")
+        .expect("win channel recorded")
+        .samples()
+        .iter()
+        .map(|v| v.value() as u8)
+        .filter(|&d| d != 0)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

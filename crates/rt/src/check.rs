@@ -1,12 +1,15 @@
-//! A small seeded property-test harness (the in-tree `proptest`
-//! replacement).
+//! A seeded property-test harness with **choice-sequence shrinking** (the
+//! in-tree `proptest` replacement).
 //!
-//! A property is a closure over a [`Rng`] that asserts its invariant with
-//! ordinary `assert!` macros. The harness runs it for a fixed number of
-//! cases; case `i` draws from the reproducible stream
-//! `Rng::seed_from_stream(seed, i)`, so a failure report identifies the
-//! exact stream to replay — shrink-free by design (inputs here are small
-//! enough to eyeball).
+//! A property is a closure over a [`Draws`] source that asserts its
+//! invariant with ordinary `assert!` macros. The harness runs it for a
+//! fixed number of cases; case `i` draws from the reproducible stream
+//! `Rng::seed_from_stream(seed, i)` while **recording every raw `u64`
+//! draw**. On failure the recorded draw log is minimized Hypothesis-style
+//! (delete chunks, zero blocks, bisect values toward zero) and the
+//! property is re-run on each candidate by **replaying** the mutated log;
+//! the reported reproducer is the smallest (shortlex) log that still
+//! fails. Replay a reproducer in isolation with [`replay`].
 //!
 //! # Examples
 //!
@@ -17,6 +20,18 @@
 //!     assert_eq!(a + b, b + a);
 //! });
 //! ```
+//!
+//! Replaying a shrunk failure printed by the harness:
+//!
+//! ```
+//! use rt::check::replay;
+//!
+//! // A passing replay returns Ok; a failing one returns the panic text.
+//! assert!(replay(&[0, 0], |d| assert!(d.next_u64() == 0)).is_ok());
+//! assert!(replay(&[1], |d| assert!(d.next_u64() == 0)).is_err());
+//! ```
+
+use std::sync::Mutex;
 
 use crate::rng::Rng;
 
@@ -27,15 +42,169 @@ pub const DEFAULT_CASES: usize = 256;
 /// workspace at once.
 pub const DEFAULT_SEED: u64 = 0x1057_5EED;
 
+/// Upper bound on property re-executions spent shrinking one failure.
+const SHRINK_BUDGET: usize = 4096;
+
+/// The draw source handed to properties.
+///
+/// In **fresh** mode it forwards to a seeded [`Rng`] and records every raw
+/// `u64` produced; in **replay** mode it reads from a recorded choice
+/// sequence instead (reading past the end yields `0`, the minimal draw).
+/// All derived draws funnel through [`Draws::next_u64`] with exactly the
+/// same arithmetic as [`Rng`], so a recorded log replays to identical
+/// values.
+#[derive(Debug, Clone)]
+pub struct Draws {
+    mode: Mode,
+    log: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    Fresh(Rng),
+    Replay { tape: Vec<u64>, cursor: usize },
+}
+
+impl Draws {
+    /// A fresh-drawing source over `rng`, recording as it goes.
+    pub fn fresh(rng: Rng) -> Draws {
+        Draws {
+            mode: Mode::Fresh(rng),
+            log: Vec::new(),
+        }
+    }
+
+    /// A replaying source over a recorded choice sequence.
+    pub fn replay(tape: &[u64]) -> Draws {
+        Draws {
+            mode: Mode::Replay {
+                tape: tape.to_vec(),
+                cursor: 0,
+            },
+            log: Vec::new(),
+        }
+    }
+
+    /// The raw draws consumed so far (the choice sequence).
+    pub fn log(&self) -> &[u64] {
+        &self.log
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let v = match &mut self.mode {
+            Mode::Fresh(rng) => rng.next_u64(),
+            Mode::Replay { tape, cursor } => {
+                let v = tape.get(*cursor).copied().unwrap_or(0);
+                *cursor += 1;
+                v
+            }
+        };
+        self.log.push(v);
+        v
+    }
+
+    /// Uniform `f64` in `[0, 1)` (same arithmetic as [`Rng::uniform`]).
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range [0, 0)");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// A fair coin flip (top bit, like [`Rng::next_bool`]).
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.uniform() < p
+    }
+
+    /// Standard-normal sample via Box–Muller (cosine branch).
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// A shrunk property failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Index of the first failing case.
+    pub case: u64,
+    /// Harness seed the case drew from.
+    pub seed: u64,
+    /// Panic message of the original (unshrunk) failure.
+    pub message: String,
+    /// The draw log of the first failing run.
+    pub original: Vec<u64>,
+    /// The minimized draw log; replaying it still fails.
+    pub shrunk: Vec<u64>,
+}
+
+impl Failure {
+    /// Human-readable failure report with the replay recipe.
+    pub fn report(&self, name: &str) -> String {
+        format!(
+            "property '{name}' failed at case {case} (seed {seed:#x})\n\
+             original draw log ({olen} draws): {orig:?}\n\
+             shrunk   draw log ({slen} draws): {shrunk:?}\n\
+             replay with rt::check::replay(&{shrunk:?}, property)\n\
+             first failure: {msg}",
+            case = self.case,
+            seed = self.seed,
+            olen = self.original.len(),
+            orig = self.original,
+            slen = self.shrunk.len(),
+            shrunk = self.shrunk,
+            msg = self.message,
+        )
+    }
+}
+
 /// Runs `property` for [`DEFAULT_CASES`] cases under [`DEFAULT_SEED`].
 ///
 /// # Panics
 ///
-/// Panics (re-raising the property's own panic) after reporting the
-/// failing case index and stream seed on stderr.
+/// Panics after shrinking, reporting the minimal reproducer on stderr.
 pub fn check<F>(name: &str, property: F)
 where
-    F: FnMut(&mut Rng),
+    F: FnMut(&mut Draws),
 {
     check_with(name, DEFAULT_CASES, DEFAULT_SEED, property);
 }
@@ -47,7 +216,7 @@ where
 /// See [`check`].
 pub fn check_cases<F>(name: &str, cases: usize, property: F)
 where
-    F: FnMut(&mut Rng),
+    F: FnMut(&mut Draws),
 {
     check_with(name, cases, DEFAULT_SEED, property);
 }
@@ -57,44 +226,239 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `cases == 0`, or re-raises the property's panic after
-/// reporting the failing case on stderr. To replay a reported failure in
-/// isolation, call the property once with
-/// `Rng::seed_from_stream(seed, failing_case)`.
-pub fn check_with<F>(name: &str, cases: usize, seed: u64, mut property: F)
+/// Panics if `cases == 0`, or panics with the shrunk-failure report after
+/// minimizing the first failing case's draw log. To replay the reported
+/// reproducer in isolation call [`replay`] with the printed log.
+pub fn check_with<F>(name: &str, cases: usize, seed: u64, property: F)
 where
-    F: FnMut(&mut Rng),
+    F: FnMut(&mut Draws),
 {
-    assert!(cases > 0, "a property needs at least one case");
-    for case in 0..cases as u64 {
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut rng = Rng::seed_from_stream(seed, case);
-            property(&mut rng);
-        }));
-        if let Err(payload) = outcome {
-            eprintln!(
-                "property '{name}' failed at case {case}/{cases} \
-                 (replay with Rng::seed_from_stream({seed:#x}, {case}))"
-            );
-            std::panic::resume_unwind(payload);
-        }
+    if let Err(failure) = check_outcome(cases, seed, property) {
+        let report = failure.report(name);
+        eprintln!("{report}");
+        panic!("{report}");
     }
 }
 
-/// Draws a vector of length `len_lo..len_hi` filled by `gen` — the
-/// workhorse collection generator for properties.
+/// Non-panicking harness entry: returns the shrunk [`Failure`] instead of
+/// panicking — the hook meta-tests use to assert shrink quality.
+///
+/// # Panics
+///
+/// Panics if `cases == 0`.
+pub fn check_outcome<F>(cases: usize, seed: u64, mut property: F) -> Result<(), Failure>
+where
+    F: FnMut(&mut Draws),
+{
+    assert!(cases > 0, "a property needs at least one case");
+    for case in 0..cases as u64 {
+        let mut draws = Draws::fresh(Rng::seed_from_stream(seed, case));
+        if let Err(message) = run_once(&mut property, &mut draws) {
+            let original = draws.log().to_vec();
+            let shrunk = quiet(|| shrink(&mut property, original.clone()));
+            return Err(Failure {
+                case,
+                seed,
+                message,
+                original,
+                shrunk,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Replays a recorded draw log against `property` once. Returns `Ok(())`
+/// when the property passes and the panic message when it fails — the
+/// one-shot reproducer for a harness-reported shrunk log.
+pub fn replay<F>(log: &[u64], mut property: F) -> Result<(), String>
+where
+    F: FnMut(&mut Draws),
+{
+    run_once(&mut property, &mut Draws::replay(log))
+}
+
+/// Draws a vector of length `len_lo..len_hi` — a **half-open** range
+/// (`len_hi` itself is never drawn) — filled by `gen`; the workhorse
+/// collection generator for properties.
 ///
 /// # Panics
 ///
 /// Panics if the length range is empty.
 pub fn vec_of<T>(
-    rng: &mut Rng,
+    draws: &mut Draws,
     len_lo: usize,
     len_hi: usize,
-    mut gen: impl FnMut(&mut Rng) -> T,
+    mut gen: impl FnMut(&mut Draws) -> T,
 ) -> Vec<T> {
-    let len = rng.range_usize(len_lo, len_hi);
-    (0..len).map(|_| gen(rng)).collect()
+    let len = draws.range_usize(len_lo, len_hi);
+    (0..len).map(|_| gen(draws)).collect()
+}
+
+/// One property execution; `Err` carries the panic message.
+fn run_once<F>(property: &mut F, draws: &mut Draws) -> Result<(), String>
+where
+    F: FnMut(&mut Draws),
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(draws))).map_err(payload_text)
+}
+
+fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    }
+}
+
+/// Runs `f` with the global panic hook silenced, so the hundreds of
+/// intentional panics a shrink induces do not spam stderr. Serialized by a
+/// mutex because the hook is process-global.
+fn quiet<T>(f: impl FnOnce() -> T) -> T {
+    static HOOK: Mutex<()> = Mutex::new(());
+    let _guard = HOOK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    std::panic::set_hook(prev);
+    match out {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Shortlex order: fewer draws wins; at equal length, lexicographically
+/// smaller values win.
+fn shortlex_less(a: &[u64], b: &[u64]) -> bool {
+    a.len() < b.len() || (a.len() == b.len() && a < b)
+}
+
+/// Replays `tape`; on failure returns the *consumed* draw log (which
+/// truncates any unread tail and materializes past-the-end zeros).
+fn fails<F>(property: &mut F, tape: &[u64], budget: &mut usize) -> Option<Vec<u64>>
+where
+    F: FnMut(&mut Draws),
+{
+    if *budget == 0 {
+        return None;
+    }
+    *budget -= 1;
+    let mut draws = Draws::replay(tape);
+    match run_once(property, &mut draws) {
+        Err(_) => Some(draws.log().to_vec()),
+        Ok(()) => None,
+    }
+}
+
+/// Hypothesis-style choice-sequence minimization: repeat chunk deletion,
+/// block zeroing and per-value bisection toward zero until a fixpoint (or
+/// the budget runs dry). Every accepted candidate is strictly
+/// shortlex-smaller, so the loop terminates.
+fn shrink<F>(property: &mut F, initial: Vec<u64>) -> Vec<u64>
+where
+    F: FnMut(&mut Draws),
+{
+    let mut budget = SHRINK_BUDGET;
+    let mut best = initial;
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete chunks of draws, largest chunks first, scanning
+        // from the tail (late draws usually matter least).
+        for size in [8usize, 4, 2, 1] {
+            let mut i = best.len();
+            while i >= size {
+                i -= 1;
+                let start = i + 1 - size;
+                let mut candidate = best[..start].to_vec();
+                candidate.extend_from_slice(&best[start + size..]);
+                if let Some(consumed) = fails(property, &candidate, &mut budget) {
+                    if shortlex_less(&consumed, &best) {
+                        best = consumed;
+                        improved = true;
+                        i = best.len();
+                    }
+                }
+                if budget == 0 {
+                    return best;
+                }
+            }
+        }
+
+        // Pass 2: zero whole blocks.
+        for size in [4usize, 2, 1] {
+            let mut start = 0;
+            while start + size <= best.len() {
+                if best[start..start + size].iter().any(|&v| v != 0) {
+                    let mut candidate = best.clone();
+                    candidate[start..start + size].fill(0);
+                    if let Some(consumed) = fails(property, &candidate, &mut budget) {
+                        if shortlex_less(&consumed, &best) {
+                            best = consumed;
+                            improved = true;
+                        }
+                    }
+                }
+                if budget == 0 {
+                    return best;
+                }
+                start += size;
+            }
+        }
+
+        // Pass 3: bisect each nonzero value toward zero. Accepted
+        // candidates may shorten `best`, so re-check the length live.
+        let mut idx = 0;
+        while idx < best.len() {
+            if best[idx] == 0 {
+                idx += 1;
+                continue;
+            }
+            // Invariant: `hi` fails (it is the current best), `lo` does
+            // not (or is untried zero, tested first).
+            let mut lo = 0u64;
+            let mut hi = best[idx];
+            let mut candidate = best.clone();
+            candidate[idx] = 0;
+            match fails(property, &candidate, &mut budget) {
+                Some(consumed) if shortlex_less(&consumed, &best) => {
+                    best = consumed;
+                    improved = true;
+                    continue;
+                }
+                _ => {}
+            }
+            while lo + 1 < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.clone();
+                candidate[idx] = mid;
+                match fails(property, &candidate, &mut budget) {
+                    Some(consumed) if shortlex_less(&consumed, &best) => {
+                        // The consumed log may differ structurally; only
+                        // continue bisecting while the slot still exists.
+                        best = consumed;
+                        improved = true;
+                        if idx < best.len() && best[idx] < hi {
+                            hi = best[idx];
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => lo = mid,
+                }
+                if budget == 0 {
+                    return best;
+                }
+            }
+            idx += 1;
+        }
+
+        if !improved || budget == 0 {
+            return best;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +484,39 @@ mod tests {
     }
 
     #[test]
+    fn fresh_draws_match_the_rng_exactly() {
+        // The Draws wrapper must not perturb the recorded streams: every
+        // derived draw agrees with the bare Rng at the same seed.
+        let mut rng = Rng::seed_from_u64(11);
+        let mut draws = Draws::fresh(Rng::seed_from_u64(11));
+        for _ in 0..64 {
+            assert_eq!(draws.next_u64(), rng.next_u64());
+        }
+        let mut rng = Rng::seed_from_u64(12);
+        let mut draws = Draws::fresh(Rng::seed_from_u64(12));
+        for _ in 0..64 {
+            assert_eq!(draws.uniform(), rng.uniform());
+            assert_eq!(draws.below(17), rng.below(17));
+            assert_eq!(draws.next_bool(), rng.next_bool());
+            assert_eq!(draws.gaussian(), rng.gaussian());
+            assert_eq!(draws.chance(0.3), rng.chance(0.3));
+            assert_eq!(draws.range_f64(-2.0, 9.0), rng.range_f64(-2.0, 9.0));
+            assert_eq!(draws.range_usize(3, 900), rng.range_usize(3, 900));
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_draws() {
+        let mut draws = Draws::fresh(Rng::seed_from_u64(5));
+        let fresh: Vec<u64> = (0..10).map(|_| draws.next_u64()).collect();
+        let mut rep = Draws::replay(draws.log());
+        let replayed: Vec<u64> = (0..10).map(|_| rep.next_u64()).collect();
+        assert_eq!(fresh, replayed);
+        // Past the end of the tape, replay yields the minimal draw.
+        assert_eq!(rep.next_u64(), 0);
+    }
+
+    #[test]
     fn failure_is_reported_and_reraised() {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             check_cases("fails eventually", 64, |rng| {
@@ -131,10 +528,70 @@ mod tests {
     }
 
     #[test]
+    fn shrinking_minimizes_the_draw_log() {
+        // A property failing whenever the drawn vector sums past a
+        // threshold: the minimal choice sequence is far smaller than the
+        // first failing one, and the reproducer still fails on replay.
+        let property = |d: &mut Draws| {
+            let v = vec_of(d, 0, 100, |d| d.below(1000));
+            assert!(v.iter().sum::<usize>() < 1500, "sum too large");
+        };
+        let failure =
+            check_outcome(DEFAULT_CASES, DEFAULT_SEED, property).expect_err("property must fail");
+        assert!(
+            shortlex_less(&failure.shrunk, &failure.original),
+            "shrunk {:?} not smaller than original {:?}",
+            failure.shrunk,
+            failure.original
+        );
+        // Replaying the shrunk log still fails with the same assertion.
+        let replay_result = quiet(|| replay(&failure.shrunk, property));
+        assert!(replay_result.is_err(), "shrunk reproducer must still fail");
+        assert!(replay_result.unwrap_err().contains("sum too large"));
+        assert!(failure.message.contains("sum too large"));
+    }
+
+    #[test]
+    fn shrinking_bisects_single_values() {
+        // Fails for any first draw mapping below(1000) >= 500; minimal
+        // failing value of that draw maps to exactly 500.
+        let property = |d: &mut Draws| {
+            let k = d.below(1000);
+            assert!(k < 500, "k too large");
+        };
+        let failure = check_outcome(DEFAULT_CASES, DEFAULT_SEED, property).expect_err("must fail");
+        let mut rep = Draws::replay(&failure.shrunk);
+        assert_eq!(rep.below(1000), 500, "bisection must find the boundary");
+    }
+
+    #[test]
+    fn replay_of_passing_log_is_ok() {
+        assert!(replay(&[2, 4, 6], |d| {
+            assert_eq!(d.next_u64() % 2, 0);
+        })
+        .is_ok());
+    }
+
+    #[test]
     fn vec_of_respects_bounds() {
         check_cases("vec bounds", 32, |rng| {
             let v = vec_of(rng, 2, 24, |r| r.next_bool());
             assert!((2..24).contains(&v.len()));
+        });
+    }
+
+    #[test]
+    fn vec_of_length_range_is_half_open() {
+        // `len_hi` is exclusive: with the range [3, 4) every drawn vector
+        // has exactly 3 elements — `4` is never produced.
+        check_cases("vec half-open", 64, |rng| {
+            let v = vec_of(rng, 3, 4, |r| r.next_u64());
+            assert_eq!(v.len(), 3);
+        });
+        // And a wider range never reaches the exclusive bound.
+        check_cases("vec never hits hi", 128, |rng| {
+            let v = vec_of(rng, 0, 7, |r| r.next_u64());
+            assert!(v.len() < 7, "len {} reached the exclusive bound", v.len());
         });
     }
 

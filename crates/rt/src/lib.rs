@@ -10,8 +10,11 @@
 //! * [`par`] — a chunked parallel-map executor on `std::thread::scope`
 //!   that preserves input order and falls back to a sequential loop when
 //!   only one core is available,
-//! * [`check`] — a seeded property-test harness (random-input loop with
-//!   reproducible per-case streams, shrink-free failure reporting),
+//! * [`check`] — a seeded property-test harness with **choice-sequence
+//!   shrinking**: every raw draw is recorded, a failing case's draw log is
+//!   minimized Hypothesis-style (chunk deletion, block zeroing, value
+//!   bisection) by replaying mutated logs, and the reported reproducer is
+//!   the minimal sequence that still fails ([`check::replay`] re-runs it),
 //! * [`timing`] — a wall-clock micro-benchmark harness with automatic
 //!   iteration calibration.
 //!

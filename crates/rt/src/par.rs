@@ -130,6 +130,31 @@ mod tests {
     }
 
     #[test]
+    fn fewer_items_than_threads() {
+        // More workers than items: chunk size is 1, trailing workers get
+        // nothing, order still holds.
+        let items = [10u32, 20, 30];
+        assert_eq!(parallel_map_with(8, &items, |&x| x + 1), vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn chunk_boundary_lengths_are_exact() {
+        // Lengths straddling the k·threads chunk boundaries: whether the
+        // items divide evenly across workers or leave a remainder, every
+        // item appears exactly once, in input order.
+        for threads in [2usize, 3, 4] {
+            for k in [1usize, 2, 5] {
+                let n = k * threads;
+                for len in [n - 1, n, n + 1] {
+                    let items: Vec<usize> = (0..len).collect();
+                    let out = parallel_map_with(threads, &items, |&x| x);
+                    assert_eq!(out, items, "len {len}, threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn every_item_visited_exactly_once() {
         let counter = AtomicUsize::new(0);
         let items: Vec<usize> = (0..100).collect();

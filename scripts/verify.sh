@@ -13,6 +13,12 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+# Bounded conformance fuzz smoke: fixed seed, thread-count invariance
+# check and oracle sweep over the fuzzed corpus. The release binary is
+# already built by the step above, so this finishes in well under 2 s.
+echo "==> fuzz smoke (conform)"
+cargo run -q -p conform --release --offline --bin fuzz_smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -8,7 +8,7 @@
 use dft::chain_b::ChainB;
 use dsim::circuit::SimState;
 use dsim::logic::Logic;
-use link::synchronizer::{RunConfig, Synchronizer};
+use link::synchronizer::{decisions_from_trace, RunConfig, Synchronizer};
 use msim::params::DesignParams;
 use msim::sim::Trace;
 
@@ -62,18 +62,6 @@ fn replay(chain: &ChainB, decisions: &[u8], start_phase: usize) -> (Option<usize
     (hot, lock)
 }
 
-/// Extracts the per-divided-clock decision stream from a behavioral trace.
-fn decisions_from(trace: &Trace) -> Vec<u8> {
-    trace
-        .channel("win")
-        .expect("win channel recorded")
-        .samples()
-        .iter()
-        .map(|v| v.value() as u8)
-        .filter(|&d| d != 0)
-        .collect()
-}
-
 #[test]
 fn gate_level_chain_b_tracks_the_behavioral_loop() {
     let p = DesignParams::paper();
@@ -84,7 +72,7 @@ fn gate_level_chain_b_tracks_the_behavioral_loop() {
         assert!(out.locked);
 
         let chain = ChainB::new(p.dll_phases);
-        let decisions = decisions_from(&trace);
+        let decisions = decisions_from_trace(&trace);
         let (hot, lock_count) = replay(&chain, &decisions, start_phase);
 
         assert_eq!(
@@ -127,7 +115,7 @@ fn healthy_run_records_a_decision_per_divided_clock() {
         ..RunConfig::paper_bist()
     };
     sync.run(&rc, Some(&mut trace));
-    let decisions = decisions_from(&trace);
+    let decisions = decisions_from_trace(&trace);
     assert_eq!(
         decisions.len() as u64,
         rc.cycles / u64::from(p.divider_ratio)

@@ -12,13 +12,12 @@ use link::ber::BerModel;
 use link::crossing::CrossingPlan;
 use link::prbs::Prbs;
 use msim::params::DesignParams;
-use rt::check::check_cases;
-use rt::rng::Rng;
+use rt::check::{check_cases, Draws};
 
 /// Draws a random combinational circuit: 2–4 primary inputs, 2–7 gates,
 /// each gate wired to previously created nets (the in-tree equivalent of
 /// the old proptest strategy).
-fn random_circuit(rng: &mut Rng) -> Circuit {
+fn random_circuit(rng: &mut Draws) -> Circuit {
     let n_pi = rng.range_usize(2, 5);
     let n_gates = rng.range_usize(2, 8);
     let mut c = Circuit::new("random");
