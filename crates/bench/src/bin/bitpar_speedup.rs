@@ -1,0 +1,116 @@
+//! Scalar vs bit-parallel (PPSFP) fault-simulation throughput on the
+//! paper's digital chains.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bitpar_speedup
+//! ```
+//!
+//! Both sides run the complete stuck-at campaign single-threaded — the
+//! scalar reference `scan_coverage_scalar` (one pattern per gate-level
+//! walk, early exit per fault) against the packed `dsim::bitpar` kernel
+//! behind `scan_coverage` (64 patterns per walk, fault dropping across
+//! blocks) — so the reported speedup is purely algorithmic.
+//!
+//! Writes `results/bitpar_speedup.csv`
+//! (`chain,faults,patterns,scalar_ns_per_pattern,packed_ns_per_pattern,speedup`).
+//! Timing CSVs are **untracked** (see EXPERIMENTS.md): every tracked file
+//! under `results/` is deterministic, and this one is not.
+
+use std::time::Duration;
+
+use bench::write_result;
+use dft::chain_b::ChainB;
+use dft::report::render_table;
+use dsim::atpg::random_vectors;
+use dsim::blocks::divider::Divider;
+use dsim::blocks::fsm::ControlFsm;
+use dsim::blocks::lock_counter::LockCounter;
+use dsim::circuit::Circuit;
+use dsim::stuck_at::{enumerate_faults, scan_coverage_scalar};
+use rt::timing::Bench;
+
+fn main() {
+    let chains: Vec<(&str, Circuit, u64)> = vec![
+        (
+            "scan chain B (4-phase)",
+            ChainB::new(4).circuit().clone(),
+            29,
+        ),
+        ("divider", Divider::new(3).circuit().clone(), 43),
+        ("lock counter", LockCounter::new(3).circuit().clone(), 47),
+        ("control FSM", ControlFsm::new().circuit().clone(), 53),
+    ];
+    let patterns = 256;
+
+    // A generous budget keeps the medians stable against background load:
+    // the speedup column is the acceptance number, so it must not wobble.
+    let mut bench = Bench::new("bitpar_speedup")
+        .with_budget(Duration::from_millis(1200))
+        .with_samples(21);
+    let mut rows = Vec::new();
+    let mut csv =
+        String::from("chain,faults,patterns,scalar_ns_per_pattern,packed_ns_per_pattern,speedup\n");
+    for (name, circuit, seed) in &chains {
+        let vectors = random_vectors(circuit, patterns, *seed);
+        let faults = enumerate_faults(circuit);
+
+        let scalar = bench
+            .run(format!("{name}/scalar"), || {
+                scan_coverage_scalar(circuit, &vectors).detected()
+            })
+            .median_ns;
+        let packed = bench
+            .run(format!("{name}/packed"), || {
+                dsim::bitpar::ppsfp_detect_with(1, circuit, &vectors, &faults)
+                    .iter()
+                    .filter(|&&d| d)
+                    .count()
+            })
+            .median_ns;
+
+        let scalar_pp = scalar / patterns as f64;
+        let packed_pp = packed / patterns as f64;
+        let speedup = scalar_pp / packed_pp;
+        rows.push(vec![
+            name.to_string(),
+            faults.len().to_string(),
+            patterns.to_string(),
+            format!("{scalar_pp:.0}"),
+            format!("{packed_pp:.0}"),
+            format!("{speedup:.1}x"),
+        ]);
+        csv.push_str(&format!(
+            "{},{},{},{:.0},{:.0},{:.2}\n",
+            name,
+            faults.len(),
+            patterns,
+            scalar_pp,
+            packed_pp,
+            speedup
+        ));
+    }
+
+    println!("=== Scalar vs bit-parallel (PPSFP) stuck-at campaign ===\n");
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Chain",
+                "Faults",
+                "Patterns",
+                "Scalar ns/pat",
+                "Packed ns/pat",
+                "Speedup"
+            ],
+            &rows
+        )
+    );
+
+    match write_result("bitpar_speedup.csv", &csv) {
+        Ok(path) => println!(
+            "\nCSV written to {} (untracked timing data)",
+            path.display()
+        ),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

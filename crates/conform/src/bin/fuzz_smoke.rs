@@ -11,7 +11,9 @@ use std::path::Path;
 
 use conform::corpus;
 use conform::fuzz::{fuzz, FuzzConfig};
-use conform::oracle::{check_all, DiffOracle, LogicVsTransitionOracle, ScanVsFunctionalOracle};
+use conform::oracle::{
+    check_all, DiffOracle, LogicVsTransitionOracle, PackedVsScalarOracle, ScanVsFunctionalOracle,
+};
 use dft::chain_b::ChainB;
 use dsim::atpg::random_vectors;
 use dsim::transition::two_pattern_tests;
@@ -48,11 +50,14 @@ fn main() {
     let reloaded = corpus::load(path).expect("corpus load");
     assert_eq!(reloaded, single.corpus, "corpus roundtrip");
 
-    // The fuzzed corpus doubles as differential-oracle stimulus.
+    // The fuzzed corpus doubles as differential-oracle stimulus. Its
+    // length is whatever the fuzzer accepted — almost never a multiple of
+    // 64 — so the packed-vs-scalar oracle exercises a partial final word.
     let scan_oracle = ScanVsFunctionalOracle::new(circuit.clone(), single.corpus.clone());
     let transition_oracle =
         LogicVsTransitionOracle::new(circuit.clone(), two_pattern_tests(&single.corpus));
-    let oracles: [&dyn DiffOracle; 2] = [&scan_oracle, &transition_oracle];
+    let packed_oracle = PackedVsScalarOracle::new(circuit.clone(), single.corpus.clone());
+    let oracles: [&dyn DiffOracle; 3] = [&scan_oracle, &transition_oracle, &packed_oracle];
     if let Err(divergence) = check_all(oracles) {
         panic!("{divergence}");
     }

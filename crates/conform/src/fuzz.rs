@@ -12,11 +12,12 @@
 //!
 //! Candidate `k` of generation `g` is derived from the substream
 //! `Rng::seed_from_stream(seed, g·cpg + k)` and mutates the corpus as it
-//! stood at the *start* of the generation; footprints are evaluated with
-//! `rt::par::parallel_map_with` (order-preserving, pure per item) and
-//! merged sequentially in candidate order. The resulting corpus is
-//! therefore **byte-identical at any thread count** — same seed, same
-//! corpus, 1 worker or 16.
+//! stood at the *start* of the generation; footprints are evaluated on the
+//! packed simulator ([`dsim::bitpar`]) in 64-candidate blocks fanned
+//! across workers (order-preserving, pure per block) and merged
+//! sequentially in candidate order. The resulting corpus is therefore
+//! **byte-identical at any thread count** — same seed, same corpus,
+//! 1 worker or 16.
 //!
 //! # Examples
 //!
@@ -38,7 +39,7 @@ use dsim::scan::ScanVector;
 use link::prbs::Prbs;
 use rt::rng::Rng;
 
-use crate::coverage::{set_coverage, vector_coverage, NodeCoverage};
+use crate::coverage::{batch_footprints_with, set_coverage, vector_coverage, NodeCoverage};
 
 /// Fuzzer run parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,8 +122,10 @@ pub fn fuzz(circuit: &Circuit, baseline: &[ScanVector], cfg: &FuzzConfig) -> Fuz
                 mutate(circuit, &corpus, &mut rng)
             })
             .collect();
-        let footprints =
-            rt::par::parallel_map_with(cfg.threads, &candidates, |c| vector_coverage(circuit, c));
+        // Packed evaluation: 64 candidates per gate-level walk, blocks
+        // fanned across workers; footprints come back in candidate order
+        // regardless of thread count.
+        let footprints = batch_footprints_with(cfg.threads, circuit, &candidates);
         executions += candidates.len();
         for (cand, footprint) in candidates.iter().zip(&footprints) {
             if footprint.adds_over(&coverage) {

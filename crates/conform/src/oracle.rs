@@ -12,7 +12,10 @@
 //!   synchronizer against a gate-level replay of its window-comparator
 //!   decisions through `dft::chain_b`,
 //! * [`CampaignSnapshotOracle`] — the full fault campaign against the
-//!   paper's golden coverage snapshot under tolerance.
+//!   paper's golden coverage snapshot under tolerance,
+//! * [`PackedVsScalarOracle`] — the bit-parallel packed simulator
+//!   (`dsim::bitpar`) against the scalar reference: scan responses,
+//!   stuck-at coverage records and coverage footprints, bit-exact.
 //!
 //! The behavioral-vs-gate oracle carries a [`SeededMutant`] hook so the
 //! oracle itself can be mutation-tested: a deliberately wrong wiring must
@@ -33,14 +36,18 @@
 
 use dft::campaign::FaultCampaign;
 use dft::chain_b::ChainB;
+use dsim::bitpar;
 use dsim::circuit::{Circuit, SimState};
 use dsim::logic::Logic;
 use dsim::scan::{apply_vector, shift, ScanVector};
+use dsim::stuck_at::{scan_coverage, scan_coverage_scalar};
 use dsim::transition::{launch_capture_response, TwoPatternTest};
 use link::synchronizer::{decisions_from_trace, RunConfig, Synchronizer};
 use msim::effects::AnalogEffect;
 use msim::params::DesignParams;
 use msim::sim::Trace;
+
+use crate::coverage::{batch_footprints, vector_coverage};
 
 /// A cross-check failure: the two routes disagreed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -433,6 +440,98 @@ impl DiffOracle for CampaignSnapshotOracle {
                     result.scan_and_bist().len()
                 ),
             });
+        }
+        Ok(())
+    }
+}
+
+/// Packed (bit-parallel) vs scalar simulation: the word-packed two-plane
+/// simulator in [`dsim::bitpar`] must agree **bit-exactly** with the
+/// one-pattern-at-a-time scalar simulator on three independent routes —
+/// per-vector scan responses (lane extraction vs `apply_vector`,
+/// including partial final words and `X` lanes), whole stuck-at coverage
+/// records (`scan_coverage` on the PPSFP kernel vs
+/// `scan_coverage_scalar`, including the undetected fault order), and
+/// per-vector node-activation footprints (packed batch extraction vs
+/// `vector_coverage`).
+#[derive(Debug, Clone)]
+pub struct PackedVsScalarOracle {
+    circuit: Circuit,
+    vectors: Vec<ScanVector>,
+}
+
+impl PackedVsScalarOracle {
+    /// An oracle over `vectors` on `circuit`.
+    pub fn new(circuit: Circuit, vectors: Vec<ScanVector>) -> PackedVsScalarOracle {
+        PackedVsScalarOracle { circuit, vectors }
+    }
+}
+
+impl DiffOracle for PackedVsScalarOracle {
+    fn name(&self) -> &'static str {
+        "packed-vs-scalar"
+    }
+
+    fn check(&self) -> Result<(), Divergence> {
+        let c = &self.circuit;
+
+        // Route 1: packed scan responses, lane by lane.
+        for (bi, block) in self.vectors.chunks(bitpar::LANES).enumerate() {
+            let packed = bitpar::apply_vectors(c, &mut bitpar::PackedState::for_circuit(c), block);
+            for (k, v) in block.iter().enumerate() {
+                let scalar = apply_vector(c, &mut SimState::for_circuit(c), v);
+                let lane = bitpar::response_lane(&packed, k);
+                if lane != scalar {
+                    return Err(Divergence {
+                        oracle: self.name(),
+                        detail: format!(
+                            "{}: block {bi} lane {k}: packed (po {:?}, capture {:?}) \
+                             vs scalar (po {:?}, capture {:?})",
+                            c.name(),
+                            lane.po,
+                            lane.capture,
+                            scalar.po,
+                            scalar.capture,
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Route 2: whole coverage records, bit-exact including order.
+        let packed_cov = scan_coverage(c, &self.vectors);
+        let scalar_cov = scan_coverage_scalar(c, &self.vectors);
+        if packed_cov != scalar_cov {
+            return Err(Divergence {
+                oracle: self.name(),
+                detail: format!(
+                    "{}: PPSFP coverage {}/{} (undetected {:?}) vs scalar {}/{} (undetected {:?})",
+                    c.name(),
+                    packed_cov.detected(),
+                    packed_cov.total(),
+                    packed_cov.undetected(),
+                    scalar_cov.detected(),
+                    scalar_cov.total(),
+                    scalar_cov.undetected(),
+                ),
+            });
+        }
+
+        // Route 3: per-vector coverage footprints.
+        let packed_fp = batch_footprints(c, &self.vectors);
+        for (i, (v, fp)) in self.vectors.iter().zip(&packed_fp).enumerate() {
+            let scalar_fp = vector_coverage(c, v);
+            if *fp != scalar_fp {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{}: vector {i}: packed footprint {} points vs scalar {} points",
+                        c.name(),
+                        fp.points(),
+                        scalar_fp.points(),
+                    ),
+                });
+            }
         }
         Ok(())
     }

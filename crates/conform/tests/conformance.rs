@@ -3,17 +3,19 @@
 //! itself), and the coverage-guided fuzzer is deterministic and strictly
 //! beats its ATPG baseline.
 
-use conform::coverage::set_coverage;
+use conform::coverage::{batch_footprints, set_coverage, vector_coverage};
 use conform::fuzz::{fuzz, FuzzConfig};
 use conform::oracle::{
     check_all, BehavioralVsGateOracle, CampaignSnapshotOracle, DiffOracle, LogicVsTransitionOracle,
-    ScanVsFunctionalOracle, SeededMutant,
+    PackedVsScalarOracle, ScanVsFunctionalOracle, SeededMutant,
 };
 use dft::chain_b::ChainB;
 use dsim::atpg::random_vectors;
 use dsim::blocks::divider::Divider;
 use dsim::blocks::fsm::ControlFsm;
 use dsim::blocks::lock_counter::LockCounter;
+use dsim::logic::Logic;
+use dsim::scan::ScanVector;
 use dsim::transition::two_pattern_tests;
 use msim::params::DesignParams;
 
@@ -80,6 +82,53 @@ fn check_all_stops_at_the_first_divergence() {
     let oracles: [&dyn DiffOracle; 2] = [&mutated, &healthy];
     let err = check_all(oracles).expect_err("mutant first");
     assert_eq!(err.oracle, "behavioral-vs-gate");
+}
+
+/// Sprinkles `X` lanes over a vector set and appends an all-`X` vector,
+/// deterministically — stimulus for the packed three-valued corner cases.
+fn with_x_injection(mut vectors: Vec<ScanVector>) -> Vec<ScanVector> {
+    for (i, v) in vectors.iter_mut().enumerate() {
+        for (j, b) in v.pi.iter_mut().chain(v.load.iter_mut()).enumerate() {
+            if (i + j) % 5 == 0 {
+                *b = Logic::X;
+            }
+        }
+    }
+    if let Some(first) = vectors.first() {
+        vectors.push(ScanVector {
+            pi: vec![Logic::X; first.pi.len()],
+            load: vec![Logic::X; first.load.len()],
+        });
+    }
+    vectors
+}
+
+#[test]
+fn packed_simulation_agrees_with_scalar_simulation() {
+    let blocks = [
+        ("chain-b", ChainB::new(4).circuit().clone()),
+        ("divider", Divider::new(3).circuit().clone()),
+        ("lock-counter", LockCounter::new(3).circuit().clone()),
+        ("control-fsm", ControlFsm::new().circuit().clone()),
+    ];
+    for (name, circuit) in blocks {
+        // 70 vectors minus/plus X injection: a full 64-lane word plus a
+        // partial final word, with X lanes and one all-X plane.
+        let vectors = with_x_injection(random_vectors(&circuit, 70, 31));
+        let oracle = PackedVsScalarOracle::new(circuit, vectors);
+        assert!(oracle.check().is_ok(), "{name}: {:?}", oracle.check());
+    }
+}
+
+#[test]
+fn packed_footprints_match_scalar_footprints() {
+    let chain = ChainB::new(4);
+    let vectors = with_x_injection(random_vectors(chain.circuit(), 67, 13));
+    let packed = batch_footprints(chain.circuit(), &vectors);
+    assert_eq!(packed.len(), vectors.len());
+    for (i, (v, fp)) in vectors.iter().zip(&packed).enumerate() {
+        assert_eq!(*fp, vector_coverage(chain.circuit(), v), "vector {i}");
+    }
 }
 
 #[test]

@@ -1,0 +1,870 @@
+//! Bit-parallel (word-packed) three-valued simulation — the PPSFP kernel.
+//!
+//! Classic parallel-pattern single-fault propagation (PPSFP): 64 test
+//! patterns are packed into one machine word per net, so a single
+//! gate-level walk evaluates all 64 patterns at once. Three-valued logic
+//! uses a **two-plane encoding**: every packed value is a pair of `u64`
+//! planes, `val` and `known`, where lane *i* (bit *i*) holds pattern *i*:
+//!
+//! | lane state | `known` bit | `val` bit |
+//! |------------|-------------|-----------|
+//! | `0`        | 1           | 0         |
+//! | `1`        | 1           | 1         |
+//! | `X`        | 0           | 0         |
+//!
+//! The canonical invariant `val & !known == 0` (an `X` lane carries
+//! `val = 0`) makes equality of packed words coincide with lane-wise
+//! [`Logic`] equality, so the scalar simulator in [`crate::circuit`] and
+//! this module agree *bit-exactly* — a property the `conform` crate's
+//! packed-vs-scalar differential oracle and the `tests/packed_equivalence`
+//! suite enforce.
+//!
+//! On top of the packed evaluator sit the packed scan protocol
+//! ([`apply_vectors`], [`shift`]) and the PPSFP stuck-at fault-simulation
+//! kernel ([`ppsfp_detect`]) with fault dropping: once a fault is detected
+//! by any pattern block it is never simulated again.
+//!
+//! # Examples
+//!
+//! ```
+//! use dsim::atpg::random_vectors;
+//! use dsim::bitpar;
+//! use dsim::blocks::ring_counter::RingCounter;
+//! use dsim::stuck_at::enumerate_faults;
+//!
+//! let rc = RingCounter::new(4);
+//! let vectors = random_vectors(rc.circuit(), 64, 7);
+//! let faults = enumerate_faults(rc.circuit());
+//! let detected = bitpar::ppsfp_detect(rc.circuit(), &vectors, &faults);
+//! assert!(detected.iter().all(|&d| d), "ring counter reaches 100 %");
+//! ```
+
+use crate::circuit::{Circuit, Gate, GateKind, NetId};
+use crate::logic::Logic;
+use crate::scan::{ScanResponse, ScanVector};
+use crate::stuck_at::StuckAtFault;
+
+/// Patterns per packed word.
+pub const LANES: usize = 64;
+
+/// A mask selecting the first `lanes` lanes (all lanes for `lanes >= 64`).
+pub fn lane_mask(lanes: usize) -> u64 {
+    if lanes >= LANES {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// 64 three-valued logic lanes in the two-plane encoding.
+///
+/// Invariant (maintained by every constructor and operator): an unknown
+/// lane carries `val = 0`, i.e. `val & !known == 0`. Derived equality is
+/// therefore lane-wise [`Logic`] equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackedLogic {
+    val: u64,
+    known: u64,
+}
+
+impl PackedLogic {
+    /// All 64 lanes `X`.
+    pub const X: PackedLogic = PackedLogic { val: 0, known: 0 };
+
+    /// Builds a packed word from raw planes, canonicalizing `val` so that
+    /// unknown lanes carry `0`.
+    pub fn from_planes(val: u64, known: u64) -> PackedLogic {
+        PackedLogic {
+            val: val & known,
+            known,
+        }
+    }
+
+    /// Broadcasts one scalar value to all 64 lanes.
+    pub fn splat(v: Logic) -> PackedLogic {
+        match v {
+            Logic::Zero => PackedLogic {
+                val: 0,
+                known: u64::MAX,
+            },
+            Logic::One => PackedLogic {
+                val: u64::MAX,
+                known: u64::MAX,
+            },
+            Logic::X => PackedLogic::X,
+        }
+    }
+
+    /// Packs up to 64 scalar values into lanes `0..lanes.len()`; remaining
+    /// lanes are `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] values are given.
+    pub fn from_lanes(lanes: &[Logic]) -> PackedLogic {
+        assert!(lanes.len() <= LANES, "more than {LANES} lanes");
+        let mut val = 0u64;
+        let mut known = 0u64;
+        for (i, &l) in lanes.iter().enumerate() {
+            match l {
+                Logic::Zero => known |= 1 << i,
+                Logic::One => {
+                    known |= 1 << i;
+                    val |= 1 << i;
+                }
+                Logic::X => {}
+            }
+        }
+        PackedLogic { val, known }
+    }
+
+    /// The scalar value in lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn lane(self, i: usize) -> Logic {
+        assert!(i < LANES, "lane {i} out of range");
+        if (self.known >> i) & 1 == 1 {
+            Logic::from_bool((self.val >> i) & 1 == 1)
+        } else {
+            Logic::X
+        }
+    }
+
+    /// The `val` plane (canonical: `0` in unknown lanes).
+    pub fn val_mask(self) -> u64 {
+        self.val
+    }
+
+    /// The `known` plane (`1` = lane holds a known `0`/`1`).
+    pub fn known_mask(self) -> u64 {
+        self.known
+    }
+
+    /// Lanes observed at a known `0`.
+    pub fn zero_mask(self) -> u64 {
+        self.known & !self.val
+    }
+
+    /// Lanes observed at a known `1` (alias of [`Self::val_mask`] under the
+    /// canonical invariant).
+    pub fn one_mask(self) -> u64 {
+        self.val
+    }
+
+    /// Lane-wise [`Logic::not`].
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> PackedLogic {
+        PackedLogic {
+            val: !self.val & self.known,
+            known: self.known,
+        }
+    }
+
+    /// Lane-wise [`Logic::and`]: a controlling `0` forces `0` even against
+    /// `X`.
+    pub fn and(self, rhs: PackedLogic) -> PackedLogic {
+        PackedLogic {
+            val: self.val & rhs.val,
+            known: (self.known & rhs.known) | self.zero_mask() | rhs.zero_mask(),
+        }
+    }
+
+    /// Lane-wise [`Logic::or`]: a controlling `1` forces `1` even against
+    /// `X`.
+    pub fn or(self, rhs: PackedLogic) -> PackedLogic {
+        PackedLogic {
+            val: self.val | rhs.val,
+            known: (self.known & rhs.known) | self.val | rhs.val,
+        }
+    }
+
+    /// Lane-wise [`Logic::xor`]: any `X` input makes the lane `X`.
+    pub fn xor(self, rhs: PackedLogic) -> PackedLogic {
+        let known = self.known & rhs.known;
+        PackedLogic {
+            val: (self.val ^ rhs.val) & known,
+            known,
+        }
+    }
+
+    /// Lane-wise [`Logic::mux`]: known select picks an input; an `X` select
+    /// still resolves when both inputs agree at a known value.
+    pub fn mux(sel: PackedLogic, lo: PackedLogic, hi: PackedLogic) -> PackedLogic {
+        let pick_hi = sel.known & sel.val;
+        let pick_lo = sel.known & !sel.val;
+        let agree = !sel.known & lo.known & hi.known & !(lo.val ^ hi.val);
+        let known = (pick_hi & hi.known) | (pick_lo & lo.known) | agree;
+        PackedLogic {
+            val: ((pick_hi & hi.val) | (pick_lo & lo.val) | (agree & lo.val)) & known,
+            known,
+        }
+    }
+}
+
+impl std::ops::Not for PackedLogic {
+    type Output = PackedLogic;
+
+    fn not(self) -> PackedLogic {
+        PackedLogic::not(self)
+    }
+}
+
+/// Packed simulation state: the word-parallel twin of
+/// [`crate::circuit::SimState`], with the same stuck-at overlay semantics
+/// (the fault value is broadcast to every lane — *single* fault, parallel
+/// *patterns*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedState {
+    nets: Vec<PackedLogic>,
+    ff: Vec<PackedLogic>,
+    fault: Option<(NetId, Logic)>,
+}
+
+impl PackedState {
+    /// Creates an all-`X` state sized for `circuit`.
+    pub fn for_circuit(circuit: &Circuit) -> PackedState {
+        PackedState {
+            nets: vec![PackedLogic::X; circuit.net_count()],
+            ff: vec![PackedLogic::X; circuit.dff_count()],
+            fault: None,
+        }
+    }
+
+    /// Injects a stuck-at fault on `net`, pinning every lane; it overrides
+    /// every subsequent write of that net.
+    pub fn inject(&mut self, net: NetId, value: Logic) {
+        self.fault = Some((net, value));
+        self.nets[net.0] = PackedLogic::splat(value);
+    }
+
+    /// Removes any injected fault.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    fn write(&mut self, net: NetId, v: PackedLogic) {
+        self.nets[net.0] = match self.fault {
+            Some((f, fv)) if f == net => PackedLogic::splat(fv),
+            _ => v,
+        };
+    }
+
+    /// Sets a primary input word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input of `circuit`.
+    pub fn set_input(&mut self, circuit: &Circuit, net: NetId, v: PackedLogic) {
+        assert!(
+            circuit.inputs().contains(&net),
+            "{net} is not a primary input"
+        );
+        self.write(net, v);
+    }
+
+    /// Current packed value of a net.
+    pub fn net(&self, net: NetId) -> PackedLogic {
+        self.nets[net.0]
+    }
+
+    /// Current flip-flop contents in scan-chain order.
+    pub fn ff_values(&self) -> &[PackedLogic] {
+        &self.ff
+    }
+
+    /// Overwrites the flip-flop contents (packed scan load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the flip-flop count.
+    pub fn load_ffs(&mut self, values: &[PackedLogic]) {
+        assert_eq!(values.len(), self.ff.len(), "scan load length mismatch");
+        self.ff.copy_from_slice(values);
+    }
+
+    /// Packed output values in declaration order.
+    pub fn read_outputs(&self, circuit: &Circuit) -> Vec<PackedLogic> {
+        circuit.outputs().iter().map(|&n| self.net(n)).collect()
+    }
+}
+
+/// Evaluates one gate on the current state without allocating — the packed
+/// counterpart of the scalar per-gate `Vec<Logic>` collect (whose heap
+/// traffic dominates the scalar walk).
+fn eval_gate(g: &Gate, nets: &[PackedLogic]) -> PackedLogic {
+    let at = |n: NetId| nets[n.0];
+    let ins = g.inputs();
+    match g.kind() {
+        GateKind::Buf => at(ins[0]),
+        GateKind::Not => at(ins[0]).not(),
+        GateKind::And => ins
+            .iter()
+            .fold(PackedLogic::splat(Logic::One), |acc, &n| acc.and(at(n))),
+        GateKind::Nand => ins
+            .iter()
+            .fold(PackedLogic::splat(Logic::One), |acc, &n| acc.and(at(n)))
+            .not(),
+        GateKind::Or => ins
+            .iter()
+            .fold(PackedLogic::splat(Logic::Zero), |acc, &n| acc.or(at(n))),
+        GateKind::Nor => ins
+            .iter()
+            .fold(PackedLogic::splat(Logic::Zero), |acc, &n| acc.or(at(n)))
+            .not(),
+        GateKind::Xor => at(ins[0]).xor(at(ins[1])),
+        GateKind::Xnor => at(ins[0]).xor(at(ins[1])).not(),
+        GateKind::Mux => PackedLogic::mux(at(ins[0]), at(ins[1]), at(ins[2])),
+    }
+}
+
+/// Packed twin of [`Circuit::eval`]: drives flip-flop outputs, re-asserts
+/// primary inputs through the fault overlay, then runs the same bounded
+/// Gauss–Seidel relaxation in the same gate order.
+///
+/// Equivalence with the scalar evaluator is lane-wise: both walk gates in
+/// insertion order with immediate writes, so after each pass every lane
+/// holds exactly the scalar value of that pattern; converged lanes are
+/// fixpoints of further passes, and non-converging (oscillating) lanes run
+/// the identical `gate_count + 1` pass bound in both simulators.
+pub fn eval(circuit: &Circuit, state: &mut PackedState) {
+    for (i, ff) in circuit.dffs().iter().enumerate() {
+        let v = state.ff[i];
+        state.write(ff.q, v);
+    }
+    for &pi in circuit.inputs() {
+        let v = state.nets[pi.0];
+        state.write(pi, v);
+    }
+    for _ in 0..=circuit.gates().len() {
+        let mut changed = false;
+        for g in circuit.gates() {
+            let v = eval_gate(g, &state.nets);
+            if state.net(g.output()) != v {
+                state.write(g.output(), v);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Packed twin of [`Circuit::tick`]: evaluate, capture every flip-flop's
+/// `d` word, propagate the new outputs.
+pub fn tick(circuit: &Circuit, state: &mut PackedState) {
+    eval(circuit, state);
+    let next: Vec<PackedLogic> = circuit.dffs().iter().map(|ff| state.net(ff.d)).collect();
+    state.ff.copy_from_slice(&next);
+    eval(circuit, state);
+}
+
+/// Packed twin of [`crate::scan::shift`]: shifts 64 independent chain
+/// images one word at a time (first word enters first and ends up in the
+/// last flip-flop), returning the words shifted out.
+pub fn shift(
+    state: &mut PackedState,
+    circuit: &Circuit,
+    words: &[PackedLogic],
+) -> Vec<PackedLogic> {
+    let n = circuit.dff_count();
+    let mut ff = state.ff_values().to_vec();
+    let mut out = Vec::with_capacity(words.len());
+    for &w in words {
+        out.push(*ff.last().unwrap_or(&w));
+        if n > 0 {
+            ff.rotate_right(1);
+            ff[0] = w;
+        }
+    }
+    if n > 0 {
+        state.load_ffs(&ff);
+    }
+    out
+}
+
+/// Transposes up to 64 scan vectors into packed per-input and per-flip-flop
+/// words (lane *i* = vector *i*; unused lanes are `X`).
+///
+/// # Panics
+///
+/// Panics if more than [`LANES`] vectors are given or a vector's
+/// `pi`/`load` lengths do not match the circuit.
+pub fn pack_vectors(
+    circuit: &Circuit,
+    vectors: &[ScanVector],
+) -> (Vec<PackedLogic>, Vec<PackedLogic>) {
+    let block = PackedBlock::pack(circuit, vectors);
+    (block.pi, block.load)
+}
+
+/// A pre-transposed block of up to 64 scan vectors: pack once, replay
+/// against any number of faults. The PPSFP kernel packs each block a
+/// single time and shares it across every live fault's simulation — the
+/// transpose is O(vectors × bits) and would otherwise be paid per fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedBlock {
+    pi: Vec<PackedLogic>,
+    load: Vec<PackedLogic>,
+    lanes: usize,
+}
+
+impl PackedBlock {
+    /// Transposes `vectors` (lane *i* = vector *i*; unused lanes `X`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] vectors are given or a vector's
+    /// `pi`/`load` lengths do not match the circuit.
+    pub fn pack(circuit: &Circuit, vectors: &[ScanVector]) -> PackedBlock {
+        assert!(
+            vectors.len() <= LANES,
+            "more than {LANES} vectors per block"
+        );
+        for v in vectors {
+            assert_eq!(v.pi.len(), circuit.inputs().len(), "PI pattern length");
+            assert_eq!(v.load.len(), circuit.dff_count(), "scan load length");
+        }
+        let pack =
+            |field: &dyn Fn(&ScanVector, usize) -> Logic, count: usize| -> Vec<PackedLogic> {
+                (0..count)
+                    .map(|j| {
+                        let mut val = 0u64;
+                        let mut known = 0u64;
+                        for (i, v) in vectors.iter().enumerate() {
+                            match field(v, j) {
+                                Logic::Zero => known |= 1 << i,
+                                Logic::One => {
+                                    known |= 1 << i;
+                                    val |= 1 << i;
+                                }
+                                Logic::X => {}
+                            }
+                        }
+                        PackedLogic { val, known }
+                    })
+                    .collect()
+            };
+        PackedBlock {
+            pi: pack(&|v, j| v.pi[j], circuit.inputs().len()),
+            load: pack(&|v, j| v.load[j], circuit.dff_count()),
+            lanes: vectors.len(),
+        }
+    }
+
+    /// Live lanes (vectors in the block).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+}
+
+/// Applies a pre-packed block: loads the chain, applies the primary
+/// inputs, strobes the outputs, pulses one functional clock and captures —
+/// the replay half of [`apply_vectors`].
+pub fn apply_block(
+    circuit: &Circuit,
+    state: &mut PackedState,
+    block: &PackedBlock,
+) -> PackedResponse {
+    state.load_ffs(&block.load);
+    for (&net, &w) in circuit.inputs().iter().zip(&block.pi) {
+        state.write(net, w);
+    }
+    eval(circuit, state);
+    let po = state.read_outputs(circuit);
+    tick(circuit, state);
+    PackedResponse {
+        po,
+        capture: state.ff_values().to_vec(),
+        lanes: block.lanes,
+    }
+}
+
+/// The packed response to a block of scan vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedResponse {
+    /// Packed primary-output values after launch.
+    pub po: Vec<PackedLogic>,
+    /// Packed flip-flop contents captured by the functional clock.
+    pub capture: Vec<PackedLogic>,
+    /// Number of live lanes (= vectors in the block).
+    pub lanes: usize,
+}
+
+/// Packed twin of [`crate::scan::apply_vector`]: loads the chain, applies
+/// the primary inputs, strobes the outputs, pulses one functional clock and
+/// captures — for up to 64 vectors in one gate-level walk.
+///
+/// # Panics
+///
+/// Panics if more than [`LANES`] vectors are given or a vector's lengths do
+/// not match the circuit.
+pub fn apply_vectors(
+    circuit: &Circuit,
+    state: &mut PackedState,
+    vectors: &[ScanVector],
+) -> PackedResponse {
+    apply_block(circuit, state, &PackedBlock::pack(circuit, vectors))
+}
+
+/// Extracts one lane of a packed response as a scalar [`ScanResponse`].
+///
+/// # Panics
+///
+/// Panics if `lane` is not below the response's live lane count.
+pub fn response_lane(resp: &PackedResponse, lane: usize) -> ScanResponse {
+    assert!(
+        lane < resp.lanes,
+        "lane {lane} beyond {} vectors",
+        resp.lanes
+    );
+    ScanResponse {
+        po: resp.po.iter().map(|w| w.lane(lane)).collect(),
+        capture: resp.capture.iter().map(|w| w.lane(lane)).collect(),
+    }
+}
+
+/// Lanes where the faulty response observably differs from the golden one:
+/// the golden value is known and the faulty value is different (or `X`).
+/// This is the word-parallel form of the tester rule in
+/// `stuck_at::differs` — an `X` in the *golden* response cannot be
+/// compared, while a faulty `X` against a known golden value can.
+/// ([`block_detect_masks`] folds the same rule inline off the simulation
+/// state; this form compares two materialised responses.)
+pub fn detect_lanes(golden: &PackedResponse, faulty: &PackedResponse) -> u64 {
+    let mut m = 0u64;
+    for (g, f) in golden.po.iter().zip(&faulty.po) {
+        m |= g.known_mask() & (!f.known_mask() | (g.val_mask() ^ f.val_mask()));
+    }
+    for (g, f) in golden.capture.iter().zip(&faulty.capture) {
+        m |= g.known_mask() & (!f.known_mask() | (g.val_mask() ^ f.val_mask()));
+    }
+    m & lane_mask(golden.lanes)
+}
+
+/// Simulates one block of up to 64 vectors against every fault and returns
+/// each fault's detection lane mask (bit *i* set = vector *i* detects the
+/// fault). The golden response is computed once per call.
+pub fn block_detect_masks(
+    circuit: &Circuit,
+    block: &[ScanVector],
+    faults: &[StuckAtFault],
+) -> Vec<u64> {
+    block_detect_masks_with(1, circuit, block, faults)
+}
+
+/// [`block_detect_masks`] with an explicit worker-thread count. Results are
+/// identical at any thread count (the per-fault map is order-preserving).
+pub fn block_detect_masks_with(
+    threads: usize,
+    circuit: &Circuit,
+    block: &[ScanVector],
+    faults: &[StuckAtFault],
+) -> Vec<u64> {
+    let packed = PackedBlock::pack(circuit, block);
+    let golden = apply_block(circuit, &mut PackedState::for_circuit(circuit), &packed);
+    rt::par::parallel_map_with(threads, faults, |f| {
+        let mut state = PackedState::for_circuit(circuit);
+        state.inject(f.net, f.value());
+        // Inline replay of `apply_block` that folds the detection masks
+        // straight off the state — no per-fault response allocation.
+        state.load_ffs(&packed.load);
+        for (&net, &w) in circuit.inputs().iter().zip(&packed.pi) {
+            state.write(net, w);
+        }
+        eval(circuit, &mut state);
+        let mut m = 0u64;
+        for (g, &net) in golden.po.iter().zip(circuit.outputs()) {
+            let fv = state.net(net);
+            m |= g.known_mask() & (!fv.known_mask() | (g.val_mask() ^ fv.val_mask()));
+        }
+        // First half of `tick`: settle, then read what the flip-flops would
+        // capture. The trailing propagation eval of a full `tick` only
+        // updates net state this kernel is about to drop, so it is skipped.
+        eval(circuit, &mut state);
+        for (g, ff) in golden.capture.iter().zip(circuit.dffs()) {
+            let fv = state.net(ff.d);
+            m |= g.known_mask() & (!fv.known_mask() | (g.val_mask() ^ fv.val_mask()));
+        }
+        m & lane_mask(golden.lanes)
+    })
+}
+
+/// PPSFP fault simulation: packs `vectors` into 64-pattern blocks and
+/// fault-simulates each block against the still-undetected faults only
+/// (**fault dropping** — a fault detected in an earlier block is never
+/// simulated again). Returns one detection flag per fault, in `faults`
+/// order.
+pub fn ppsfp_detect(
+    circuit: &Circuit,
+    vectors: &[ScanVector],
+    faults: &[StuckAtFault],
+) -> Vec<bool> {
+    ppsfp_detect_with(1, circuit, vectors, faults)
+}
+
+/// [`ppsfp_detect`] with an explicit worker-thread count. Detection flags
+/// are identical at any thread count.
+pub fn ppsfp_detect_with(
+    threads: usize,
+    circuit: &Circuit,
+    vectors: &[ScanVector],
+    faults: &[StuckAtFault],
+) -> Vec<bool> {
+    let mut detected = vec![false; faults.len()];
+    let mut live: Vec<usize> = (0..faults.len()).collect();
+    for block in vectors.chunks(LANES) {
+        if live.is_empty() {
+            break;
+        }
+        let live_faults: Vec<StuckAtFault> = live.iter().map(|&i| faults[i]).collect();
+        let masks = block_detect_masks_with(threads, circuit, block, &live_faults);
+        let mut next_live = Vec::with_capacity(live.len());
+        for (&fi, &mask) in live.iter().zip(&masks) {
+            if mask != 0 {
+                detected[fi] = true;
+            } else {
+                next_live.push(fi);
+            }
+        }
+        live = next_live;
+    }
+    detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atpg::random_vectors;
+    use crate::circuit::SimState;
+    use crate::logic::Logic::{One, Zero, X};
+    use crate::scan::apply_vector;
+    use crate::stuck_at::enumerate_faults;
+
+    const ALL: [Logic; 3] = [Zero, One, X];
+
+    #[test]
+    fn packed_ops_match_scalar_truth_tables() {
+        for a in ALL {
+            let pa = PackedLogic::splat(a);
+            assert_eq!(pa.not().lane(0), a.not(), "not {a:?}");
+            for b in ALL {
+                let pb = PackedLogic::splat(b);
+                assert_eq!(pa.and(pb).lane(13), a.and(b), "and {a:?} {b:?}");
+                assert_eq!(pa.or(pb).lane(13), a.or(b), "or {a:?} {b:?}");
+                assert_eq!(pa.xor(pb).lane(13), a.xor(b), "xor {a:?} {b:?}");
+                for s in ALL {
+                    let ps = PackedLogic::splat(s);
+                    assert_eq!(
+                        PackedLogic::mux(ps, pa, pb).lane(63),
+                        Logic::mux(s, a, b),
+                        "mux {s:?} {a:?} {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_invariant_holds_through_ops() {
+        let mixed = PackedLogic::from_lanes(&[Zero, One, X, One, X, Zero]);
+        let ops = [
+            mixed.not(),
+            mixed.and(PackedLogic::X),
+            mixed.or(PackedLogic::X),
+            mixed.xor(PackedLogic::splat(One)),
+            PackedLogic::mux(PackedLogic::X, mixed, mixed.not()),
+            PackedLogic::from_planes(u64::MAX, 0b1010),
+        ];
+        for w in ops {
+            assert_eq!(w.val_mask() & !w.known_mask(), 0, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn lanes_roundtrip() {
+        let lanes = [One, Zero, X, One, X, Zero, One];
+        let w = PackedLogic::from_lanes(&lanes);
+        for (i, &l) in lanes.iter().enumerate() {
+            assert_eq!(w.lane(i), l);
+        }
+        // Unused lanes default to X.
+        assert_eq!(w.lane(lanes.len()), X);
+        assert_eq!(w.lane(63), X);
+    }
+
+    #[test]
+    fn splat_and_masks() {
+        assert_eq!(PackedLogic::splat(One).one_mask(), u64::MAX);
+        assert_eq!(PackedLogic::splat(Zero).zero_mask(), u64::MAX);
+        assert_eq!(PackedLogic::X.known_mask(), 0);
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(3), 0b111);
+        assert_eq!(lane_mask(64), u64::MAX);
+        assert_eq!(lane_mask(999), u64::MAX);
+    }
+
+    #[test]
+    fn packed_responses_match_scalar_per_lane() {
+        let rc = crate::blocks::ring_counter::RingCounter::new(4);
+        let c = rc.circuit();
+        let vectors = random_vectors(c, 50, 3); // partial final... single partial block
+        let resp = apply_vectors(c, &mut PackedState::for_circuit(c), &vectors);
+        for (i, v) in vectors.iter().enumerate() {
+            let scalar = apply_vector(c, &mut SimState::for_circuit(c), v);
+            assert_eq!(response_lane(&resp, i), scalar, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn packed_shift_matches_scalar_shift_per_lane() {
+        let rc = crate::blocks::ring_counter::RingCounter::new(5);
+        let c = rc.circuit();
+        let n = c.dff_count();
+        let pattern = [One, Zero, X];
+        let words: Vec<PackedLogic> = (0..n)
+            .map(|i| {
+                PackedLogic::from_lanes(&[
+                    pattern[i % 3],
+                    pattern[(i + 1) % 3],
+                    pattern[(i + 2) % 3],
+                ])
+            })
+            .collect();
+        let mut packed = PackedState::for_circuit(c);
+        let out = shift(&mut packed, c, &words);
+        for lane in 0..3 {
+            let bits: Vec<Logic> = words.iter().map(|w| w.lane(lane)).collect();
+            let mut scalar = SimState::for_circuit(c);
+            let sout = crate::scan::shift(&mut scalar, c, &bits);
+            let pout: Vec<Logic> = out.iter().map(|w| w.lane(lane)).collect();
+            assert_eq!(pout, sout, "lane {lane}");
+            let pff: Vec<Logic> = packed.ff_values().iter().map(|w| w.lane(lane)).collect();
+            assert_eq!(pff, scalar.ff_values(), "lane {lane} ff");
+        }
+    }
+
+    #[test]
+    fn fault_overlay_pins_every_lane() {
+        let mut c = Circuit::new("and2");
+        let a = c.input("a");
+        let b = c.input("b");
+        let y = c.net("y");
+        c.gate(GateKind::And, &[a, b], y);
+        c.output(y);
+        let mut s = PackedState::for_circuit(&c);
+        s.inject(y, One);
+        s.set_input(&c, a, PackedLogic::splat(Zero));
+        s.set_input(&c, b, PackedLogic::from_lanes(&[Zero, One, X]));
+        eval(&c, &mut s);
+        assert_eq!(s.net(y), PackedLogic::splat(One), "sa1 wins in all lanes");
+        s.clear_fault();
+        eval(&c, &mut s);
+        assert_eq!(s.net(y), PackedLogic::splat(Zero));
+    }
+
+    #[test]
+    fn ppsfp_matches_scalar_coverage_on_blocks() {
+        for (name, circuit, seed) in [
+            (
+                "ring",
+                crate::blocks::ring_counter::RingCounter::new(4)
+                    .circuit()
+                    .clone(),
+                7,
+            ),
+            (
+                "divider",
+                crate::blocks::divider::Divider::new(3).circuit().clone(),
+                11,
+            ),
+        ] {
+            // 70 vectors: one full word plus a partial final word.
+            let vectors = random_vectors(&circuit, 70, seed);
+            let faults = enumerate_faults(&circuit);
+            let packed = ppsfp_detect(&circuit, &vectors, &faults);
+            let scalar = crate::stuck_at::scan_coverage_scalar(&circuit, &vectors);
+            let scalar_detected: Vec<bool> = faults
+                .iter()
+                .map(|f| !scalar.undetected().contains(f))
+                .collect();
+            assert_eq!(packed, scalar_detected, "{name}");
+        }
+    }
+
+    #[test]
+    fn ppsfp_thread_count_is_invisible() {
+        let rc = crate::blocks::ring_counter::RingCounter::new(4);
+        let vectors = random_vectors(rc.circuit(), 96, 5);
+        let faults = enumerate_faults(rc.circuit());
+        let one = ppsfp_detect_with(1, rc.circuit(), &vectors, &faults);
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                ppsfp_detect_with(threads, rc.circuit(), &vectors, &faults),
+                one,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_vectors_detect_nothing() {
+        let rc = crate::blocks::ring_counter::RingCounter::new(3);
+        let faults = enumerate_faults(rc.circuit());
+        let detected = ppsfp_detect(rc.circuit(), &[], &faults);
+        assert!(detected.iter().all(|&d| !d));
+        assert_eq!(detected.len(), faults.len());
+    }
+
+    #[test]
+    fn all_x_vectors_detect_nothing() {
+        // An all-X golden response has no known strobe positions, so no
+        // fault can be marked detected — the tester rule, word-parallel.
+        let rc = crate::blocks::ring_counter::RingCounter::new(3);
+        let c = rc.circuit();
+        let v = ScanVector {
+            pi: vec![X; c.inputs().len()],
+            load: vec![X; c.dff_count()],
+        };
+        let faults = enumerate_faults(c);
+        let detected = ppsfp_detect(c, &vec![v; 65], &faults);
+        assert!(detected.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn detect_mask_limited_to_live_lanes() {
+        let mut c = Circuit::new("buf");
+        let a = c.input("a");
+        let y = c.net("y");
+        c.gate(GateKind::Buf, &[a], y);
+        c.output(y);
+        let v = ScanVector {
+            pi: vec![Zero],
+            load: vec![],
+        };
+        // Three live lanes; the sa1 fault is visible in each of them but
+        // the mask must not leak into the 61 dead lanes.
+        let faults = [StuckAtFault {
+            net: a,
+            stuck_high: true,
+        }];
+        let masks = block_detect_masks(&c, &[v.clone(), v.clone(), v], &faults);
+        assert_eq!(masks, vec![0b111]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vectors per block")]
+    fn oversized_block_panics() {
+        let mut c = Circuit::new("buf");
+        let a = c.input("a");
+        let y = c.net("y");
+        c.gate(GateKind::Buf, &[a], y);
+        let v = ScanVector {
+            pi: vec![Zero],
+            load: vec![],
+        };
+        let _ = pack_vectors(&c, &vec![v; 65]);
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`logic`] — three-valued logic (`0`, `1`, `X`),
 //! * [`circuit`] — gate-level circuits with scannable flip-flops and a
 //!   stuck-at fault overlay,
+//! * [`bitpar`] — bit-parallel (64-pattern word-packed) simulation and the
+//!   PPSFP stuck-at kernel with fault dropping that the campaign hot paths
+//!   run on,
 //! * [`scan`] — the scan protocol (load / launch-capture / unload) and
 //!   chain-continuity checks,
 //! * [`stuck_at`] — single stuck-at fault enumeration and fault
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod atpg;
+pub mod bitpar;
 pub mod blocks;
 pub mod circuit;
 pub mod collapse;

@@ -118,7 +118,46 @@ fn differs(golden: &ScanResponse, faulty: &ScanResponse) -> bool {
 /// Fault-simulates every stuck-at fault against the pattern set and
 /// reports coverage. Detection = any pattern whose faulty response differs
 /// from the golden response at a known-value position.
+///
+/// Runs on the bit-parallel PPSFP kernel ([`crate::bitpar`]): 64 patterns
+/// per word, fault dropping across pattern blocks, and (for large
+/// fault × pattern products) the worker pool from [`rt::par`]. The result
+/// is bit-identical to [`scan_coverage_scalar`] — including the
+/// `undetected` fault order — at any thread count; the `conform` crate's
+/// packed-vs-scalar oracle enforces this.
 pub fn scan_coverage(circuit: &Circuit, vectors: &[ScanVector]) -> StuckAtCoverage {
+    let faults = enumerate_faults(circuit);
+    // Gate-eval work estimate; tiny property-test circuits stay on one
+    // thread to avoid paying pool spawn latency thousands of times.
+    let work = faults
+        .len()
+        .saturating_mul(vectors.len())
+        .saturating_mul(circuit.gate_count().max(1));
+    let threads = if work > (1 << 22) {
+        rt::par::threads()
+    } else {
+        1
+    };
+    let flags = crate::bitpar::ppsfp_detect_with(threads, circuit, vectors, &faults);
+    let mut detected = 0;
+    let mut undetected = Vec::new();
+    for (fault, hit) in faults.into_iter().zip(flags) {
+        if hit {
+            detected += 1;
+        } else {
+            undetected.push(fault);
+        }
+    }
+    StuckAtCoverage {
+        detected,
+        undetected,
+    }
+}
+
+/// The original one-pattern-at-a-time fault simulator, kept as the
+/// reference implementation the packed kernel is differentially tested
+/// against (and as the ground truth for the `bitpar_speedup` benchmark).
+pub fn scan_coverage_scalar(circuit: &Circuit, vectors: &[ScanVector]) -> StuckAtCoverage {
     let golden: Vec<ScanResponse> = vectors.iter().map(|v| respond(circuit, v, None)).collect();
     let mut detected = 0;
     let mut undetected = Vec::new();

@@ -27,23 +27,54 @@
 //! ```
 
 /// Gaussian right-tail probability `Q(x) = 0.5 * erfc(x / sqrt(2))`.
-///
-/// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
-/// (absolute error < 1.5e-7), ample for bathtub plotting.
 pub fn q_function(x: f64) -> f64 {
     0.5 * erfc(x / std::f64::consts::SQRT_2)
 }
 
-/// Complementary error function via Abramowitz–Stegun 7.1.26.
+/// Switch-over point between the A–S polynomial and the continued
+/// fraction: at `x = 2` the polynomial's ~1.5e-7 absolute error is still
+/// orders of magnitude below `erfc(2) ≈ 4.68e-3`, while beyond it the
+/// *relative* error blows up and the tail eventually goes negative.
+const ERFC_TAIL_SWITCH: f64 = 2.0;
+
+/// Complementary error function.
+///
+/// Near the origin (`|x| < 2`) this is the Abramowitz–Stegun 7.1.26
+/// rational approximation (absolute error < 1.5e-7). That polynomial's
+/// error term dominates the true value deep in the tail — around
+/// `x ≈ 3.7` it returns *negative* "probabilities", which used to corrupt
+/// log-scale bathtub floors and the `timing_margin` bisection. The far
+/// tail therefore switches to the Legendre continued fraction
+///
+/// ```text
+/// erfc(x) = exp(-x²)/√π · 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + …))))
+/// ```
+///
+/// evaluated bottom-up, whose *relative* error at `x ≥ 2` is far below
+/// the polynomial's. The result is always within `[0, 2]` (and `[0, 1]`
+/// for `x ≥ 0`), monotonically decreasing, and strictly positive for any
+/// finite argument until it underflows to `+0.0`.
 pub fn erfc(x: f64) -> f64 {
     if x < 0.0 {
-        return 2.0 - erfc(-x);
+        return (2.0 - erfc(-x)).clamp(0.0, 2.0);
     }
-    let t = 1.0 / (1.0 + 0.3275911 * x);
-    let poly = t
-        * (0.254829592
-            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
-    poly * (-x * x).exp()
+    let r = if x < ERFC_TAIL_SWITCH {
+        let t = 1.0 / (1.0 + 0.3275911 * x);
+        let poly = t
+            * (0.254829592
+                + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        poly * (-x * x).exp()
+    } else {
+        // Bottom-up evaluation of the continued fraction with terms
+        // a_n = n/2: the denominator chain x + a_1/(x + a_2/(x + …)).
+        // 60 levels is converged to double precision for every x >= 2.
+        let mut k = 0.0f64;
+        for n in (1..=60).rev() {
+            k = (n as f64 / 2.0) / (x + k);
+        }
+        (-x * x).exp() / ((x + k) * std::f64::consts::PI.sqrt())
+    };
+    r.clamp(0.0, 1.0)
 }
 
 /// A Gaussian-jitter eye model.
@@ -136,6 +167,79 @@ mod tests {
         assert!((q_function(3.0) - 1.3499e-3).abs() < 1e-5);
         // Symmetry: Q(-x) = 1 - Q(x).
         assert!((q_function(-1.0) + q_function(1.0) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn erfc_deep_tail_known_points() {
+        // Continued-fraction region, values to >= 6 significant digits.
+        for (x, want) in [
+            (2.0, 4.677735e-3),
+            (3.0, 2.209050e-5),
+            (4.0, 1.541726e-8),
+            (5.0, 1.537460e-12),
+            (6.0, 2.151973e-17),
+            (8.0, 1.122430e-29),
+        ] {
+            let got = erfc(x);
+            assert!(
+                ((got - want) / want).abs() < 1e-6,
+                "erfc({x}) = {got:e}, want {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_never_negative_and_bounded() {
+        // Regression: the bare A–S polynomial goes negative near x ≈ 3.7
+        // (≈ -9e-8), poisoning log-scale bathtubs. Sweep the whole usable
+        // range on both sides, including the polynomial/continued-fraction
+        // switch-over, at fine steps.
+        let mut x = -30.0f64;
+        while x <= 30.0 {
+            let v = erfc(x);
+            assert!((0.0..=2.0).contains(&v), "erfc({x}) = {v} out of [0, 2]");
+            if x >= 0.0 {
+                assert!(v <= 1.0, "erfc({x}) = {v} above 1");
+            }
+            x += 0.01;
+        }
+        // Deep tail underflows to +0.0, never to a negative number.
+        assert_eq!(erfc(40.0), 0.0);
+        assert!(erfc(40.0).is_sign_positive());
+    }
+
+    #[test]
+    fn erfc_is_monotone_decreasing() {
+        // Monotone non-increasing across the sweep, strictly decreasing
+        // away from the saturated ends (erfc(x) rounds to exactly 2.0 for
+        // x ≲ -5.9 and underflows to 0.0 past x ≈ 26.5) — in particular
+        // across the x = 2 switch-over.
+        let mut x = -10.0f64;
+        let mut prev = erfc(x);
+        x += 0.01;
+        while x <= 28.0 {
+            let v = erfc(x);
+            assert!(v <= prev, "erfc not monotone at {x}: {v} > {prev}");
+            if prev <= 1.99 && v > 0.0 && x < 26.0 {
+                assert!(v < prev, "erfc stalled at {x}");
+            }
+            prev = v;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn deep_bathtub_floor_is_a_probability() {
+        // The motivating failure: far from center the two-edge sum used
+        // to dip below zero. The floor must stay a probability.
+        let m = BerModel::new(0.5, 0.45, 0.045);
+        let mut phi = 0.05;
+        while phi <= 0.95 {
+            let b = m.ber_at(phi);
+            assert!((0.0..=1.0).contains(&b), "ber_at({phi}) = {b}");
+            phi += 0.001;
+        }
+        assert!(m.ber_at(0.5) >= 0.0);
     }
 
     #[test]

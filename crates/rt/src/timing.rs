@@ -38,8 +38,19 @@ pub struct BenchResult {
 
 impl BenchResult {
     /// Iterations per second implied by the median sample.
+    ///
+    /// A sub-nanosecond closure can round `median_ns` down to `0.0` after
+    /// calibration; `1e9 / 0.0` would report `inf` iterations per second
+    /// (and `NaN` for a degenerate negative reading). Such measurements
+    /// saturate at the throughput implied by one timer tick (1 ns) per
+    /// iteration instead — finite, and an explicit "faster than the clock
+    /// resolves" ceiling.
     pub fn throughput_per_sec(&self) -> f64 {
-        1e9 / self.median_ns
+        if self.median_ns >= 1.0 {
+            1e9 / self.median_ns
+        } else {
+            1e9
+        }
     }
 }
 
@@ -183,6 +194,34 @@ mod tests {
         assert!(r.median_ns >= r.min_ns);
         assert!(r.iters_per_sample >= 1);
         assert!(r.throughput_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn zero_median_saturates_instead_of_inf() {
+        let r = BenchResult {
+            name: "degenerate".to_string(),
+            iters_per_sample: 1,
+            samples: 1,
+            min_ns: 0.0,
+            median_ns: 0.0,
+            mean_ns: 0.0,
+        };
+        let t = r.throughput_per_sec();
+        assert!(t.is_finite(), "zero median must not yield inf: {t}");
+        assert!(!t.is_nan());
+        assert_eq!(t, 1e9, "saturates at one iteration per timer tick");
+        // Sub-tick medians saturate the same way.
+        let sub = BenchResult {
+            median_ns: 0.25,
+            ..r.clone()
+        };
+        assert_eq!(sub.throughput_per_sec(), 1e9);
+        // Normal medians are unaffected.
+        let normal = BenchResult {
+            median_ns: 4.0,
+            ..r
+        };
+        assert_eq!(normal.throughput_per_sec(), 0.25e9);
     }
 
     #[test]

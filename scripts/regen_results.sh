@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every *tracked* file under results/ from source.
+#
+# Contract (see EXPERIMENTS.md): tracked results are deterministic — same
+# sources, same seeds, same bytes on any machine — so CI regenerates them
+# and fails on `git diff`. Timing measurements (results/bitpar_speedup.csv,
+# the fuzz corpus) are machine-dependent and stay untracked/ignored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bins=(
+    fig2_lock_acquisition
+    table1_fault_coverage
+    bist_lock_time
+    eye_ablation
+    bathtub
+    mismatch_monte_carlo
+    fuzz_coverage
+    test_program_listing
+    reproduction_report
+)
+
+for bin in "${bins[@]}"; do
+    echo "==> cargo run -p bench --release --offline --bin $bin"
+    cargo run -q -p bench --release --offline --bin "$bin" > /dev/null
+done
+
+echo "regen_results: OK"
