@@ -9,7 +9,7 @@
 //! Writes `results/bathtub.csv` (`phase_ui,ber`) and prints an ASCII
 //! bathtub plus timing margins at standard BER targets.
 
-use bench::write_result;
+use bench::{save_artifact, Csv};
 use dft::report::render_table;
 use link::ber::BerModel;
 use link::config::LinkConfig;
@@ -19,14 +19,11 @@ fn main() {
     let m = BerModel::new(cfg.eye_center_ui, cfg.eye_half_width_ui, cfg.jitter_rms_ui);
 
     let curve = m.bathtub(61);
-    let mut csv = String::from("phase_ui,ber\n");
+    let mut csv = Csv::new(&["phase_ui", "ber"]);
     for (phi, ber) in &curve {
-        csv.push_str(&format!("{phi:.4},{ber:.3e}\n"));
+        csv.row(&[format!("{phi:.4}"), format!("{ber:.3e}")]);
     }
-    match write_result("bathtub.csv", &csv) {
-        Ok(path) => println!("CSV written to {}\n", path.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
-    }
+    save_artifact("CSV", "bathtub.csv", csv.as_str());
 
     println!("=== BER bathtub (log10 BER vs sampling phase) ===\n");
     for (phi, ber) in curve.iter().step_by(3) {

@@ -7,7 +7,7 @@
 //! cargo run -p bench --bin bist_lock_time
 //! ```
 
-use bench::write_result;
+use bench::{save_artifact, Csv};
 use dft::report::render_table;
 use link::synchronizer::{RunConfig, Synchronizer};
 use msim::params::DesignParams;
@@ -16,7 +16,13 @@ fn main() {
     let p = DesignParams::paper();
     println!("=== Section III: BIST lock time from every initial phase ===\n");
     let mut rows = Vec::new();
-    let mut csv = String::from("initial_phase,lock_cycles,lock_us,corrections,locked\n");
+    let mut csv = Csv::new(&[
+        "initial_phase",
+        "lock_cycles",
+        "lock_us",
+        "corrections",
+        "locked",
+    ]);
     let mut worst_cycles = 0u64;
     let mut worst_corrections = 0u64;
     for phase0 in 0..p.dll_phases {
@@ -32,12 +38,13 @@ fn main() {
             out.corrections.to_string(),
             out.locked.to_string(),
         ]);
-        csv.push_str(&format!(
-            "{phase0},{cycles},{:.3},{},{}\n",
-            cycles as f64 * p.ui().us(),
-            out.corrections,
-            out.locked
-        ));
+        csv.row(&[
+            phase0.to_string(),
+            cycles.to_string(),
+            format!("{:.3}", cycles as f64 * p.ui().us()),
+            out.corrections.to_string(),
+            out.locked.to_string(),
+        ]);
     }
     print!(
         "{}",
@@ -52,10 +59,7 @@ fn main() {
             &rows
         )
     );
-    match write_result("bist_lock_time.csv", &csv) {
-        Ok(path) => println!("\nCSV written to {}", path.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
-    }
+    save_artifact("CSV", "bist_lock_time.csv", csv.as_str());
     println!(
         "\nWorst case: {} cycles ({:.2} us) with {} corrections.",
         worst_cycles,

@@ -18,7 +18,7 @@
 
 use std::time::Duration;
 
-use bench::write_result;
+use bench::{save_artifact, Csv};
 use dft::chain_b::ChainB;
 use dft::report::render_table;
 use dsim::atpg::random_vectors;
@@ -48,8 +48,14 @@ fn main() {
         .with_budget(Duration::from_millis(1200))
         .with_samples(21);
     let mut rows = Vec::new();
-    let mut csv =
-        String::from("chain,faults,patterns,scalar_ns_per_pattern,packed_ns_per_pattern,speedup\n");
+    let mut csv = Csv::new(&[
+        "chain",
+        "faults",
+        "patterns",
+        "scalar_ns_per_pattern",
+        "packed_ns_per_pattern",
+        "speedup",
+    ]);
     for (name, circuit, seed) in &chains {
         let vectors = random_vectors(circuit, patterns, *seed);
         let faults = enumerate_faults(circuit);
@@ -79,15 +85,14 @@ fn main() {
             format!("{packed_pp:.0}"),
             format!("{speedup:.1}x"),
         ]);
-        csv.push_str(&format!(
-            "{},{},{},{:.0},{:.0},{:.2}\n",
-            name,
-            faults.len(),
-            patterns,
-            scalar_pp,
-            packed_pp,
-            speedup
-        ));
+        csv.row(&[
+            name.to_string(),
+            faults.len().to_string(),
+            patterns.to_string(),
+            format!("{scalar_pp:.0}"),
+            format!("{packed_pp:.0}"),
+            format!("{speedup:.2}"),
+        ]);
     }
 
     println!("=== Scalar vs bit-parallel (PPSFP) stuck-at campaign ===\n");
@@ -106,11 +111,5 @@ fn main() {
         )
     );
 
-    match write_result("bitpar_speedup.csv", &csv) {
-        Ok(path) => println!(
-            "\nCSV written to {} (untracked timing data)",
-            path.display()
-        ),
-        Err(e) => eprintln!("could not write CSV: {e}"),
-    }
+    save_artifact("untracked timing CSV", "bitpar_speedup.csv", csv.as_str());
 }

@@ -11,7 +11,7 @@
 //! line RC, printing the worst-case vertical eye opening at the best
 //! sampling phase. Writes `results/eye_ablation.csv`.
 
-use bench::write_result;
+use bench::{save_artifact, Csv};
 use dft::report::render_table;
 use link::config::LinkConfig;
 use link::LowSwingLink;
@@ -32,7 +32,7 @@ fn eye_opening(cfg: LinkConfig, bits: &[bool]) -> (f64, f64) {
 
 fn main() {
     let bits = prbs(768, 42);
-    let mut csv = String::from("sweep,value,opening_mv,best_phase_ui\n");
+    let mut csv = Csv::new(&["sweep", "value", "opening_mv", "best_phase_ui"]);
 
     println!("=== FFE ablation: eye opening vs equalizer boost ===\n");
     let mut rows = Vec::new();
@@ -50,7 +50,12 @@ fn main() {
             format!("{mv:.1} mV"),
             format!("{phase:.2} UI"),
         ]);
-        csv.push_str(&format!("boost,{boost},{mv:.3},{phase:.3}\n"));
+        csv.row(&[
+            "boost".to_string(),
+            boost.to_string(),
+            format!("{mv:.3}"),
+            format!("{phase:.3}"),
+        ]);
     }
     print!(
         "{}",
@@ -72,18 +77,27 @@ fn main() {
             format!("{plain_mv:.1} mV"),
             format!("{eq_mv:.1} mV"),
         ]);
-        csv.push_str(&format!("channel_eq,{r_kohm},{eq_mv:.3},\n"));
-        csv.push_str(&format!("channel_plain,{r_kohm},{plain_mv:.3},\n"));
+        // The channel rows have no best-phase measurement: the trailing
+        // cell stays empty, exactly as the hand-rolled rows left it.
+        csv.row(&[
+            "channel_eq".to_string(),
+            r_kohm.to_string(),
+            format!("{eq_mv:.3}"),
+            String::new(),
+        ]);
+        csv.row(&[
+            "channel_plain".to_string(),
+            r_kohm.to_string(),
+            format!("{plain_mv:.3}"),
+            String::new(),
+        ]);
     }
     print!(
         "{}",
         render_table(&["Line (R/C)", "Unequalized", "Equalized"], &rows)
     );
 
-    match write_result("eye_ablation.csv", &csv) {
-        Ok(path) => println!("\nCSV written to {}", path.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
-    }
+    save_artifact("CSV", "eye_ablation.csv", csv.as_str());
     println!(
         "\nShape check (paper's premise): the unequalized eye collapses as\n\
          the line RC grows past the bit time; the capacitive FFE holds it\n\

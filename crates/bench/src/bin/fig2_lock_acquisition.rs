@@ -11,7 +11,7 @@
 //! summary the figure conveys (lock from startup well inside the 2 µs
 //! BIST budget after a handful of coarse corrections).
 
-use bench::write_result;
+use bench::save_artifact;
 use link::synchronizer::{RunConfig, Synchronizer};
 use msim::params::DesignParams;
 use msim::sim::Trace;
@@ -23,17 +23,12 @@ fn main() {
     let rc = RunConfig::paper_bist();
     let outcome = sync.run(&rc, Some(&mut trace));
 
-    match write_result("fig2_lock_acquisition.csv", &trace.to_csv()) {
-        Ok(path) => println!("CSV written to {}", path.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
-    }
-    match write_result(
+    save_artifact("CSV", "fig2_lock_acquisition.csv", &trace.to_csv());
+    save_artifact(
+        "GTKWave-compatible VCD",
         "fig2_lock_acquisition.vcd",
         &msim::vcd::to_vcd(&trace, "synchronizer"),
-    ) {
-        Ok(path) => println!("VCD written to {} (GTKWave-compatible)", path.display()),
-        Err(e) => eprintln!("could not write VCD: {e}"),
-    }
+    );
 
     println!("\n=== Fig. 2: Vc and DLL phase from startup to lock ===\n");
     // ASCII rendering: Vc as a column position, phase as an annotation.

@@ -9,7 +9,7 @@
 //! Writes `results/fuzz_coverage.csv`
 //! (`chain,total_points,baseline_points,fuzzed_points,gain,accepted`).
 
-use bench::write_result;
+use bench::{save_artifact, Csv};
 use conform::coverage::set_coverage;
 use conform::fuzz::{fuzz, FuzzConfig};
 use dft::chain_b::ChainB;
@@ -40,7 +40,14 @@ fn main() {
     };
 
     let mut rows = Vec::new();
-    let mut csv = String::from("chain,total_points,baseline_points,fuzzed_points,gain,accepted\n");
+    let mut csv = Csv::new(&[
+        "chain",
+        "total_points",
+        "baseline_points",
+        "fuzzed_points",
+        "gain",
+        "accepted",
+    ]);
     for (name, circuit, baseline_n, seed) in &chains {
         let baseline = random_vectors(circuit, *baseline_n, *seed);
         let base = set_coverage(circuit, &baseline);
@@ -57,15 +64,14 @@ fn main() {
             format!("+{}", report.gain()),
             report.accepted.to_string(),
         ]);
-        csv.push_str(&format!(
-            "{},{},{},{},{},{}\n",
-            name,
-            base.total(),
-            base.points(),
-            report.coverage.points(),
-            report.gain(),
-            report.accepted
-        ));
+        csv.row(&[
+            name.to_string(),
+            base.total().to_string(),
+            base.points().to_string(),
+            report.coverage.points().to_string(),
+            report.gain().to_string(),
+            report.accepted.to_string(),
+        ]);
     }
 
     println!("=== Coverage-guided fuzzing vs ATPG baseline ===\n");
@@ -77,10 +83,7 @@ fn main() {
         )
     );
 
-    match write_result("fuzz_coverage.csv", &csv) {
-        Ok(path) => println!("\nCSV written to {}", path.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
-    }
+    save_artifact("CSV", "fuzz_coverage.csv", csv.as_str());
 
     println!(
         "\nThe fuzzer's gains concentrate on deep sequential corners (lock\n\

@@ -11,7 +11,7 @@
 //! reports the healthy false-failure rate and the escape inflation of a
 //! marginal 20 mV fault. Writes `results/mismatch_monte_carlo.csv`.
 
-use bench::write_result;
+use bench::{save_artifact, Csv};
 use dft::mismatch::MonteCarlo;
 use dft::report::{percent, render_table};
 use msim::params::DesignParams;
@@ -24,18 +24,18 @@ fn main() {
     println!("=== Programmed 15 mV offset vs process mismatch ({TRIALS} dies/point) ===\n");
     let sweep = MonteCarlo::sweep(&p, &sigmas, TRIALS);
     let mut rows = Vec::new();
-    let mut csv = String::from("sigma_mv,false_failure_rate,escape_rate\n");
+    let mut csv = Csv::new(&["sigma_mv", "false_failure_rate", "escape_rate"]);
     for (sigma, r) in &sweep {
         rows.push(vec![
             format!("{sigma} mV"),
             percent(r.false_failure_rate()),
             percent(r.escape_rate()),
         ]);
-        csv.push_str(&format!(
-            "{sigma},{:.6},{:.6}\n",
-            r.false_failure_rate(),
-            r.escape_rate()
-        ));
+        csv.row(&[
+            sigma.to_string(),
+            format!("{:.6}", r.false_failure_rate()),
+            format!("{:.6}", r.escape_rate()),
+        ]);
     }
     print!(
         "{}",
@@ -49,10 +49,7 @@ fn main() {
         )
     );
 
-    match write_result("mismatch_monte_carlo.csv", &csv) {
-        Ok(path) => println!("\nCSV written to {}", path.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
-    }
+    save_artifact("CSV", "mismatch_monte_carlo.csv", csv.as_str());
 
     println!(
         "\nAt the few-mV sigma of a common-centroid 130 nm comparator the\n\

@@ -1,0 +1,50 @@
+//! Instrumented pipeline run: regenerates the tracked deterministic
+//! metrics snapshot and exports the wall-clock Chrome trace.
+//!
+//! ```text
+//! cargo run -p bench --release --bin obs_campaign
+//! ```
+//!
+//! Runs the shared [`bench::obs_pipeline`] (digital stuck-at campaign,
+//! behavioral fault campaign, healthy-link BIST, fuzz smoke) under one
+//! `rt::obs` capture and writes:
+//!
+//! * `results/metrics.json` — **tracked**: deterministic counters,
+//!   gauges and histograms, byte-identical at any thread count (CI
+//!   regenerates and diffs it like every tracked result),
+//! * `results/obs_trace.json` — **gitignored**: Chrome-trace JSON of the
+//!   run's spans; open at `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use bench::{obs_pipeline, save_artifact};
+use rt::obs::chrome_trace_json;
+
+fn main() {
+    let run = obs_pipeline::instrumented_run(rt::par::threads());
+
+    println!("=== Instrumented pipeline (rt::obs) ===\n");
+    println!(
+        "digital records : {}\nanalog faults   : {}\nfuzz accepted   : {}\nspan events     : {}",
+        run.digital_records,
+        run.analog_faults,
+        run.fuzz_accepted,
+        run.events.len()
+    );
+    let mut counters = 0;
+    let mut gauges = 0;
+    let mut histograms = 0;
+    for (_, metric) in run.metrics.iter() {
+        match metric {
+            rt::obs::Metric::Counter(_) => counters += 1,
+            rt::obs::Metric::Gauge(_) => gauges += 1,
+            rt::obs::Metric::Histogram(_) => histograms += 1,
+        }
+    }
+    println!("metrics         : {counters} counters, {gauges} gauges, {histograms} histograms");
+
+    save_artifact("metrics snapshot", "metrics.json", &run.metrics.to_json());
+    save_artifact(
+        "Chrome trace",
+        "obs_trace.json",
+        &chrome_trace_json(&run.events),
+    );
+}

@@ -9,7 +9,7 @@
 //! open 93.9 %, gate–drain short 93.9 %, gate–source short 100 %,
 //! drain–source short 100 %, capacitor short 100 %, total 94.8 %.
 
-use bench::write_result;
+use bench::{save_artifact, Csv};
 use dft::campaign::FaultCampaign;
 use dft::report::{percent, render_table};
 use msim::fault::FaultKind;
@@ -30,7 +30,7 @@ fn main() {
 
     println!("=== Table I: coverage of different types of faults ===\n");
     let mut rows = Vec::new();
-    let mut csv = String::from("defect,paper,measured,detected,total\n");
+    let mut csv = Csv::new(&["defect", "paper", "measured", "detected", "total"]);
     for (kind, (label, paper_cov)) in FaultKind::ALL.iter().zip(paper) {
         let (total, detected) = result.by_kind(*kind);
         let measured = result.coverage_of_kind(*kind);
@@ -40,9 +40,13 @@ fn main() {
             percent(measured),
             format!("{detected}/{total}"),
         ]);
-        csv.push_str(&format!(
-            "{label},{paper_cov:.3},{measured:.3},{detected},{total}\n"
-        ));
+        csv.row(&[
+            label.to_string(),
+            format!("{paper_cov:.3}"),
+            format!("{measured:.3}"),
+            detected.to_string(),
+            total.to_string(),
+        ]);
     }
     rows.push(vec![
         "Total".into(),
@@ -54,21 +58,19 @@ fn main() {
             result.total()
         ),
     ]);
-    csv.push_str(&format!(
-        "Total,0.948,{:.3},{},{}\n",
-        result.coverage_total(),
-        result.total() - result.undetected().len(),
-        result.total()
-    ));
+    csv.row(&[
+        "Total".to_string(),
+        "0.948".to_string(),
+        format!("{:.3}", result.coverage_total()),
+        (result.total() - result.undetected().len()).to_string(),
+        result.total().to_string(),
+    ]);
     print!(
         "{}",
         render_table(&["Defect", "Paper", "Measured", "Detected"], &rows)
     );
 
-    match write_result("table1_fault_coverage.csv", &csv) {
-        Ok(path) => println!("\nCSV written to {}", path.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
-    }
+    save_artifact("CSV", "table1_fault_coverage.csv", csv.as_str());
 
     println!(
         "\nEscape anatomy (why the rows order the way they do):\n\

@@ -5,7 +5,7 @@
 //! cargo run -p bench --release --bin test_program_listing
 //! ```
 
-use bench::write_result;
+use bench::save_artifact;
 use dft::test_program::TestProgram;
 use msim::params::DesignParams;
 
@@ -13,8 +13,5 @@ fn main() {
     let prog = TestProgram::paper(&DesignParams::paper());
     let listing = prog.render();
     print!("{listing}");
-    match write_result("test_program.txt", &listing) {
-        Ok(path) => println!("\nlisting written to {}", path.display()),
-        Err(e) => eprintln!("could not write listing: {e}"),
-    }
+    save_artifact("listing", "test_program.txt", &listing);
 }

@@ -13,10 +13,13 @@
 //! | `digital_coverage` | §IV — 100 % stuck-at on the digital blocks |
 //! | `bist_lock_time` | §III — lock within 5000 cycles from any phase |
 //! | `eye_ablation` | §II (implied) — FFE necessity: eye vs. boost |
+//! | `obs_campaign` | instrumented pipeline → `results/metrics.json` + Chrome trace |
 //!
-//! Criterion benches (`benches/`) measure simulation throughput and
-//! campaign wall time. Binaries print paper-vs-measured tables to stdout
-//! and drop CSVs into `results/` at the workspace root.
+//! Binaries print paper-vs-measured tables to stdout, drop artifacts
+//! into `results/` at the workspace root via [`Csv`]/[`save_artifact`],
+//! and report progress through the `OBS`-gated [`rt::obs::log`] logger
+//! (silent by default). [`obs_pipeline`] is the shared instrumented run
+//! behind the `obs_campaign` binary and the metrics golden-file tests.
 
 use std::fs;
 use std::io;
@@ -54,6 +57,181 @@ pub fn write_result(name: &str, contents: &str) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes a named artifact under `results/`, reporting the outcome
+/// through the structured logger instead of ad-hoc prints: success is an
+/// `OBS=1` info line (`kind` tags it, e.g. `"CSV"` or `"VCD"`), failure
+/// always goes to stderr. This replaces the `match write_result {..}`
+/// boilerplate every bench binary used to carry.
+pub fn save_artifact(kind: &str, name: &str, contents: &str) {
+    match write_result(name, contents) {
+        Ok(path) => rt::obs::log::info("bench", format!("{kind} written to {}", path.display())),
+        Err(e) => eprintln!("could not write {kind} {name}: {e}"),
+    }
+}
+
+/// An incrementally built CSV document: a fixed header row, then one
+/// [`Csv::row`] call per record. Cells are pre-formatted strings joined
+/// with commas — byte-identical to the `format!`-string concatenation
+/// the bench binaries previously hand-rolled, so tracked CSVs do not
+/// change under the shared helper.
+#[derive(Debug, Clone)]
+pub struct Csv {
+    buf: String,
+    columns: usize,
+}
+
+impl Csv {
+    /// Starts a document with the given header columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: &[&str]) -> Csv {
+        assert!(!header.is_empty(), "a CSV needs at least one column");
+        let mut buf = header.join(",");
+        buf.push('\n');
+        Csv {
+            buf,
+            columns: header.len(),
+        }
+    }
+
+    /// Appends one record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header width.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(
+            cells.len(),
+            self.columns,
+            "row width {} != header width {}",
+            cells.len(),
+            self.columns
+        );
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(cell.as_ref());
+        }
+        self.buf.push('\n');
+    }
+
+    /// The document so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+pub mod obs_pipeline {
+    //! The shared instrumented pipeline: one digital stuck-at campaign,
+    //! one behavioral fault campaign, one healthy-link BIST execution and
+    //! one fuzz smoke run, all under a single [`rt::obs::observe`]
+    //! capture.
+    //!
+    //! The captured [`Metrics`] are **deterministic**: every value is a
+    //! function of the fixed seeds and netlists only, and the merge path
+    //! through `rt::par` makes the registry byte-identical at any worker
+    //! count — asserted by the tests in this crate and snapshotted to the
+    //! tracked `results/metrics.json` by the `obs_campaign` binary. The
+    //! captured span events are wall-clock and go only to the gitignored
+    //! Chrome trace.
+
+    use conform::fuzz::{fuzz, FuzzConfig};
+    use dft::bist::Bist;
+    use dft::campaign::{DigitalCampaign, FaultCampaign};
+    use dft::chain_b::ChainB;
+    use dsim::atpg::random_vectors;
+    use msim::effects::AnalogEffect;
+    use msim::params::DesignParams;
+    use rt::obs::{Metrics, SpanEvent};
+
+    /// Everything one instrumented pipeline run produced.
+    #[derive(Debug)]
+    pub struct ObsRun {
+        /// The deterministic metrics captured across the whole pipeline.
+        pub metrics: Metrics,
+        /// Wall-clock span events (non-deterministic; trace file only).
+        pub events: Vec<SpanEvent>,
+        /// Digital stuck-at records produced (sanity anchor).
+        pub digital_records: usize,
+        /// Behavioral fault universe size (sanity anchor).
+        pub analog_faults: usize,
+        /// Fuzz mutants accepted (sanity anchor).
+        pub fuzz_accepted: usize,
+    }
+
+    /// Runs the full instrumented pipeline on `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn instrumented_run(threads: usize) -> ObsRun {
+        rt::obs::pin_epoch();
+        let p = DesignParams::paper();
+        let ((digital_records, analog_faults, fuzz_accepted), metrics, events) =
+            rt::obs::observe(|| {
+                let digital = {
+                    let _span = rt::obs::span("pipeline.digital_campaign");
+                    DigitalCampaign::paper().run_on(threads)
+                };
+                let analog = {
+                    let _span = rt::obs::span("pipeline.fault_campaign");
+                    FaultCampaign::new(&p).run_on(threads)
+                };
+                {
+                    let _span = rt::obs::span("pipeline.bist_healthy");
+                    let verdict = Bist::new(&p).execute(&AnalogEffect::None);
+                    assert!(verdict.pass(), "healthy link failed BIST");
+                }
+                {
+                    // A small scalar-reference pass so the scalar
+                    // simulator's counters (eval relaxation, scan-shift
+                    // bits) appear in the snapshot alongside the packed
+                    // kernel's — the rest of the pipeline went
+                    // bit-parallel in the PPSFP rework.
+                    let _span = rt::obs::span("pipeline.scalar_reference");
+                    let divider = dsim::blocks::divider::Divider::new(3);
+                    let vectors = random_vectors(divider.circuit(), 16, 43);
+                    let cov = dsim::stuck_at::scan_coverage_scalar(divider.circuit(), &vectors);
+                    rt::obs::count("pipeline.scalar.faults_detected", cov.detected() as u64);
+                    let chain = ChainB::new(4);
+                    let mut state = dsim::circuit::SimState::for_circuit(chain.circuit());
+                    let intact = dsim::scan::chain_continuity(chain.circuit(), &mut state);
+                    rt::obs::count("pipeline.scan_chain_intact", u64::from(intact));
+                }
+                let report = {
+                    let _span = rt::obs::span("pipeline.fuzz_smoke");
+                    let chain = ChainB::new(4);
+                    let baseline = random_vectors(chain.circuit(), 4, 41);
+                    fuzz(
+                        chain.circuit(),
+                        &baseline,
+                        &FuzzConfig {
+                            threads,
+                            ..FuzzConfig::smoke(0xC0FFEE)
+                        },
+                    )
+                };
+                (digital.len(), analog.total(), report.accepted)
+            });
+        ObsRun {
+            metrics,
+            events,
+            digital_records,
+            analog_faults,
+            fuzz_accepted,
+        }
+    }
+
+    /// The pipeline's deterministic metrics as the canonical JSON
+    /// snapshot (the exact bytes of the tracked `results/metrics.json`).
+    pub fn metrics_json(threads: usize) -> String {
+        instrumented_run(threads).metrics.to_json()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +248,92 @@ mod tests {
         let p = write_result("selftest.txt", "hello\n").unwrap();
         assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello\n");
         let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn csv_builder_matches_hand_rolled_format() {
+        // The helper must be byte-identical to the format!-string
+        // concatenation it replaced, or every tracked CSV would churn.
+        let mut csv = Csv::new(&["chain", "faults", "speedup"]);
+        csv.row(&[
+            "chain-b".to_string(),
+            612.to_string(),
+            format!("{:.2}", 9.5),
+        ]);
+        let hand_rolled = format!("chain,faults,speedup\n{},{},{:.2}\n", "chain-b", 612, 9.5);
+        assert_eq!(csv.as_str(), hand_rolled);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn csv_rejects_ragged_rows() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.row(&["only-one"]);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_thread_count_invariant() {
+        // The acceptance bar: the tracked metrics snapshot is
+        // byte-identical at 1, 2, 4 and 7 workers.
+        let reference = obs_pipeline::metrics_json(1);
+        for threads in [2usize, 4, 7] {
+            assert_eq!(
+                obs_pipeline::metrics_json(threads),
+                reference,
+                "metrics snapshot diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_matches_tracked_file() {
+        // Golden-file test: a rerun of the pipeline reproduces the
+        // tracked results/metrics.json byte for byte. Regenerate with
+        // scripts/regen_results.sh after intentionally changing any
+        // instrumented counter.
+        let tracked = results_dir().unwrap().join("metrics.json");
+        let on_disk = std::fs::read_to_string(&tracked)
+            .unwrap_or_else(|e| panic!("tracked {} unreadable: {e}", tracked.display()));
+        assert_eq!(
+            obs_pipeline::metrics_json(rt::par::threads()),
+            on_disk,
+            "results/metrics.json is stale — run scripts/regen_results.sh"
+        );
+    }
+
+    #[test]
+    fn pipeline_captures_the_instrumented_subsystems() {
+        let run = obs_pipeline::instrumented_run(2);
+        let m = &run.metrics;
+        // One representative key per instrumented layer; zero would mean
+        // a layer silently went dark.
+        for counter in [
+            "dsim.eval.calls",
+            "dsim.scan.shift_bits",
+            "dsim.packed.eval_calls",
+            "dsim.ppsfp.blocks",
+            "campaign.fault.simulated",
+            "campaign.digital.chain-a.faults",
+            "bist.executions",
+            "fuzz.executions",
+        ] {
+            assert!(
+                m.counter(counter).unwrap_or(0) > 0,
+                "counter {counter} missing or zero"
+            );
+        }
+        assert!(m.histogram("dsim.ppsfp.dropped_per_block").is_some());
+        assert!(m.histogram("bist.lock_cycles").unwrap().count() > 0);
+        assert_eq!(
+            m.counter("campaign.fault.simulated"),
+            Some(run.analog_faults as u64)
+        );
+        assert!(run.digital_records > 0 && run.fuzz_accepted > 0);
+        // Wall-clock spans exist but never enter the metrics registry.
+        assert!(run
+            .events
+            .iter()
+            .any(|e| e.name == "pipeline.fault_campaign"));
+        assert!(run.events.iter().any(|e| e.name == "dsim.ppsfp"));
     }
 }

@@ -5,20 +5,27 @@
 //! baseline, asserts the run is byte-identical at 1 and 4 worker
 //! threads, that coverage strictly grows over the baseline, that the
 //! corpus survives a save/load roundtrip under `results/corpus/`, and
-//! that the cheap differential oracles agree on the fuzzed corpus.
+//! that the cheap differential oracles agree on the fuzzed corpus
+//! (including the instrumented-vs-plain PPSFP oracle, so the tier-1 gate
+//! also pins "observability does not perturb results").
+//!
+//! Silent on success by default; run with `OBS=1` for the structured
+//! summary line (`rt::obs::log`).
 
 use std::path::Path;
 
 use conform::corpus;
 use conform::fuzz::{fuzz, FuzzConfig};
 use conform::oracle::{
-    check_all, DiffOracle, LogicVsTransitionOracle, PackedVsScalarOracle, ScanVsFunctionalOracle,
+    check_all, DiffOracle, InstrumentedPpsfpOracle, LogicVsTransitionOracle, PackedVsScalarOracle,
+    ScanVsFunctionalOracle,
 };
 use dft::chain_b::ChainB;
 use dsim::atpg::random_vectors;
 use dsim::transition::two_pattern_tests;
 
 fn main() {
+    rt::obs::pin_epoch();
     let chain = ChainB::new(4);
     let circuit = chain.circuit();
     // A deliberately thin baseline: enough to anchor the corpus, small
@@ -57,18 +64,27 @@ fn main() {
     let transition_oracle =
         LogicVsTransitionOracle::new(circuit.clone(), two_pattern_tests(&single.corpus));
     let packed_oracle = PackedVsScalarOracle::new(circuit.clone(), single.corpus.clone());
-    let oracles: [&dyn DiffOracle; 3] = [&scan_oracle, &transition_oracle, &packed_oracle];
+    let obs_oracle = InstrumentedPpsfpOracle::new(circuit.clone(), single.corpus.clone());
+    let oracles: [&dyn DiffOracle; 4] = [
+        &scan_oracle,
+        &transition_oracle,
+        &packed_oracle,
+        &obs_oracle,
+    ];
     if let Err(divergence) = check_all(oracles) {
         panic!("{divergence}");
     }
 
-    println!(
-        "fuzz smoke: {} baseline + {} accepted mutants, coverage {}/{} (+{} over baseline), {} executions",
-        baseline.len(),
-        single.accepted,
-        single.coverage.points(),
-        single.coverage.total(),
-        single.gain(),
-        single.executions,
+    rt::obs::log::info(
+        "fuzz_smoke",
+        format!(
+            "baseline={} accepted={} coverage={}/{} gain={} executions={}",
+            baseline.len(),
+            single.accepted,
+            single.coverage.points(),
+            single.coverage.total(),
+            single.gain(),
+            single.executions,
+        ),
     );
 }

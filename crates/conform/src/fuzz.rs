@@ -110,31 +110,61 @@ pub fn fuzz(circuit: &Circuit, baseline: &[ScanVector], cfg: &FuzzConfig) -> Fuz
         corpus.push(zero);
     }
 
+    let _span = rt::obs::span("conform.fuzz");
     let cpg = cfg.candidates_per_generation;
     let mut accepted = 0;
     let mut executions = 0;
     for g in 0..cfg.generations {
         // Derive all candidates from the generation-start corpus so the
         // candidate list is independent of intra-generation acceptances.
-        let candidates: Vec<ScanVector> = (0..cpg)
+        let candidates: Vec<(ScanVector, &'static str)> = (0..cpg)
             .map(|k| {
                 let mut rng = Rng::seed_from_stream(cfg.seed, (g * cpg + k) as u64);
                 mutate(circuit, &corpus, &mut rng)
             })
             .collect();
+        let vectors: Vec<ScanVector> = candidates.iter().map(|(v, _)| v.clone()).collect();
         // Packed evaluation: 64 candidates per gate-level walk, blocks
         // fanned across workers; footprints come back in candidate order
         // regardless of thread count.
-        let footprints = batch_footprints_with(cfg.threads, circuit, &candidates);
+        let footprints = batch_footprints_with(cfg.threads, circuit, &vectors);
         executions += candidates.len();
-        for (cand, footprint) in candidates.iter().zip(&footprints) {
+        let mut admitted_this_gen = 0u64;
+        for ((cand, op), footprint) in candidates.iter().zip(&footprints) {
+            rt::obs::count(&format!("fuzz.derived.{op}"), 1);
             if footprint.adds_over(&coverage) {
                 coverage.merge(footprint);
                 corpus.push(cand.clone());
                 accepted += 1;
+                admitted_this_gen += 1;
+                // Mutation efficacy: which operator produced the admit.
+                rt::obs::count(&format!("fuzz.accepted.{op}"), 1);
+                rt::obs::count("fuzz.corpus_admissions", 1);
             }
         }
+        // Per-generation coverage frontier: how far the point set has
+        // advanced after this generation's admissions.
+        rt::obs::record("fuzz.frontier_points", coverage.points() as u64);
+        rt::obs::log::debug(
+            "fuzz",
+            format!(
+                "gen={g} admitted={admitted_this_gen} frontier={} corpus={}",
+                coverage.points(),
+                corpus.len()
+            ),
+        );
     }
+    rt::obs::count("fuzz.generations", cfg.generations as u64);
+    rt::obs::count("fuzz.executions", executions as u64);
+    rt::obs::gauge("fuzz.corpus_size", corpus.len() as i64);
+    rt::obs::log::info(
+        "fuzz",
+        format!(
+            "done generations={} executions={executions} accepted={accepted} points={}",
+            cfg.generations,
+            coverage.points()
+        ),
+    );
 
     FuzzReport {
         corpus,
@@ -168,19 +198,22 @@ fn flip(b: Logic) -> Logic {
 }
 
 /// Derives one candidate from the corpus: pick a parent, pick a mutation.
-fn mutate(circuit: &Circuit, corpus: &[ScanVector], rng: &mut Rng) -> ScanVector {
+/// Returns the candidate together with the mutation operator's tag (the
+/// metrics layer's `fuzz.derived.*` / `fuzz.accepted.*` key suffix).
+fn mutate(circuit: &Circuit, corpus: &[ScanVector], rng: &mut Rng) -> (ScanVector, &'static str) {
     let parent = &corpus[rng.below(corpus.len())];
     let mut bits = bits_of(parent);
     if bits.is_empty() {
-        return parent.clone();
+        return (parent.clone(), "clone");
     }
-    match rng.below(5) {
+    let op = match rng.below(5) {
         0 => {
             // Flip one to three random bits.
             for _ in 0..rng.range_usize(1, 4) {
                 let i = rng.below(bits.len());
                 bits[i] = flip(bits[i]);
             }
+            "flip"
         }
         1 => {
             // Splice: prefix from the parent, suffix from another corpus
@@ -188,12 +221,14 @@ fn mutate(circuit: &Circuit, corpus: &[ScanVector], rng: &mut Rng) -> ScanVector
             let donor = bits_of(&corpus[rng.below(corpus.len())]);
             let cut = rng.below(bits.len());
             bits[cut..].copy_from_slice(&donor[cut..]);
+            "splice"
         }
         2 => {
             // Fresh uniform random fill.
             for b in bits.iter_mut() {
                 *b = Logic::from_bool(rng.next_bool());
             }
+            "fresh"
         }
         3 => {
             // PRBS-7 fill from a random nonzero LFSR seed — the BIST-style
@@ -203,6 +238,7 @@ fn mutate(circuit: &Circuit, corpus: &[ScanVector], rng: &mut Rng) -> ScanVector
             for b in bits.iter_mut() {
                 *b = Logic::from_bool(prbs.next_bit());
             }
+            "prbs"
         }
         _ => {
             // Rotate the parent's bits and invert a random run.
@@ -213,9 +249,10 @@ fn mutate(circuit: &Circuit, corpus: &[ScanVector], rng: &mut Rng) -> ScanVector
             for i in 0..len.min(bits.len() - start) {
                 bits[start + i] = flip(bits[start + i]);
             }
+            "rotate"
         }
-    }
-    vector_of(circuit, &bits)
+    };
+    (vector_of(circuit, &bits), op)
 }
 
 #[cfg(test)]
@@ -271,7 +308,7 @@ mod tests {
         }];
         let a = mutate(&c, &corpus, &mut Rng::seed_from_stream(9, 4));
         let b = mutate(&c, &corpus, &mut Rng::seed_from_stream(9, 4));
-        assert_eq!(a, b);
+        assert_eq!(a, b, "vector and operator tag must both be stable");
     }
 
     #[test]

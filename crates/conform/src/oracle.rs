@@ -15,7 +15,10 @@
 //!   paper's golden coverage snapshot under tolerance,
 //! * [`PackedVsScalarOracle`] — the bit-parallel packed simulator
 //!   (`dsim::bitpar`) against the scalar reference: scan responses,
-//!   stuck-at coverage records and coverage footprints, bit-exact.
+//!   stuck-at coverage records and coverage footprints, bit-exact,
+//! * [`InstrumentedPpsfpOracle`] — the PPSFP kernel under an explicit
+//!   `rt::obs` metrics capture against the plain run: detection flags
+//!   byte-identical, captured metrics thread-count invariant.
 //!
 //! The behavioral-vs-gate oracle carries a [`SeededMutant`] hook so the
 //! oracle itself can be mutation-tested: a deliberately wrong wiring must
@@ -40,7 +43,7 @@ use dsim::bitpar;
 use dsim::circuit::{Circuit, SimState};
 use dsim::logic::Logic;
 use dsim::scan::{apply_vector, shift, ScanVector};
-use dsim::stuck_at::{scan_coverage, scan_coverage_scalar};
+use dsim::stuck_at::{enumerate_faults, scan_coverage, scan_coverage_scalar};
 use dsim::transition::{launch_capture_response, TwoPatternTest};
 use link::synchronizer::{decisions_from_trace, RunConfig, Synchronizer};
 use msim::effects::AnalogEffect;
@@ -531,6 +534,90 @@ impl DiffOracle for PackedVsScalarOracle {
                         scalar_fp.points(),
                     ),
                 });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Observability must not perturb results: the PPSFP kernel run under an
+/// explicit [`rt::obs::observe`] capture must produce byte-identical
+/// detection flags to the plain (ambient-collected) run, at one worker
+/// and at several; the captured deterministic metrics must themselves be
+/// identical at every thread count; and the capture must be non-vacuous
+/// (the kernel's `dsim.ppsfp.*` counters actually present).
+#[derive(Debug, Clone)]
+pub struct InstrumentedPpsfpOracle {
+    circuit: Circuit,
+    vectors: Vec<ScanVector>,
+}
+
+impl InstrumentedPpsfpOracle {
+    /// An oracle over `vectors` on `circuit`.
+    pub fn new(circuit: Circuit, vectors: Vec<ScanVector>) -> InstrumentedPpsfpOracle {
+        InstrumentedPpsfpOracle { circuit, vectors }
+    }
+}
+
+impl DiffOracle for InstrumentedPpsfpOracle {
+    fn name(&self) -> &'static str {
+        "instrumented-vs-plain-ppsfp"
+    }
+
+    fn check(&self) -> Result<(), Divergence> {
+        let c = &self.circuit;
+        let faults = enumerate_faults(c);
+
+        // Route A: the plain path — instrumentation records into whatever
+        // ambient collector happens to be active, exactly as production
+        // callers run it.
+        let plain = bitpar::ppsfp_detect_with(1, c, &self.vectors, &faults);
+
+        // Route B: the same kernel under an explicit capture, across
+        // thread counts. Flags must match route A bit for bit, and the
+        // captured metrics must not depend on the thread count.
+        let mut reference_metrics = None;
+        for threads in [1usize, 4] {
+            let (flags, metrics, _events) =
+                rt::obs::observe(|| bitpar::ppsfp_detect_with(threads, c, &self.vectors, &faults));
+            if flags != plain {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{}: capture at {threads} threads changed detection flags \
+                         ({} vs {} detected)",
+                        c.name(),
+                        flags.iter().filter(|&&d| d).count(),
+                        plain.iter().filter(|&&d| d).count(),
+                    ),
+                });
+            }
+            match &reference_metrics {
+                None => {
+                    if metrics.counter("dsim.ppsfp.blocks").unwrap_or(0) == 0 {
+                        return Err(Divergence {
+                            oracle: self.name(),
+                            detail: format!(
+                                "{}: capture is vacuous — no dsim.ppsfp.blocks counter",
+                                c.name()
+                            ),
+                        });
+                    }
+                    reference_metrics = Some(metrics);
+                }
+                Some(reference) => {
+                    if metrics != *reference {
+                        return Err(Divergence {
+                            oracle: self.name(),
+                            detail: format!(
+                                "{}: metrics differ at {threads} threads:\n{}\nvs reference:\n{}",
+                                c.name(),
+                                metrics.to_json(),
+                                reference.to_json(),
+                            ),
+                        });
+                    }
+                }
             }
         }
         Ok(())

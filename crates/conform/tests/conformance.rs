@@ -6,8 +6,8 @@
 use conform::coverage::{batch_footprints, set_coverage, vector_coverage};
 use conform::fuzz::{fuzz, FuzzConfig};
 use conform::oracle::{
-    check_all, BehavioralVsGateOracle, CampaignSnapshotOracle, DiffOracle, LogicVsTransitionOracle,
-    PackedVsScalarOracle, ScanVsFunctionalOracle, SeededMutant,
+    check_all, BehavioralVsGateOracle, CampaignSnapshotOracle, DiffOracle, InstrumentedPpsfpOracle,
+    LogicVsTransitionOracle, PackedVsScalarOracle, ScanVsFunctionalOracle, SeededMutant,
 };
 use dft::chain_b::ChainB;
 use dsim::atpg::random_vectors;
@@ -116,6 +116,22 @@ fn packed_simulation_agrees_with_scalar_simulation() {
         // partial final word, with X lanes and one all-X plane.
         let vectors = with_x_injection(random_vectors(&circuit, 70, 31));
         let oracle = PackedVsScalarOracle::new(circuit, vectors);
+        assert!(oracle.check().is_ok(), "{name}: {:?}", oracle.check());
+    }
+}
+
+#[test]
+fn instrumentation_does_not_perturb_ppsfp_detection() {
+    // Observability contract: running the PPSFP kernel under an explicit
+    // rt::obs capture changes nothing about its detection flags, and the
+    // captured deterministic metrics are thread-count invariant.
+    let blocks = [
+        ("chain-b", ChainB::new(4).circuit().clone()),
+        ("divider", Divider::new(3).circuit().clone()),
+    ];
+    for (name, circuit) in blocks {
+        let vectors = with_x_injection(random_vectors(&circuit, 70, 31));
+        let oracle = InstrumentedPpsfpOracle::new(circuit, vectors);
         assert!(oracle.check().is_ok(), "{name}: {:?}", oracle.check());
     }
 }

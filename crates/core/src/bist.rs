@@ -157,6 +157,22 @@ impl Bist {
             .lock_cycle
             .is_some_and(|c| c <= self.p.bist_lock_budget);
         let data_clean = outcome.errors_after_lock <= DATA_ERROR_TOLERANCE;
+
+        // Deterministic lock-acquisition metrics: every BIST execution in
+        // a campaign reports how the synchronizer behaved.
+        rt::obs::count("bist.executions", 1);
+        rt::obs::count("bist.locked_in_budget", u64::from(locked_in_budget));
+        rt::obs::count("bist.vp_flagged", u64::from(vp_flagged));
+        rt::obs::count(
+            "bist.lock_detector_saturated",
+            u64::from(lock_detector_saturated),
+        );
+        match outcome.lock_cycle {
+            Some(cycle) => rt::obs::record("bist.lock_cycles", cycle),
+            None => rt::obs::count("bist.lock_failures", 1),
+        }
+        rt::obs::record("bist.corrections", outcome.corrections);
+
         BistVerdict {
             outcome,
             vp_flagged,

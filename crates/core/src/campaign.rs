@@ -184,21 +184,41 @@ impl FaultCampaign {
     ///
     /// Panics if `threads == 0`.
     pub fn run_on(&self, threads: usize) -> CampaignResult {
+        let _span = rt::obs::span("campaign.fault");
         let dc = DcTest::new(&self.p);
         let scan = ScanTest::new(&self.p);
         let bist = Bist::new(&self.p);
         let universe = self.universe();
         let records = rt::par::parallel_map_with(threads, universe.faults(), |&fault| {
             let effect = resolve_effect(&fault, &self.p);
-            FaultRecord {
+            let record = FaultRecord {
                 fault,
                 effect,
                 dc: dc.detects(&effect),
                 scan: scan.detects(&effect),
                 bist: bist.detects(&effect),
-            }
+            };
+            // Per-tier coverage counters; zero-adds still register the
+            // keys so the metric set is identical on every run.
+            rt::obs::count("campaign.fault.simulated", 1);
+            rt::obs::count("campaign.fault.detected.dc", u64::from(record.dc));
+            rt::obs::count("campaign.fault.detected.scan", u64::from(record.scan));
+            rt::obs::count("campaign.fault.detected.bist", u64::from(record.bist));
+            rt::obs::count("campaign.fault.undetected", u64::from(!record.detected()));
+            record
         });
-        CampaignResult { records }
+        let result = CampaignResult { records };
+        rt::obs::log::info(
+            "campaign",
+            format!(
+                "fault campaign done faults={} dc={:.3} dc_scan={:.3} total={:.3}",
+                result.total(),
+                result.coverage_dc(),
+                result.coverage_dc_scan(),
+                result.coverage_total()
+            ),
+        );
+        result
     }
 
     /// Runs the campaign on the calling thread only — the reference
@@ -268,10 +288,28 @@ impl DigitalCampaign {
     ///
     /// Panics if `threads == 0`.
     pub fn run_on(&self, threads: usize) -> Vec<DigitalFaultRecord> {
+        let _span = rt::obs::span("campaign.digital");
         let mut records = Vec::new();
         for (name, circuit, vectors) in &self.chains {
+            let _chain_span = rt::obs::span(format!("campaign.digital.{name}"));
             let faults = enumerate_faults(circuit);
             let flags = dsim::bitpar::ppsfp_detect_with(threads, circuit, vectors, &faults);
+            let detected = flags.iter().filter(|&&d| d).count();
+            rt::obs::count(
+                &format!("campaign.digital.{name}.faults"),
+                faults.len() as u64,
+            );
+            rt::obs::count(
+                &format!("campaign.digital.{name}.detected"),
+                detected as u64,
+            );
+            rt::obs::log::info(
+                "campaign",
+                format!(
+                    "digital chain={name} faults={} detected={detected}",
+                    faults.len()
+                ),
+            );
             records.extend(faults.into_iter().zip(flags).map(|(fault, detected)| {
                 DigitalFaultRecord {
                     chain: name,

@@ -337,7 +337,9 @@ pub fn eval(circuit: &Circuit, state: &mut PackedState) {
         let v = state.nets[pi.0];
         state.write(pi, v);
     }
+    let mut passes = 0u64;
     for _ in 0..=circuit.gates().len() {
+        passes += 1;
         let mut changed = false;
         for g in circuit.gates() {
             let v = eval_gate(g, &state.nets);
@@ -350,6 +352,8 @@ pub fn eval(circuit: &Circuit, state: &mut PackedState) {
             break;
         }
     }
+    rt::obs::hot_add(rt::obs::Hot::PackedEvalCalls, 1);
+    rt::obs::hot_add(rt::obs::Hot::PackedEvalPasses, passes);
 }
 
 /// Packed twin of [`Circuit::tick`]: evaluate, capture every flip-flop's
@@ -369,6 +373,7 @@ pub fn shift(
     circuit: &Circuit,
     words: &[PackedLogic],
 ) -> Vec<PackedLogic> {
+    rt::obs::hot_add(rt::obs::Hot::PackedShiftWords, words.len() as u64);
     let n = circuit.dff_count();
     let mut ff = state.ff_values().to_vec();
     let mut out = Vec::with_capacity(words.len());
@@ -566,6 +571,7 @@ pub fn block_detect_masks_with(
     let packed = PackedBlock::pack(circuit, block);
     let golden = apply_block(circuit, &mut PackedState::for_circuit(circuit), &packed);
     rt::par::parallel_map_with(threads, faults, |f| {
+        rt::obs::hot_add(rt::obs::Hot::PpsfpFaultSims, 1);
         let mut state = PackedState::for_circuit(circuit);
         state.inject(f.net, f.value());
         // Inline replay of `apply_block` that folds the detection masks
@@ -607,18 +613,28 @@ pub fn ppsfp_detect(
 
 /// [`ppsfp_detect`] with an explicit worker-thread count. Detection flags
 /// are identical at any thread count.
+///
+/// The kernel records deterministic `dsim.ppsfp.*` metrics into the
+/// ambient [`rt::obs`] collector — blocks walked, patterns applied,
+/// faults dropped per block (histogram) and total detections — all
+/// functions of the inputs only, never of the thread count.
 pub fn ppsfp_detect_with(
     threads: usize,
     circuit: &Circuit,
     vectors: &[ScanVector],
     faults: &[StuckAtFault],
 ) -> Vec<bool> {
+    let _span = rt::obs::span("dsim.ppsfp");
+    rt::obs::count("dsim.ppsfp.calls", 1);
+    rt::obs::count("dsim.ppsfp.faults", faults.len() as u64);
     let mut detected = vec![false; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
     for block in vectors.chunks(LANES) {
         if live.is_empty() {
             break;
         }
+        rt::obs::count("dsim.ppsfp.blocks", 1);
+        rt::obs::count("dsim.ppsfp.patterns", block.len() as u64);
         let live_faults: Vec<StuckAtFault> = live.iter().map(|&i| faults[i]).collect();
         let masks = block_detect_masks_with(threads, circuit, block, &live_faults);
         let mut next_live = Vec::with_capacity(live.len());
@@ -629,8 +645,16 @@ pub fn ppsfp_detect_with(
                 next_live.push(fi);
             }
         }
+        rt::obs::record(
+            "dsim.ppsfp.dropped_per_block",
+            (live.len() - next_live.len()) as u64,
+        );
         live = next_live;
     }
+    rt::obs::count(
+        "dsim.ppsfp.detected",
+        detected.iter().filter(|&&d| d).count() as u64,
+    );
     detected
 }
 

@@ -275,7 +275,10 @@ impl Circuit {
         }
         // Bounded relaxation: |gates| + 1 passes reaches a fixpoint for any
         // feed-forward circuit and settles X-stable values in loops.
+        let mut passes = 0u64;
+        let mut x_writes = 0u64;
         for _ in 0..=self.gates.len() {
+            passes += 1;
             let mut changed = false;
             for g in &self.gates {
                 let ins: Vec<Logic> = g.inputs.iter().map(|&n| state.net(n)).collect();
@@ -283,11 +286,19 @@ impl Circuit {
                 if state.net(g.output) != v {
                     state.write(g.output, v);
                     changed = true;
+                    if v == Logic::X {
+                        x_writes += 1;
+                    }
                 }
             }
             if !changed {
                 break;
             }
+        }
+        rt::obs::hot_add(rt::obs::Hot::ScalarEvalCalls, 1);
+        rt::obs::hot_add(rt::obs::Hot::ScalarEvalPasses, passes);
+        if x_writes > 0 {
+            rt::obs::hot_add(rt::obs::Hot::ScalarEvalXWrites, x_writes);
         }
     }
 

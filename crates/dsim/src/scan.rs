@@ -63,6 +63,7 @@ pub struct ScanResponse {
 /// functional capture, and chain integrity is checked separately by
 /// [`chain_continuity`].
 pub fn shift(state: &mut SimState, circuit: &Circuit, bits: &[Logic]) -> Vec<Logic> {
+    rt::obs::hot_add(rt::obs::Hot::ScanShiftBits, bits.len() as u64);
     let n = circuit.dff_count();
     let mut ff = state.ff_values().to_vec();
     let mut out = Vec::with_capacity(bits.len());

@@ -16,7 +16,12 @@
 //!   bisection) by replaying mutated logs, and the reported reproducer is
 //!   the minimal sequence that still fails ([`check::replay`] re-runs it),
 //! * [`timing`] — a wall-clock micro-benchmark harness with automatic
-//!   iteration calibration.
+//!   iteration calibration,
+//! * [`obs`] — a zero-dependency observability layer: deterministic
+//!   counters/gauges/log-bucketed histograms (byte-identical at any
+//!   thread count, snapshotted to the tracked `results/metrics.json`),
+//!   wall-clock spans exported as Chrome-trace JSON (gitignored), and an
+//!   `OBS` env-var gated structured logger.
 //!
 //! # Determinism contract
 //!
@@ -43,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod check;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod timing;

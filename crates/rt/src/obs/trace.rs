@@ -1,0 +1,145 @@
+//! Span-based wall-clock tracing with Chrome-trace JSON export.
+//!
+//! A [`Span`] measures the wall-clock duration of a scope and records a
+//! complete event when dropped. Events carry nanosecond offsets from a
+//! process-wide epoch (pinned on first use) and a *virtual* thread id:
+//! spans always record under tid 0 on their own thread, and
+//! [`super::absorb_worker`] remaps each absorbed worker's tids into the
+//! parent's tid space in deterministic chunk order — so the trace layout
+//! depends on the chunking, not on OS thread ids.
+//!
+//! Timings are inherently non-deterministic; the exported trace is a
+//! **gitignored** artifact (like the timing CSVs), never part of the
+//! tracked `results/` snapshot. Open an exported file at
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use super::metrics::json_string;
+
+/// Process-wide trace epoch; all span timestamps are offsets from it.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Pins the trace epoch now (idempotent). Call at program start so span
+/// timestamps count from startup rather than from the first span.
+pub fn pin_epoch() {
+    let _ = epoch();
+}
+
+/// One completed span: a named wall-clock interval on a virtual thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name, e.g. `"campaign.digital"`.
+    pub name: String,
+    /// Category shown by trace viewers (defaults to the name's first
+    /// dot-separated segment).
+    pub category: String,
+    /// Virtual thread id (0 = the collecting thread; workers are remapped
+    /// deterministically at merge time).
+    pub tid: u32,
+    /// Start offset from the process trace epoch, in nanoseconds.
+    pub ts_ns: u64,
+    /// Duration, in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// An RAII wall-clock span; records a [`SpanEvent`] into the ambient
+/// collector when dropped. Create via [`super::span`].
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn begin(name: String) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let ts_ns = self
+            .start
+            .saturating_duration_since(epoch())
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let category = self.name.split('.').next().unwrap_or("span").to_string();
+        super::push_event(SpanEvent {
+            name: std::mem::take(&mut self.name),
+            category,
+            tid: 0,
+            ts_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// Renders `events` in the Chrome trace event format (a JSON object with
+/// a `traceEvents` array of complete `"ph": "X"` events), viewable at
+/// `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps and
+/// durations are microseconds with nanosecond precision.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let last = events.len().saturating_sub(1);
+    for (i, e) in events.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"name\": {}, \"cat\": {}, \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {}.{:03}, \"dur\": {}.{:03}}}",
+            json_string(&e.name),
+            json_string(&e.category),
+            e.tid,
+            e.ts_ns / 1_000,
+            e.ts_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+        );
+        out.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, tid: u32) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            category: "test".to_string(),
+            tid,
+            ts_ns: 1_234_567,
+            dur_ns: 890,
+        }
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let json = chrome_trace_json(&[event("a.b", 0), event("c", 3)]);
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"name\": \"a.b\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ts\": 1234.567"));
+        assert!(json.contains("\"dur\": 0.890"));
+        assert!(json.contains("\"tid\": 3"));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\": \"ms\"}"));
+        // Exactly one trailing comma between the two events.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("\"traceEvents\": [\n]"));
+    }
+}

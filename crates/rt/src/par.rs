@@ -8,6 +8,13 @@
 //! thread is spawned at all — the sequential fallback runs in the calling
 //! thread.
 //!
+//! The executor also composes with [`crate::obs`]: each worker's ambient
+//! metrics and span events are drained when its chunk completes and
+//! absorbed by the calling thread **in chunk order**, so counter totals
+//! (associative sums) are identical at any thread count and worker span
+//! tids are assigned deterministically. In the sequential fallback the
+//! closure records straight into the caller's collector — same totals.
+//!
 //! # Examples
 //!
 //! ```
@@ -55,11 +62,18 @@ where
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<U>> = Vec::new();
+    let mut chunks: Vec<(Vec<U>, crate::obs::WorkerObs)> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|slice| scope.spawn(|| slice.iter().map(&f).collect::<Vec<U>>()))
+            .map(|slice| {
+                scope.spawn(|| {
+                    let out = slice.iter().map(&f).collect::<Vec<U>>();
+                    // Workers are fresh scoped threads, so the drain holds
+                    // exactly this chunk's telemetry.
+                    (out, crate::obs::drain_worker())
+                })
+            })
             .collect();
         chunks = handles
             .into_iter()
@@ -69,7 +83,13 @@ where
             })
             .collect();
     });
-    chunks.into_iter().flatten().collect()
+    chunks
+        .into_iter()
+        .flat_map(|(out, worker)| {
+            crate::obs::absorb_worker(worker);
+            out
+        })
+        .collect()
 }
 
 /// Maps `f` over the index range `0..n` with the default thread count,

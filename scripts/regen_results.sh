@@ -18,6 +18,7 @@ bins=(
     fuzz_coverage
     test_program_listing
     reproduction_report
+    obs_campaign
 )
 
 for bin in "${bins[@]}"; do

@@ -16,8 +16,9 @@ cargo test -q --offline
 # Bounded conformance fuzz smoke: fixed seed, thread-count invariance
 # check and oracle sweep over the fuzzed corpus. The release binary is
 # already built by the step above, so this finishes in well under 2 s.
+# OBS=1 exercises the structured logger path (silent by default).
 echo "==> fuzz smoke (conform)"
-cargo run -q -p conform --release --offline --bin fuzz_smoke
+OBS=1 cargo run -q -p conform --release --offline --bin fuzz_smoke
 
 echo "==> cargo fmt --check"
 cargo fmt --check
