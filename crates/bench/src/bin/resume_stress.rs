@@ -1,0 +1,136 @@
+//! Checkpoint overhead and resume speedup of the resumable campaign
+//! executor (`rt::exec`) on the table-1 fault campaign.
+//!
+//! Three measurements over the full behavioral fault universe:
+//!
+//! * `plain` — [`FaultCampaign::run_on`], no checkpoint,
+//! * `checkpointed` — the same run writing every shard frame to a fresh
+//!   checkpoint file under `results/checkpoints/` (the worst case: no
+//!   frame is ever resumed, all of them are encoded, CRC'd and flushed),
+//! * `resume` — re-running against the completed checkpoint, so every
+//!   shard is decoded instead of simulated.
+//!
+//! The overhead figure comes from **interleaved paired sampling**: each
+//! iteration times a plain run and a checkpointed run back to back and
+//! takes their ratio, so slow machine-load drift — easily 10 % across a
+//! multi-second benchmark, far above the effect size — cancels out. The
+//! reported overhead is the median of the per-pair ratios.
+//!
+//! The acceptance target is checkpoint overhead **< 3 %** over the plain
+//! run; the measured figure lands in `results/resume_stress.csv`
+//! (gitignored — wall-clock numbers are machine-dependent).
+
+use std::time::Instant;
+
+use bench::{save_artifact, Csv};
+use dft::campaign::{CampaignExec, FaultCampaign};
+use msim::params::DesignParams;
+
+/// Paired samples: enough for a stable median without a minute-long run.
+const PAIRS: usize = 9;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    rt::obs::pin_epoch();
+    let campaign = FaultCampaign::new(&DesignParams::paper());
+    let threads = rt::par::threads();
+    let ck_path = bench::results_dir()
+        .expect("results dir")
+        .join("checkpoints")
+        .join("resume_stress.ck");
+
+    // Warm-up: page in the netlists and the thread pool path.
+    let reference = campaign.run_on(threads);
+
+    let mut plain_s = Vec::with_capacity(PAIRS);
+    let mut ck_s = Vec::with_capacity(PAIRS);
+    let mut ratios = Vec::with_capacity(PAIRS);
+    for _ in 0..PAIRS {
+        let t = Instant::now();
+        let a = campaign.run_on(threads);
+        let plain = t.elapsed().as_secs_f64();
+
+        // A fresh file each iteration: every shard frame is encoded,
+        // CRC'd and flushed — the worst-case write path.
+        let _ = std::fs::remove_file(&ck_path);
+        let t = Instant::now();
+        let b = campaign.run_with(&CampaignExec::threads(threads).with_checkpoint(&ck_path));
+        let ck = t.elapsed().as_secs_f64();
+
+        assert_eq!(a, reference, "plain run drifted");
+        assert_eq!(b, reference, "checkpointed run drifted");
+        plain_s.push(plain);
+        ck_s.push(ck);
+        ratios.push(ck / plain - 1.0);
+    }
+
+    // Pure resume: every shard decoded from the completed checkpoint.
+    let mut resume_s = Vec::with_capacity(PAIRS);
+    for _ in 0..PAIRS {
+        let t = Instant::now();
+        let r = campaign.run_with(&CampaignExec::threads(threads).with_checkpoint(&ck_path));
+        resume_s.push(t.elapsed().as_secs_f64());
+        assert_eq!(r, reference, "resumed run drifted");
+    }
+    let _ = std::fs::remove_file(&ck_path);
+
+    let plain_med = median(plain_s);
+    let ck_med = median(ck_s);
+    let resume_med = median(resume_s);
+    let overhead = median(ratios);
+    let speedup = plain_med / resume_med;
+    let verdict = if overhead < 0.03 { "PASS" } else { "WARN" };
+
+    println!("=== resume_stress: rt::exec overhead on the table-1 campaign ===");
+    println!(
+        "plain run (no checkpoint)                median {:>10.2} ms",
+        plain_med * 1e3
+    );
+    println!(
+        "checkpointed run (all frames written)    median {:>10.2} ms",
+        ck_med * 1e3
+    );
+    println!(
+        "resume (all shards from checkpoint)      median {:>10.2} µs",
+        resume_med * 1e6
+    );
+    println!(
+        "checkpoint overhead (median of {PAIRS} paired ratios): {:+.2} % (target < 3 %) [{verdict}]",
+        overhead * 100.0
+    );
+    println!("resume speedup over recompute: {speedup:.0}x");
+
+    let mut csv = Csv::new(&["metric", "threads", "value"]);
+    csv.row(&[
+        "plain_median_s",
+        &threads.to_string(),
+        &format!("{plain_med:.6}"),
+    ]);
+    csv.row(&[
+        "checkpointed_median_s",
+        &threads.to_string(),
+        &format!("{ck_med:.6}"),
+    ]);
+    csv.row(&[
+        "resume_median_s",
+        &threads.to_string(),
+        &format!("{resume_med:.6}"),
+    ]);
+    csv.row(&[
+        "overhead_pct",
+        &threads.to_string(),
+        &format!("{:.3}", overhead * 100.0),
+    ]);
+    csv.row(&["overhead_target_pct", &threads.to_string(), "3.000"]);
+    csv.row(&["overhead_verdict", &threads.to_string(), verdict]);
+    csv.row(&[
+        "resume_speedup",
+        &threads.to_string(),
+        &format!("{speedup:.2}"),
+    ]);
+    save_artifact("CSV", "resume_stress.csv", csv.as_str());
+}

@@ -14,12 +14,26 @@
 //! | `bist_lock_time` | §III — lock within 5000 cycles from any phase |
 //! | `eye_ablation` | §II (implied) — FFE necessity: eye vs. boost |
 //! | `obs_campaign` | instrumented pipeline → `results/metrics.json` + Chrome trace |
+//! | `resume_stress` | checkpoint overhead (< 3 %) + kill/resume speedup |
 //!
 //! Binaries print paper-vs-measured tables to stdout, drop artifacts
 //! into `results/` at the workspace root via [`Csv`]/[`save_artifact`],
 //! and report progress through the `OBS`-gated [`rt::obs::log`] logger
 //! (silent by default). [`obs_pipeline`] is the shared instrumented run
 //! behind the `obs_campaign` binary and the metrics golden-file tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use bench::Csv;
+//!
+//! let mut csv = Csv::new(&["fault", "detected"]);
+//! csv.row(&["cap_short", "yes"]);
+//! assert_eq!(csv.as_str(), "fault,detected\ncap_short,yes\n");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::fs;
 use std::io;

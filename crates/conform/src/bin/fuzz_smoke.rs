@@ -7,7 +7,9 @@
 //! corpus survives a save/load roundtrip under `results/corpus/`, and
 //! that the cheap differential oracles agree on the fuzzed corpus
 //! (including the instrumented-vs-plain PPSFP oracle, so the tier-1 gate
-//! also pins "observability does not perturb results").
+//! also pins "observability does not perturb results", and the
+//! checkpoint-resume oracle, so it also pins "a killed campaign resumes
+//! byte-identically at 1/2/4/7 threads").
 //!
 //! Silent on success by default; run with `OBS=1` for the structured
 //! summary line (`rt::obs::log`).
@@ -17,12 +19,13 @@ use std::path::Path;
 use conform::corpus;
 use conform::fuzz::{fuzz, FuzzConfig};
 use conform::oracle::{
-    check_all, DiffOracle, InstrumentedPpsfpOracle, LogicVsTransitionOracle, PackedVsScalarOracle,
-    ScanVsFunctionalOracle,
+    check_all, CheckpointResumeOracle, DiffOracle, InstrumentedPpsfpOracle,
+    LogicVsTransitionOracle, PackedVsScalarOracle, ScanVsFunctionalOracle,
 };
 use dft::chain_b::ChainB;
 use dsim::atpg::random_vectors;
 use dsim::transition::two_pattern_tests;
+use msim::params::DesignParams;
 
 fn main() {
     rt::obs::pin_epoch();
@@ -65,11 +68,16 @@ fn main() {
         LogicVsTransitionOracle::new(circuit.clone(), two_pattern_tests(&single.corpus));
     let packed_oracle = PackedVsScalarOracle::new(circuit.clone(), single.corpus.clone());
     let obs_oracle = InstrumentedPpsfpOracle::new(circuit.clone(), single.corpus.clone());
-    let oracles: [&dyn DiffOracle; 4] = [
+    // Kill-and-resume at the acceptance sweep of 1/2/4/7 worker threads:
+    // the campaign is behavioral (no per-pattern simulation), so the full
+    // sweep stays well inside the smoke-gate time budget.
+    let resume_oracle = CheckpointResumeOracle::new(&DesignParams::paper());
+    let oracles: [&dyn DiffOracle; 5] = [
         &scan_oracle,
         &transition_oracle,
         &packed_oracle,
         &obs_oracle,
+        &resume_oracle,
     ];
     if let Err(divergence) = check_all(oracles) {
         panic!("{divergence}");

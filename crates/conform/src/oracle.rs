@@ -18,7 +18,11 @@
 //!   stuck-at coverage records and coverage footprints, bit-exact,
 //! * [`InstrumentedPpsfpOracle`] — the PPSFP kernel under an explicit
 //!   `rt::obs` metrics capture against the plain run: detection flags
-//!   byte-identical, captured metrics thread-count invariant.
+//!   byte-identical, captured metrics thread-count invariant,
+//! * [`CheckpointResumeOracle`] — the fault campaign killed mid-run by a
+//!   seeded shard panic and resumed from its `rt::exec` checkpoint
+//!   against an uninterrupted run: records byte-identical at every
+//!   probed thread count.
 //!
 //! The behavioral-vs-gate oracle carries a [`SeededMutant`] hook so the
 //! oracle itself can be mutation-tested: a deliberately wrong wiring must
@@ -37,7 +41,7 @@
 //! assert!(oracle.check().is_ok());
 //! ```
 
-use dft::campaign::FaultCampaign;
+use dft::campaign::{CampaignExec, FaultCampaign};
 use dft::chain_b::ChainB;
 use dsim::bitpar;
 use dsim::circuit::{Circuit, SimState};
@@ -532,6 +536,120 @@ impl DiffOracle for PackedVsScalarOracle {
                         c.name(),
                         fp.points(),
                         scalar_fp.points(),
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Kill-and-resume conformance for the resumable campaign executor
+/// (`rt::exec`): a fault campaign interrupted mid-run — a seeded mutant
+/// panics one shard with no retry budget, so the run dies after every
+/// other shard checkpointed — and then resumed from its checkpoint must
+/// produce a [`dft::campaign::CampaignResult`] **byte-identical** to an
+/// uninterrupted run, at every probed thread count. The interrupted run
+/// itself must also degrade honestly: partial, with exactly the
+/// sabotaged shard in its `incomplete` manifest.
+#[derive(Debug, Clone)]
+pub struct CheckpointResumeOracle {
+    params: DesignParams,
+    threads: Vec<usize>,
+    mutant_seed: u64,
+}
+
+impl CheckpointResumeOracle {
+    /// An oracle at the given design point probing 1/2/4/7 worker
+    /// threads with a fixed mutant seed.
+    pub fn new(params: &DesignParams) -> CheckpointResumeOracle {
+        CheckpointResumeOracle {
+            params: params.clone(),
+            threads: vec![1, 2, 4, 7],
+            mutant_seed: 0x0BAD_5EED,
+        }
+    }
+
+    /// Overrides the probed thread counts (the fuzz-smoke gate narrows
+    /// the sweep to stay within its time budget).
+    pub fn with_threads(mut self, threads: Vec<usize>) -> CheckpointResumeOracle {
+        self.threads = threads;
+        self
+    }
+
+    fn checkpoint_path(threads: usize) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "conform-resume-oracle-{}-t{threads}.ck",
+            std::process::id()
+        ))
+    }
+}
+
+impl DiffOracle for CheckpointResumeOracle {
+    fn name(&self) -> &'static str {
+        "checkpoint-resume"
+    }
+
+    fn check(&self) -> Result<(), Divergence> {
+        let campaign = FaultCampaign::new(&self.params);
+        let shards = campaign.shard_count();
+        let straight = campaign.run_on(1);
+        for &threads in &self.threads {
+            let path = Self::checkpoint_path(threads);
+            let _ = std::fs::remove_file(&path);
+            // Route A: the run dies — the seeded mutant panics its victim
+            // shard on every attempt and there is no retry budget.
+            let sabotage = rt::exec::Sabotage::seeded(self.mutant_seed, shards, u32::MAX);
+            let victim = sabotage.target();
+            let partial = rt::check::quiet(|| {
+                campaign.run_with(
+                    &CampaignExec::threads(threads)
+                        .with_checkpoint(&path)
+                        .with_sabotage(sabotage),
+                )
+            });
+            if partial.is_complete() {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{threads} threads: seeded mutant (shard {victim}) failed to \
+                         interrupt the campaign — the sabotage drill is vacuous"
+                    ),
+                });
+            }
+            if partial.incomplete().len() != 1 || partial.incomplete()[0].shard != victim {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{threads} threads: expected exactly shard {victim} in the \
+                         incomplete manifest, got {:?}",
+                        partial.incomplete()
+                    ),
+                });
+            }
+            // Route B: resume from the checkpoint, mutant disarmed.
+            let resumed = campaign.run_with(&CampaignExec::threads(threads).with_checkpoint(&path));
+            let _ = std::fs::remove_file(&path);
+            if !resumed.is_complete() {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{threads} threads: resumed run still incomplete: {:?}",
+                        resumed.incomplete()
+                    ),
+                });
+            }
+            if resumed != straight {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{threads} threads: resumed records differ from the \
+                         uninterrupted run ({} vs {} records, total coverage \
+                         {:.4} vs {:.4})",
+                        resumed.total(),
+                        straight.total(),
+                        resumed.coverage_total(),
+                        straight.coverage_total(),
                     ),
                 });
             }

@@ -20,6 +20,8 @@
 //! println!("total coverage {:.1} %", result.coverage_total() * 100.0);
 //! ```
 
+use std::path::PathBuf;
+
 use dsim::circuit::Circuit;
 use dsim::scan::ScanVector;
 use dsim::stuck_at::{enumerate_faults, StuckAtFault};
@@ -27,12 +29,64 @@ use link::netlists::functional_netlists;
 use msim::effects::{resolve_effect, AnalogEffect};
 use msim::fault::{Fault, FaultKind, FaultUniverse};
 use msim::params::DesignParams;
+use rt::exec::{self, RetryPolicy, Sabotage, Shard, ShardFailure, ShardJob};
 
 use crate::bist::Bist;
 use crate::chain_a::ChainA;
 use crate::chain_b::ChainB;
 use crate::dc_test::DcTest;
 use crate::scan_test::ScanTest;
+
+/// Execution policy for a resumable campaign run: worker threads, retry
+/// budget for panicking shards, optional checkpoint file, and an optional
+/// seeded sabotage hook (chaos drills and the conformance suite only).
+///
+/// The policy never influences *what* a completed campaign computes —
+/// records are byte-identical across any thread count, retry budget or
+/// kill-and-resume schedule — only *how resiliently* it gets there.
+#[derive(Debug)]
+pub struct CampaignExec {
+    /// Worker threads (must be > 0).
+    pub threads: usize,
+    /// Retry budget and virtual-time backoff for panicking shards.
+    pub retry: RetryPolicy,
+    /// Checkpoint file (conventionally under `results/checkpoints/`,
+    /// which is gitignored); `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Injected shard panic for testing the recovery machinery.
+    pub sabotage: Option<Sabotage>,
+}
+
+impl CampaignExec {
+    /// A plain run on `threads` workers: no retries, no checkpoint, no
+    /// sabotage — the policy behind [`FaultCampaign::run_on`].
+    pub fn threads(threads: usize) -> CampaignExec {
+        CampaignExec {
+            threads,
+            retry: RetryPolicy::none(),
+            checkpoint: None,
+            sabotage: None,
+        }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> CampaignExec {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables checkpointing to `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> CampaignExec {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Installs a seeded shard-panic injection.
+    pub fn with_sabotage(mut self, sabotage: Sabotage) -> CampaignExec {
+        self.sabotage = Some(sabotage);
+        self
+    }
+}
 
 /// Per-fault simulation record.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,21 +111,42 @@ impl FaultRecord {
 }
 
 /// Aggregated campaign results.
+///
+/// A result may be **partial**: shards that exhausted their retry budget
+/// under a fault-tolerant [`CampaignExec`] policy are listed in the
+/// [`CampaignResult::incomplete`] manifest, and every coverage figure is
+/// then computed over the completed shards only.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     records: Vec<FaultRecord>,
+    incomplete: Vec<ShardFailure>,
 }
 
 impl CampaignResult {
     /// Builds a result from externally produced records (used by the
     /// DFT-element ablations, which re-decide detection per element set).
     pub fn from_records(records: Vec<FaultRecord>) -> CampaignResult {
-        CampaignResult { records }
+        CampaignResult {
+            records,
+            incomplete: Vec::new(),
+        }
     }
 
     /// All per-fault records.
     pub fn records(&self) -> &[FaultRecord] {
         &self.records
+    }
+
+    /// Shards that exhausted their retry budget — empty for a complete
+    /// run. A non-empty manifest means every coverage figure is over the
+    /// completed shards only.
+    pub fn incomplete(&self) -> &[ShardFailure] {
+        &self.incomplete
+    }
+
+    /// `true` when every planned shard delivered its records.
+    pub fn is_complete(&self) -> bool {
+        self.incomplete.is_empty()
     }
 
     /// Universe size.
@@ -151,6 +226,89 @@ impl CampaignResult {
     }
 }
 
+/// Fault-universe shard size for the resumable executor: small enough
+/// that a kill loses under a ninth of the paper universe, large enough
+/// that checkpoint frames stay negligible next to simulation time.
+const FAULT_SHARD_SIZE: usize = 64;
+
+/// Base seed for the behavioral campaign's shard substreams.
+const FAULT_SHARD_SEED: u64 = 0xFA01;
+
+/// The behavioral campaign's shard job: one contiguous run of universe
+/// indices through all three test tiers. Checkpoint payloads are one
+/// flags byte per record (`dc | scan<<1 | bist<<2`) — the fault and its
+/// resolved effect are reconstructed from the universe index and the
+/// design point, so resumed records are byte-identical to recomputed
+/// ones.
+struct FaultJob<'a> {
+    faults: &'a [Fault],
+    p: &'a DesignParams,
+    dc: DcTest,
+    scan: ScanTest,
+    bist: Bist,
+    sabotage: Option<&'a Sabotage>,
+}
+
+impl ShardJob for FaultJob<'_> {
+    type Record = FaultRecord;
+
+    fn run(&self, shard: &Shard) -> Vec<FaultRecord> {
+        if let Some(s) = self.sabotage {
+            s.trip(shard.index);
+        }
+        shard
+            .range()
+            .map(|i| {
+                let fault = self.faults[i];
+                let effect = resolve_effect(&fault, self.p);
+                let record = FaultRecord {
+                    fault,
+                    effect,
+                    dc: self.dc.detects(&effect),
+                    scan: self.scan.detects(&effect),
+                    bist: self.bist.detects(&effect),
+                };
+                // Per-tier coverage counters; zero-adds still register the
+                // keys so the metric set is identical on every run.
+                rt::obs::count("campaign.fault.simulated", 1);
+                rt::obs::count("campaign.fault.detected.dc", u64::from(record.dc));
+                rt::obs::count("campaign.fault.detected.scan", u64::from(record.scan));
+                rt::obs::count("campaign.fault.detected.bist", u64::from(record.bist));
+                rt::obs::count("campaign.fault.undetected", u64::from(!record.detected()));
+                record
+            })
+            .collect()
+    }
+
+    fn encode(&self, _shard: &Shard, records: &[FaultRecord], out: &mut Vec<u8>) {
+        for r in records {
+            out.push(u8::from(r.dc) | u8::from(r.scan) << 1 | u8::from(r.bist) << 2);
+        }
+    }
+
+    fn decode(&self, shard: &Shard, payload: &[u8]) -> Option<Vec<FaultRecord>> {
+        if payload.len() != shard.len || payload.iter().any(|&b| b > 0b111) {
+            return None;
+        }
+        Some(
+            shard
+                .range()
+                .zip(payload)
+                .map(|(i, &b)| {
+                    let fault = self.faults[i];
+                    FaultRecord {
+                        fault,
+                        effect: resolve_effect(&fault, self.p),
+                        dc: b & 1 != 0,
+                        scan: b & 2 != 0,
+                        bist: b & 4 != 0,
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
 /// The campaign driver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultCampaign {
@@ -178,44 +336,79 @@ impl FaultCampaign {
         self.run_on(rt::par::threads())
     }
 
-    /// Runs the campaign on exactly `threads` worker threads.
+    /// Runs the campaign on exactly `threads` worker threads — shorthand
+    /// for [`FaultCampaign::run_with`] under a plain
+    /// [`CampaignExec::threads`] policy (no retries, no checkpoint).
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn run_on(&self, threads: usize) -> CampaignResult {
+        self.run_with(&CampaignExec::threads(threads))
+    }
+
+    /// Number of shards a resumable run of this campaign plans — the
+    /// domain for a seeded [`Sabotage`] victim draw.
+    pub fn shard_count(&self) -> usize {
+        self.universe().len().div_ceil(FAULT_SHARD_SIZE)
+    }
+
+    /// The checkpoint fingerprint of this campaign: a resumed run must
+    /// prove it is the same universe, shard plan and design point before
+    /// any frame is trusted.
+    fn fingerprint(&self, universe_len: usize) -> u64 {
+        exec::fingerprint(&[
+            u64::from(exec::CHECKPOINT_VERSION),
+            universe_len as u64,
+            FAULT_SHARD_SIZE as u64,
+            FAULT_SHARD_SEED,
+            u64::from(exec::crc32(format!("{:?}", self.p).as_bytes())),
+        ])
+    }
+
+    /// Runs the campaign under an explicit execution policy: the fault
+    /// universe is cut into deterministic shards, each shard runs
+    /// panic-isolated (retried per `policy.retry`, checkpointed when
+    /// `policy.checkpoint` is set), and records come back in universe
+    /// order — byte-identical across thread counts, retries and
+    /// kill-and-resume schedules. Shards that exhaust the retry budget
+    /// degrade the result to a partial one carrying the
+    /// [`CampaignResult::incomplete`] manifest instead of aborting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.threads == 0` or the checkpoint file cannot be
+    /// opened.
+    pub fn run_with(&self, policy: &CampaignExec) -> CampaignResult {
         let _span = rt::obs::span("campaign.fault");
-        let dc = DcTest::new(&self.p);
-        let scan = ScanTest::new(&self.p);
-        let bist = Bist::new(&self.p);
         let universe = self.universe();
-        let records = rt::par::parallel_map_with(threads, universe.faults(), |&fault| {
-            let effect = resolve_effect(&fault, &self.p);
-            let record = FaultRecord {
-                fault,
-                effect,
-                dc: dc.detects(&effect),
-                scan: scan.detects(&effect),
-                bist: bist.detects(&effect),
-            };
-            // Per-tier coverage counters; zero-adds still register the
-            // keys so the metric set is identical on every run.
-            rt::obs::count("campaign.fault.simulated", 1);
-            rt::obs::count("campaign.fault.detected.dc", u64::from(record.dc));
-            rt::obs::count("campaign.fault.detected.scan", u64::from(record.scan));
-            rt::obs::count("campaign.fault.detected.bist", u64::from(record.bist));
-            rt::obs::count("campaign.fault.undetected", u64::from(!record.detected()));
-            record
+        let job = FaultJob {
+            faults: universe.faults(),
+            p: &self.p,
+            dc: DcTest::new(&self.p),
+            scan: ScanTest::new(&self.p),
+            bist: Bist::new(&self.p),
+            sabotage: policy.sabotage.as_ref(),
+        };
+        let shards = exec::plan(universe.len(), FAULT_SHARD_SIZE, FAULT_SHARD_SEED);
+        let mut ck = policy.checkpoint.as_ref().map(|path| {
+            exec::Checkpoint::open(path, self.fingerprint(universe.len()))
+                .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()))
         });
-        let result = CampaignResult { records };
+        let report = exec::run_shards(policy.threads, &policy.retry, ck.as_mut(), &shards, &job);
+        let result = CampaignResult {
+            records: report.records,
+            incomplete: report.incomplete,
+        };
         rt::obs::log::info(
             "campaign",
             format!(
-                "fault campaign done faults={} dc={:.3} dc_scan={:.3} total={:.3}",
+                "fault campaign done faults={} dc={:.3} dc_scan={:.3} total={:.3} failed_shards={}",
                 result.total(),
                 result.coverage_dc(),
                 result.coverage_dc_scan(),
-                result.coverage_total()
+                result.coverage_total(),
+                result.incomplete.len(),
             ),
         );
         result
@@ -228,6 +421,14 @@ impl FaultCampaign {
     }
 }
 
+/// Stuck-at shard size for the digital campaign: matches the behavioral
+/// campaign's granularity; chains are segment boundaries the planner
+/// never cuts across.
+const DIGITAL_SHARD_SIZE: usize = 64;
+
+/// Base seed for the digital campaign's shard substreams.
+const DIGITAL_SHARD_SEED: u64 = 0xD101;
+
 /// Per-fault record of the gate-level stuck-at campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DigitalFaultRecord {
@@ -237,6 +438,105 @@ pub struct DigitalFaultRecord {
     pub fault: StuckAtFault,
     /// Detected by the chain's scan pattern set.
     pub detected: bool,
+}
+
+/// Outcome of a resumable digital campaign run: records over completed
+/// shards plus the failed-shard manifest (empty for a complete run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigitalCampaignResult {
+    /// Per-fault records over completed shards, in (chain,
+    /// fault-enumeration) order.
+    pub records: Vec<DigitalFaultRecord>,
+    /// Shards that exhausted their retry budget.
+    pub incomplete: Vec<ShardFailure>,
+}
+
+impl DigitalCampaignResult {
+    /// `true` when every planned shard delivered its records.
+    pub fn is_complete(&self) -> bool {
+        self.incomplete.is_empty()
+    }
+}
+
+/// The digital campaign's shard job: one contiguous fault range inside
+/// exactly one chain ([`exec::plan_segmented`] never cuts across chain
+/// boundaries), simulated through the shard-granular PPSFP entry point.
+/// Checkpoint payloads are one detected byte per record; the fault
+/// itself is reconstructed from the chain's enumeration order.
+struct DigitalJob<'a> {
+    chains: &'a [(&'static str, Circuit, Vec<ScanVector>)],
+    faults: &'a [Vec<StuckAtFault>],
+    starts: &'a [usize],
+    sabotage: Option<&'a Sabotage>,
+}
+
+impl DigitalJob<'_> {
+    /// The chain a plan-global shard start offset falls into.
+    fn chain_of(&self, start: usize) -> usize {
+        self.starts.partition_point(|&s| s <= start) - 1
+    }
+}
+
+impl ShardJob for DigitalJob<'_> {
+    type Record = DigitalFaultRecord;
+
+    fn run(&self, shard: &Shard) -> Vec<DigitalFaultRecord> {
+        if let Some(s) = self.sabotage {
+            s.trip(shard.index);
+        }
+        let chain = self.chain_of(shard.start);
+        let (name, circuit, vectors) = &self.chains[chain];
+        let local = shard.start - self.starts[chain];
+        let flags = dsim::bitpar::ppsfp_detect_shard(
+            circuit,
+            vectors,
+            &self.faults[chain],
+            local..local + shard.len,
+        );
+        // Per-shard increments summing to the per-chain totals the
+        // metrics snapshot tracks — functions of the (thread-invariant)
+        // shard plan only.
+        rt::obs::count(&format!("campaign.digital.{name}.faults"), shard.len as u64);
+        rt::obs::count(
+            &format!("campaign.digital.{name}.detected"),
+            flags.iter().filter(|&&d| d).count() as u64,
+        );
+        self.faults[chain][local..local + shard.len]
+            .iter()
+            .zip(flags)
+            .map(|(&fault, detected)| DigitalFaultRecord {
+                chain: name,
+                fault,
+                detected,
+            })
+            .collect()
+    }
+
+    fn encode(&self, _shard: &Shard, records: &[DigitalFaultRecord], out: &mut Vec<u8>) {
+        for r in records {
+            out.push(u8::from(r.detected));
+        }
+    }
+
+    fn decode(&self, shard: &Shard, payload: &[u8]) -> Option<Vec<DigitalFaultRecord>> {
+        if payload.len() != shard.len || payload.iter().any(|&b| b > 1) {
+            return None;
+        }
+        let chain = self.chain_of(shard.start);
+        let (name, _, _) = &self.chains[chain];
+        let local = shard.start - self.starts[chain];
+        Some(
+            self.faults[chain][local..local + shard.len]
+                .iter()
+                .zip(payload)
+                .map(|(&fault, &b)| DigitalFaultRecord {
+                    chain: name,
+                    fault,
+                    detected: b == 1,
+                })
+                .collect(),
+        )
+    }
 }
 
 /// The gate-level stuck-at campaign over the paper's stitched scan chains,
@@ -282,43 +582,97 @@ impl DigitalCampaign {
         self.run_on(rt::par::threads())
     }
 
-    /// Runs the campaign on exactly `threads` worker threads.
+    /// Runs the campaign on exactly `threads` worker threads — shorthand
+    /// for [`DigitalCampaign::run_with`] under a plain policy, unwrapped
+    /// to the bare record list.
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0`.
+    /// Panics if `threads == 0`, or if any shard fails (without a retry
+    /// budget a worker panic has nowhere to degrade to — the bare record
+    /// list cannot carry a manifest, so the failure stays loud).
     pub fn run_on(&self, threads: usize) -> Vec<DigitalFaultRecord> {
+        let result = self.run_with(&CampaignExec::threads(threads));
+        assert!(
+            result.incomplete.is_empty(),
+            "digital campaign lost shards: {:?}",
+            result.incomplete
+        );
+        result.records
+    }
+
+    /// The checkpoint fingerprint of this campaign over the per-chain
+    /// fault universes and pattern sets.
+    fn fingerprint(&self, faults: &[Vec<StuckAtFault>]) -> u64 {
+        let mut parts = vec![
+            u64::from(exec::CHECKPOINT_VERSION),
+            DIGITAL_SHARD_SIZE as u64,
+            DIGITAL_SHARD_SEED,
+        ];
+        for ((name, _, vectors), chain_faults) in self.chains.iter().zip(faults) {
+            parts.push(u64::from(exec::crc32(name.as_bytes())));
+            parts.push(chain_faults.len() as u64);
+            parts.push(vectors.len() as u64);
+        }
+        exec::fingerprint(&parts)
+    }
+
+    /// Runs the campaign under an explicit execution policy. Chains are
+    /// planner segments: every shard is a contiguous fault range inside
+    /// exactly one chain, simulated through the shard-granular PPSFP
+    /// entry point ([`dsim::bitpar::ppsfp_detect_shard`]). Records come
+    /// back in (chain, fault-enumeration) order, byte-identical across
+    /// thread counts, retries and kill-and-resume schedules; shards that
+    /// exhaust the retry budget end up in the result's `incomplete`
+    /// manifest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.threads == 0` or the checkpoint file cannot be
+    /// opened.
+    pub fn run_with(&self, policy: &CampaignExec) -> DigitalCampaignResult {
         let _span = rt::obs::span("campaign.digital");
-        let mut records = Vec::new();
-        for (name, circuit, vectors) in &self.chains {
-            let _chain_span = rt::obs::span(format!("campaign.digital.{name}"));
-            let faults = enumerate_faults(circuit);
-            let flags = dsim::bitpar::ppsfp_detect_with(threads, circuit, vectors, &faults);
-            let detected = flags.iter().filter(|&&d| d).count();
-            rt::obs::count(
-                &format!("campaign.digital.{name}.faults"),
-                faults.len() as u64,
-            );
-            rt::obs::count(
-                &format!("campaign.digital.{name}.detected"),
-                detected as u64,
-            );
+        let faults: Vec<Vec<StuckAtFault>> = self
+            .chains
+            .iter()
+            .map(|(_, circuit, _)| enumerate_faults(circuit))
+            .collect();
+        let segments: Vec<usize> = faults.iter().map(Vec::len).collect();
+        let starts: Vec<usize> = segments
+            .iter()
+            .scan(0, |acc, &n| {
+                let s = *acc;
+                *acc += n;
+                Some(s)
+            })
+            .collect();
+        let job = DigitalJob {
+            chains: &self.chains,
+            faults: &faults,
+            starts: &starts,
+            sabotage: policy.sabotage.as_ref(),
+        };
+        let shards = exec::plan_segmented(&segments, DIGITAL_SHARD_SIZE, DIGITAL_SHARD_SEED);
+        let mut ck = policy.checkpoint.as_ref().map(|path| {
+            exec::Checkpoint::open(path, self.fingerprint(&faults))
+                .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()))
+        });
+        let report = exec::run_shards(policy.threads, &policy.retry, ck.as_mut(), &shards, &job);
+        for (name, _, _) in &self.chains {
+            let (total, detected) = report
+                .records
+                .iter()
+                .filter(|r| r.chain == *name)
+                .fold((0u64, 0u64), |(t, d), r| (t + 1, d + u64::from(r.detected)));
             rt::obs::log::info(
                 "campaign",
-                format!(
-                    "digital chain={name} faults={} detected={detected}",
-                    faults.len()
-                ),
+                format!("digital chain={name} faults={total} detected={detected}"),
             );
-            records.extend(faults.into_iter().zip(flags).map(|(fault, detected)| {
-                DigitalFaultRecord {
-                    chain: name,
-                    fault,
-                    detected,
-                }
-            }));
         }
-        records
+        DigitalCampaignResult {
+            records: report.records,
+            incomplete: report.incomplete,
+        }
     }
 
     /// Detected fraction of a record set in `[0, 1]` (`0.0` for an empty
@@ -481,6 +835,113 @@ mod tests {
         for threads in [2, 4, 7] {
             assert_eq!(campaign.run_on(threads), seq, "diverged at {threads}");
         }
+    }
+
+    fn temp_ck(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "dft-campaign-test-{}-{tag}-{n}.ck",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn sabotaged_shard_recovers_with_retries() {
+        // A seeded mutant panics one shard once; with a retry budget the
+        // campaign must recover the full result, byte-identical.
+        let c = FaultCampaign::new(&DesignParams::paper());
+        let n_shards = c.universe().len().div_ceil(FAULT_SHARD_SIZE);
+        let recovered = rt::check::quiet(|| {
+            c.run_with(
+                &CampaignExec::threads(2)
+                    .with_retry(RetryPolicy::retries(2))
+                    .with_sabotage(Sabotage::seeded(99, n_shards, 1)),
+            )
+        });
+        assert!(recovered.is_complete());
+        assert_eq!(&recovered, result(), "recovered records drifted");
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_partial_result() {
+        // Without a retry budget a panicking shard must not abort the
+        // campaign: the result carries the manifest and coverage over the
+        // completed shards only.
+        let c = FaultCampaign::new(&DesignParams::paper());
+        let partial = rt::check::quiet(|| {
+            c.run_with(&CampaignExec::threads(2).with_sabotage(Sabotage::times(3, u32::MAX)))
+        });
+        assert!(!partial.is_complete());
+        assert_eq!(partial.incomplete().len(), 1);
+        let failure = &partial.incomplete()[0];
+        assert_eq!(failure.shard, 3);
+        assert_eq!(partial.total(), result().total() - failure.len);
+        // Coverage over completed shards stays a meaningful fraction.
+        assert!(partial.coverage_total() > 0.5);
+        // The surviving records are exactly the straight run's minus the
+        // failed shard's range.
+        let expected: Vec<&FaultRecord> = result()
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(failure.start..failure.start + failure.len).contains(i))
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(partial.records().iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn killed_campaign_resumes_byte_identically() {
+        let c = FaultCampaign::new(&DesignParams::paper());
+        let path = temp_ck("fault-resume");
+        // First run dies on shard 7 with no retry budget — everything
+        // else lands in the checkpoint.
+        let partial = rt::check::quiet(|| {
+            c.run_with(
+                &CampaignExec::threads(2)
+                    .with_checkpoint(&path)
+                    .with_sabotage(Sabotage::times(7, u32::MAX)),
+            )
+        });
+        assert!(!partial.is_complete());
+        // Second run resumes from the checkpoint and completes.
+        let resumed = c.run_with(&CampaignExec::threads(2).with_checkpoint(&path));
+        assert!(resumed.is_complete());
+        assert_eq!(&resumed, result(), "resume not byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn digital_campaign_recovers_and_resumes() {
+        let campaign = DigitalCampaign::paper();
+        let straight = campaign.run_on(2);
+        // Injected panic + retry budget: full recovery.
+        let recovered = rt::check::quiet(|| {
+            campaign.run_with(
+                &CampaignExec::threads(2)
+                    .with_retry(RetryPolicy::retries(1))
+                    .with_sabotage(Sabotage::once(0)),
+            )
+        });
+        assert!(recovered.is_complete());
+        assert_eq!(recovered.records, straight);
+        // Kill-and-resume through a checkpoint.
+        let path = temp_ck("digital-resume");
+        let partial = rt::check::quiet(|| {
+            campaign.run_with(
+                &CampaignExec::threads(2)
+                    .with_checkpoint(&path)
+                    .with_sabotage(Sabotage::times(1, u32::MAX)),
+            )
+        });
+        assert!(!partial.is_complete());
+        assert!(partial.records.len() < straight.len());
+        let resumed = campaign.run_with(&CampaignExec::threads(2).with_checkpoint(&path));
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.records, straight, "resume not byte-identical");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

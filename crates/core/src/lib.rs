@@ -42,6 +42,18 @@
 //! println!("DC+scan       {}", percent(result.coverage_dc_scan()));
 //! println!("DC+scan+BIST  {}", percent(result.coverage_total()));
 //! ```
+//!
+//! Enumerate the universe without simulating it — the paper's 603
+//! structural faults, and the shard plan a resumable run would use:
+//!
+//! ```
+//! use dft::campaign::FaultCampaign;
+//! use msim::params::DesignParams;
+//!
+//! let campaign = FaultCampaign::new(&DesignParams::paper());
+//! assert_eq!(campaign.universe().len(), 603);
+//! assert!(campaign.shard_count() >= 1);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

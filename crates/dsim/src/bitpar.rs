@@ -658,6 +658,27 @@ pub fn ppsfp_detect_with(
     detected
 }
 
+/// Shard-granular PPSFP entry point for the resumable campaign executor
+/// (`rt::exec`): fault-simulates one contiguous sub-range of a larger
+/// fault universe on the calling thread, with fault dropping scoped to
+/// the shard. Concatenating the flags of consecutive shards in range
+/// order is byte-identical to one [`ppsfp_detect`] call over the whole
+/// universe — each fault's detection depends only on the circuit and the
+/// vectors, never on which other faults share the call (dropping is a
+/// per-64-pattern-block performance device, not a result dependency).
+///
+/// # Panics
+///
+/// Panics if `range` is out of bounds for `faults`.
+pub fn ppsfp_detect_shard(
+    circuit: &Circuit,
+    vectors: &[ScanVector],
+    faults: &[StuckAtFault],
+    range: std::ops::Range<usize>,
+) -> Vec<bool> {
+    ppsfp_detect_with(1, circuit, vectors, &faults[range])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,6 +851,26 @@ mod tests {
                 one,
                 "{threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn stitched_shards_match_one_full_call() {
+        let rc = crate::blocks::ring_counter::RingCounter::new(4);
+        let c = rc.circuit();
+        let vectors = random_vectors(c, 96, 5);
+        let faults = enumerate_faults(c);
+        let full = ppsfp_detect(c, &vectors, &faults);
+        // Uneven cuts, including a single-fault shard and the tail.
+        for size in [1, 3, 7, faults.len()] {
+            let mut stitched = Vec::new();
+            let mut at = 0;
+            while at < faults.len() {
+                let end = (at + size).min(faults.len());
+                stitched.extend(ppsfp_detect_shard(c, &vectors, &faults, at..end));
+                at = end;
+            }
+            assert_eq!(stitched, full, "shard size {size} changed detection");
         }
     }
 

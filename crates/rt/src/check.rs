@@ -300,23 +300,16 @@ fn run_once<F>(property: &mut F, draws: &mut Draws) -> Result<(), String>
 where
     F: FnMut(&mut Draws),
 {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(draws))).map_err(payload_text)
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(draws)))
+        .map_err(crate::obs::payload_text)
 }
 
-fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
-    match payload.downcast::<String>() {
-        Ok(s) => *s,
-        Err(payload) => match payload.downcast::<&str>() {
-            Ok(s) => (*s).to_string(),
-            Err(_) => "<non-string panic payload>".to_string(),
-        },
-    }
-}
-
-/// Runs `f` with the global panic hook silenced, so the hundreds of
-/// intentional panics a shrink induces do not spam stderr. Serialized by a
-/// mutex because the hook is process-global.
-fn quiet<T>(f: impl FnOnce() -> T) -> T {
+/// Runs `f` with the global panic hook silenced, so intentional panics —
+/// the hundreds a shrink induces, or a test's injected
+/// [`crate::exec::Sabotage`] faults — do not spam stderr. Panics raised
+/// by `f` still propagate (and still silenced hooks restore). Serialized
+/// by a mutex because the hook is process-global.
+pub fn quiet<T>(f: impl FnOnce() -> T) -> T {
     static HOOK: Mutex<()> = Mutex::new(());
     let _guard = HOOK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
     let prev = std::panic::take_hook();

@@ -1,0 +1,1144 @@
+//! Resumable, panic-isolated shard execution.
+//!
+//! Long campaigns (hundreds of faults × three test tiers, multi-chain
+//! PPSFP sweeps) need to survive two kinds of trouble the plain
+//! [`crate::par`] map does not: a worker panicking mid-run, and the
+//! process dying before the run completes. This module supplies both
+//! defenses while preserving the workspace determinism contract:
+//!
+//! * **Shard planning** ([`plan`], [`plan_segmented`]) — the work is cut
+//!   into fixed-size shards keyed by item range and an RNG substream
+//!   seed. The plan is a function of the *problem size only*, never of
+//!   the thread count, so records concatenated in shard order are
+//!   byte-identical at any parallelism.
+//! * **Checkpointing** ([`Checkpoint`], [`encode_checkpoint`],
+//!   [`decode_checkpoint`]) — each completed shard's records are
+//!   appended to a versioned, length-prefixed binary file with a CRC32
+//!   per frame. A re-run with the same fingerprint resumes from the
+//!   longest valid prefix; a truncated or corrupted tail is discarded,
+//!   never trusted.
+//! * **Panic isolation** ([`run_shards`]) — every shard attempt runs
+//!   under [`crate::obs::quarantine`]: a panic is caught, the attempt's
+//!   partial telemetry is discarded (so retried runs stay byte-identical
+//!   to untroubled ones), and the shard is retried up to a bounded
+//!   budget with exponential backoff in **deterministic virtual time**
+//!   ([`RetryPolicy`]). A shard that exhausts its budget degrades the
+//!   run to a partial [`ExecReport`] carrying an explicit
+//!   [`ShardFailure`] manifest instead of aborting the process.
+//! * **Fault injection** ([`Sabotage`]) — a seeded chaos knob that
+//!   panics a chosen shard a chosen number of times, used by the
+//!   conformance suite to prove the recovery machinery end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use rt::exec::{plan, run_shards, RetryPolicy, Shard, ShardJob};
+//!
+//! struct Doubler;
+//! impl ShardJob for Doubler {
+//!     type Record = u64;
+//!     fn run(&self, shard: &Shard) -> Vec<u64> {
+//!         (shard.start..shard.start + shard.len).map(|i| 2 * i as u64).collect()
+//!     }
+//! }
+//!
+//! let shards = plan(10, 4, 7);
+//! let report = run_shards(2, &RetryPolicy::none(), None, &shards, &Doubler);
+//! assert!(report.is_complete());
+//! assert_eq!(report.records, (0..10).map(|i| 2 * i).collect::<Vec<u64>>());
+//! ```
+
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::rng::Rng;
+
+// ---------------------------------------------------------------------------
+// Shard planning
+// ---------------------------------------------------------------------------
+
+/// One deterministic unit of campaign work: a contiguous item range plus
+/// the RNG substream seed any randomized work inside the shard must use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Position in the plan (also the checkpoint frame key).
+    pub index: usize,
+    /// First item covered by this shard.
+    pub start: usize,
+    /// Number of items covered.
+    pub len: usize,
+    /// Decorrelated substream seed for randomized shard work, derived
+    /// from the plan's base seed and the shard index only.
+    pub seed: u64,
+}
+
+impl Shard {
+    /// The half-open item range `[start, start + len)`.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+fn shard_seed(base_seed: u64, index: usize) -> u64 {
+    // One draw from the substream keyed by the shard index; decorrelated
+    // exactly like the fixed-chunk Monte-Carlo loops.
+    Rng::seed_from_stream(base_seed, index as u64).next_u64()
+}
+
+/// Cuts `total` items into shards of at most `shard_size` items. The cut
+/// points depend on `total` and `shard_size` only — never on the thread
+/// count — so a plan is reproducible across machines and runs.
+///
+/// # Panics
+///
+/// Panics if `shard_size == 0`.
+pub fn plan(total: usize, shard_size: usize, base_seed: u64) -> Vec<Shard> {
+    plan_segmented(&[total], shard_size, base_seed)
+}
+
+/// Like [`plan`], but over several back-to-back segments (e.g. one per
+/// scan chain): shards never straddle a segment boundary, so every shard
+/// maps to exactly one segment. `start` offsets are global (cumulative
+/// across segments), shard indices run plan-wide.
+///
+/// # Panics
+///
+/// Panics if `shard_size == 0`.
+pub fn plan_segmented(segments: &[usize], shard_size: usize, base_seed: u64) -> Vec<Shard> {
+    assert!(shard_size > 0, "shard size must be positive");
+    let mut shards = Vec::new();
+    let mut offset = 0usize;
+    for &seg in segments {
+        let mut pos = 0usize;
+        while pos < seg {
+            let len = shard_size.min(seg - pos);
+            let index = shards.len();
+            shards.push(Shard {
+                index,
+                start: offset + pos,
+                len,
+                seed: shard_seed(base_seed, index),
+            });
+            pos += len;
+        }
+        offset += seg;
+    }
+    shards
+}
+
+/// Mixes an arbitrary list of identity words (universe size, seeds,
+/// schema versions, …) into a single checkpoint fingerprint. Same parts,
+/// same fingerprint — a resumed run must prove it is the same campaign.
+pub fn fingerprint(parts: &[u64]) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3u64; // pi, nothing up the sleeve
+    for &p in parts {
+        let mut rng = Rng::seed_from_stream(acc, p);
+        acc = rng.next_u64();
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 + checkpoint codec
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Checkpoint container magic (`RTCK`).
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RTCK";
+/// Checkpoint container format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+/// Header length in bytes: magic + version + fingerprint.
+pub const HEADER_LEN: usize = 4 + 4 + 8;
+/// Per-frame overhead in bytes: length prefix + shard index + record
+/// count + trailing CRC32.
+pub const FRAME_OVERHEAD: usize = 4 + 4 + 4 + 4;
+
+/// One checkpointed shard: the shard's plan index, how many records the
+/// payload encodes, and the caller-defined payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Plan index of the completed shard.
+    pub shard: u32,
+    /// Number of records encoded in `payload`.
+    pub records: u32,
+    /// Caller-encoded record bytes (see [`ShardJob::encode`]).
+    pub payload: Vec<u8>,
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    // Body = shard index + record count + payload; the length prefix
+    // covers the body, the CRC covers the body too (so a bit flip in
+    // either the metadata or the payload invalidates the frame).
+    let body_len = 8 + frame.payload.len();
+    push_u32(out, body_len as u32);
+    let body_start = out.len();
+    push_u32(out, frame.shard);
+    push_u32(out, frame.records);
+    out.extend_from_slice(&frame.payload);
+    let crc = crc32(&out[body_start..]);
+    push_u32(out, crc);
+}
+
+/// Serializes a whole checkpoint (header + frames) to bytes — the pure
+/// codec the file-backed [`Checkpoint`] writes incrementally.
+pub fn encode_checkpoint(fp: u64, frames: &[Frame]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    push_u32(&mut out, CHECKPOINT_VERSION);
+    out.extend_from_slice(&fp.to_le_bytes());
+    for frame in frames {
+        encode_frame(frame, &mut out);
+    }
+    out
+}
+
+/// Result of decoding a checkpoint byte stream: the frames of the
+/// longest valid prefix, the byte length of that prefix, and whether the
+/// stream decoded cleanly to its end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Frames recovered from the valid prefix, in file order.
+    pub frames: Vec<Frame>,
+    /// Byte length of the valid prefix (header + intact frames); a
+    /// writer resuming an interrupted file truncates to this length.
+    pub valid_len: usize,
+    /// `true` when the stream ended exactly at a frame boundary with no
+    /// corruption — `false` means a truncated or CRC-failing tail was
+    /// discarded.
+    pub clean: bool,
+}
+
+/// Decodes a checkpoint byte stream against an expected fingerprint.
+///
+/// A missing/garbled header or a fingerprint mismatch yields zero frames
+/// with `valid_len == 0` (the file belongs to some other campaign and
+/// must be rewritten from scratch). After a valid header, frames are
+/// read until the first truncated or CRC-corrupted frame; everything
+/// before it is trusted, everything from it on is discarded.
+pub fn decode_checkpoint(bytes: &[u8], fp: u64) -> Decoded {
+    let header_ok = bytes.len() >= HEADER_LEN
+        && bytes[..4] == CHECKPOINT_MAGIC
+        && read_u32(bytes, 4) == Some(CHECKPOINT_VERSION)
+        && bytes[8..16] == fp.to_le_bytes();
+    if !header_ok {
+        return Decoded {
+            frames: Vec::new(),
+            valid_len: 0,
+            clean: false,
+        };
+    }
+    let mut frames = Vec::new();
+    let mut at = HEADER_LEN;
+    loop {
+        if at == bytes.len() {
+            return Decoded {
+                frames,
+                valid_len: at,
+                clean: true,
+            };
+        }
+        let Some(body_len) = read_u32(bytes, at) else {
+            break; // truncated length prefix
+        };
+        let body_len = body_len as usize;
+        if body_len < 8 {
+            break; // a valid body holds at least shard + record count
+        }
+        let body_start = at + 4;
+        let crc_at = body_start + body_len;
+        if crc_at + 4 > bytes.len() {
+            break; // truncated body or CRC
+        }
+        let body = &bytes[body_start..crc_at];
+        if read_u32(bytes, crc_at) != Some(crc32(body)) {
+            break; // corrupted frame
+        }
+        frames.push(Frame {
+            shard: read_u32(bytes, body_start).expect("body holds >= 8 bytes"),
+            records: read_u32(bytes, body_start + 4).expect("body holds >= 8 bytes"),
+            payload: body[8..].to_vec(),
+        });
+        at = crc_at + 4;
+    }
+    Decoded {
+        frames,
+        valid_len: at,
+        clean: false,
+    }
+}
+
+/// A file-backed checkpoint: opened once per run, appended to after each
+/// completed shard, resumed from on the next run with the same
+/// fingerprint.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    file: fs::File,
+    frames: Vec<Frame>,
+}
+
+impl Checkpoint {
+    /// Opens (or creates) the checkpoint at `path`, recovering every
+    /// frame of its longest valid prefix into [`Checkpoint::frames`]. A
+    /// file with a foreign or damaged header is rewritten from scratch;
+    /// a valid file with a corrupted tail is truncated back to its
+    /// longest valid prefix so subsequent appends extend trusted data
+    /// only.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening, reading or truncating the
+    /// file, or from creating its parent directory.
+    pub fn open(path: impl Into<PathBuf>, fp: u64) -> io::Result<Checkpoint> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let decoded = decode_checkpoint(&bytes, fp);
+        if decoded.valid_len == 0 {
+            // Foreign or damaged header: start the file over.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&encode_checkpoint(fp, &[]))?;
+        } else if decoded.valid_len < bytes.len() {
+            // Corrupted tail: drop it, keep the trusted prefix.
+            file.set_len(decoded.valid_len as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Checkpoint {
+            path,
+            file,
+            frames: decoded.frames,
+        })
+    }
+
+    /// The file this checkpoint persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The frames recovered when the checkpoint was opened, in file
+    /// order (appends made through this handle are not re-listed here).
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Appends one completed shard's frame and flushes it to the OS, so
+    /// a crash immediately after loses at most the shards still in
+    /// flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the write or flush.
+    pub fn append(&mut self, frame: &Frame) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(FRAME_OVERHEAD + frame.payload.len());
+        encode_frame(frame, &mut bytes);
+        self.file.write_all(&bytes)?;
+        self.file.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy + fault injection
+// ---------------------------------------------------------------------------
+
+/// Bounded retry with exponential backoff in **virtual time**: backoff
+/// is accounted in deterministic ticks (doubling per attempt, capped),
+/// not wall-clock sleeps, so a retried run remains byte-identical and
+/// fast while still exercising the scheduling arithmetic a production
+/// deployment would map onto real delays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed per shard after its first attempt.
+    pub max_retries: u32,
+    /// Backoff after the first failure, in virtual ticks.
+    pub base_ticks: u64,
+    /// Upper bound on a single backoff interval.
+    pub max_ticks: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: a shard failure is final.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_ticks: 0,
+            max_ticks: 0,
+        }
+    }
+
+    /// Up to `n` retries with 1-tick base backoff doubling to a 64-tick
+    /// cap.
+    pub fn retries(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: n,
+            base_ticks: 1,
+            max_ticks: 64,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), in virtual ticks:
+    /// `base · 2^(retry−1)`, saturating, capped at `max_ticks`.
+    pub fn backoff_ticks(&self, retry: u32) -> u64 {
+        if retry == 0 || self.base_ticks == 0 {
+            return 0;
+        }
+        let doubled = self
+            .base_ticks
+            .saturating_mul(1u64.checked_shl(retry - 1).unwrap_or(u64::MAX));
+        doubled.min(self.max_ticks)
+    }
+}
+
+/// Deterministic fault injection: panics a chosen shard a chosen number
+/// of times, then lets it through. Jobs call [`Sabotage::trip`] at the
+/// top of their shard body; the conformance suite uses this to prove
+/// that a worker panic is isolated, retried and recovered.
+#[derive(Debug)]
+pub struct Sabotage {
+    shard: usize,
+    remaining: AtomicU32,
+}
+
+impl Sabotage {
+    /// Panics shard `shard` on its first attempt only.
+    pub fn once(shard: usize) -> Sabotage {
+        Sabotage::times(shard, 1)
+    }
+
+    /// Panics shard `shard` on its first `times` attempts.
+    pub fn times(shard: usize, times: u32) -> Sabotage {
+        Sabotage {
+            shard,
+            remaining: AtomicU32::new(times),
+        }
+    }
+
+    /// Seeded mutant: derives the victim shard from `seed` over a plan
+    /// of `shards` shards and arms it `times` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn seeded(seed: u64, shards: usize, times: u32) -> Sabotage {
+        assert!(shards > 0, "cannot sabotage an empty plan");
+        Sabotage::times(Rng::seed_from_u64(seed).below(shards), times)
+    }
+
+    /// The shard this sabotage targets.
+    pub fn target(&self) -> usize {
+        self.shard
+    }
+
+    /// Panics if this sabotage targets `shard` and still has charges
+    /// left; otherwise does nothing. Call at the top of a shard body.
+    pub fn trip(&self, shard: usize) {
+        if shard != self.shard {
+            return;
+        }
+        if self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            panic!("sabotage: injected panic in shard {shard}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------------
+
+/// A unit of campaign work the executor can run, checkpoint and resume.
+///
+/// `run` must be a pure function of the shard (plus the job's own
+/// immutable state): the executor may invoke it on any thread, retry it
+/// after a panic, or skip it entirely when the checkpoint already holds
+/// its records. `encode`/`decode` round-trip the shard's records through
+/// checkpoint payload bytes; the defaults disable persistence (every
+/// frame decodes to `None` and is recomputed).
+pub trait ShardJob: Sync {
+    /// Per-item result record produced by a shard.
+    type Record: Send;
+
+    /// Computes the shard's records. May panic; the executor isolates
+    /// and retries.
+    fn run(&self, shard: &Shard) -> Vec<Self::Record>;
+
+    /// Encodes `records` into checkpoint payload bytes. The default
+    /// encodes nothing (pair with the default `decode`).
+    fn encode(&self, _shard: &Shard, _records: &[Self::Record], _out: &mut Vec<u8>) {}
+
+    /// Decodes a checkpoint payload back into records, or `None` when
+    /// the payload is unusable (wrong length, unknown flags, …) — the
+    /// shard is then recomputed. The default always recomputes.
+    fn decode(&self, _shard: &Shard, _payload: &[u8]) -> Option<Vec<Self::Record>> {
+        None
+    }
+}
+
+/// A shard that exhausted its retry budget: the explicit manifest entry
+/// a partial run carries instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Plan index of the failed shard.
+    pub shard: usize,
+    /// First item the shard covers.
+    pub start: usize,
+    /// Number of items the shard covers.
+    pub len: usize,
+    /// Attempts made (first try + retries).
+    pub attempts: u32,
+    /// Panic message of the final attempt.
+    pub message: String,
+}
+
+/// Deterministic, non-generic execution counters — comparable across
+/// runs regardless of the record type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecSummary {
+    /// Shards in the plan.
+    pub planned: usize,
+    /// Shards whose records made it into the report (computed or
+    /// resumed).
+    pub completed: usize,
+    /// Shards restored from the checkpoint without recomputation.
+    pub resumed: usize,
+    /// Retry attempts across all shards.
+    pub retried: usize,
+    /// Shards that exhausted the retry budget.
+    pub failed: usize,
+    /// Virtual backoff time accumulated by retries, in ticks.
+    pub backoff_ticks: u64,
+}
+
+/// The outcome of [`run_shards`]: completed records in shard order plus
+/// the incompleteness manifest.
+#[derive(Debug)]
+pub struct ExecReport<R> {
+    /// Records of every completed shard, concatenated in shard (= item)
+    /// order. Failed shards contribute nothing; consult `incomplete`
+    /// for the gaps.
+    pub records: Vec<R>,
+    /// Failed shards, in plan order. Empty iff the run is complete.
+    pub incomplete: Vec<ShardFailure>,
+    /// Execution counters.
+    pub summary: ExecSummary,
+}
+
+impl<R> ExecReport<R> {
+    /// `true` when every planned shard delivered records.
+    pub fn is_complete(&self) -> bool {
+        self.incomplete.is_empty()
+    }
+}
+
+enum ShardState<R> {
+    Pending { attempts: u32, last_error: String },
+    Done { records: Vec<R>, resumed: bool },
+    Failed { attempts: u32, message: String },
+}
+
+/// Runs `plan` through `job` on up to `threads` workers with panic
+/// isolation, bounded retry and optional checkpoint resume.
+///
+/// Completed records come back concatenated in shard order —
+/// byte-identical at any thread count, after any interrupt/resume cycle,
+/// and after any number of recovered panics (a failed attempt's partial
+/// telemetry is discarded wholesale). Checkpoint I/O errors never abort
+/// the run: persistence degrades to in-memory execution and the error is
+/// surfaced through the `exec.checkpoint.io_errors` counter and the
+/// [`crate::obs::log`] warning stream.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`. Worker panics do *not* propagate; they are
+/// converted into retries and, past the budget, [`ShardFailure`]s.
+pub fn run_shards<J: ShardJob>(
+    threads: usize,
+    retry: &RetryPolicy,
+    mut checkpoint: Option<&mut Checkpoint>,
+    plan: &[Shard],
+    job: &J,
+) -> ExecReport<J::Record> {
+    assert!(threads > 0, "at least one worker thread is required");
+    let _span = crate::obs::span("exec.run");
+    let mut summary = ExecSummary {
+        planned: plan.len(),
+        ..ExecSummary::default()
+    };
+    crate::obs::count("exec.shards.planned", plan.len() as u64);
+
+    let mut state: Vec<ShardState<J::Record>> = plan
+        .iter()
+        .map(|_| ShardState::Pending {
+            attempts: 0,
+            last_error: String::new(),
+        })
+        .collect();
+
+    // Resume: trust every decodable checkpoint frame for a known shard.
+    // Unknown shard indices, stale ranges and undecodable payloads are
+    // skipped (the shard recomputes); later frames for the same shard
+    // win, since an append-only file can hold both halves of an
+    // interrupted retry.
+    if let Some(ck) = checkpoint.as_deref_mut() {
+        for frame in ck.frames() {
+            let index = frame.shard as usize;
+            let Some(shard) = plan.get(index) else {
+                continue;
+            };
+            let Some(records) = job.decode(shard, &frame.payload) else {
+                continue;
+            };
+            if records.len() != frame.records as usize {
+                continue;
+            }
+            if !matches!(state[index], ShardState::Done { resumed: true, .. }) {
+                summary.resumed += 1;
+            }
+            state[index] = ShardState::Done {
+                records,
+                resumed: true,
+            };
+        }
+    }
+    crate::obs::count("exec.shards.resumed", summary.resumed as u64);
+
+    // Attempt waves: run every pending shard, retry failures with
+    // deterministic virtual backoff until the budget is spent.
+    loop {
+        let pending: Vec<usize> = state
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                ShardState::Pending { attempts, .. } if *attempts <= retry.max_retries => Some(i),
+                _ => None,
+            })
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        let outcomes = crate::par::parallel_map_with(threads.min(pending.len()), &pending, |&i| {
+            crate::obs::quarantine(|| job.run(&plan[i]))
+        });
+        for (&i, outcome) in pending.iter().zip(outcomes) {
+            let ShardState::Pending { attempts, .. } = &state[i] else {
+                unreachable!("pending list only holds pending shards");
+            };
+            let attempts = attempts + 1;
+            match outcome {
+                Ok(records) => {
+                    if let Some(ck) = checkpoint.as_deref_mut() {
+                        persist(ck, job, &plan[i], &records);
+                    }
+                    state[i] = ShardState::Done {
+                        records,
+                        resumed: false,
+                    };
+                }
+                Err(message) => {
+                    crate::obs::log::info(
+                        "exec",
+                        format!("shard {i} attempt {attempts} panicked: {message}"),
+                    );
+                    if attempts > retry.max_retries {
+                        state[i] = ShardState::Failed { attempts, message };
+                    } else {
+                        summary.retried += 1;
+                        summary.backoff_ticks += retry.backoff_ticks(attempts);
+                        state[i] = ShardState::Pending {
+                            attempts,
+                            last_error: message,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    // Assemble in shard order; pending shards past budget become failures.
+    let mut records = Vec::new();
+    let mut incomplete = Vec::new();
+    for (shard, s) in plan.iter().zip(state) {
+        match s {
+            ShardState::Done { records: mut r, .. } => {
+                summary.completed += 1;
+                records.append(&mut r);
+            }
+            ShardState::Failed { attempts, message }
+            | ShardState::Pending {
+                attempts,
+                last_error: message,
+            } => {
+                incomplete.push(ShardFailure {
+                    shard: shard.index,
+                    start: shard.start,
+                    len: shard.len,
+                    attempts,
+                    message,
+                });
+            }
+        }
+    }
+    summary.failed = incomplete.len();
+    crate::obs::count("exec.shards.completed", summary.completed as u64);
+    crate::obs::count("exec.shards.retried", summary.retried as u64);
+    crate::obs::count("exec.shards.failed", summary.failed as u64);
+    crate::obs::count("exec.backoff_ticks", summary.backoff_ticks);
+    ExecReport {
+        records,
+        incomplete,
+        summary,
+    }
+}
+
+fn persist<J: ShardJob>(ck: &mut Checkpoint, job: &J, shard: &Shard, records: &[J::Record]) {
+    let mut payload = Vec::new();
+    job.encode(shard, records, &mut payload);
+    let frame = Frame {
+        shard: shard.index as u32,
+        records: records.len() as u32,
+        payload,
+    };
+    if let Err(e) = ck.append(&frame) {
+        crate::obs::count("exec.checkpoint.io_errors", 1);
+        crate::obs::log::info(
+            "exec",
+            format!("checkpoint append failed ({e}); continuing without persistence"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A deterministic job: records derive from the shard's substream
+    /// seed and item indices only, and round-trip through 8-byte words.
+    struct SeededJob {
+        sabotage: Option<Sabotage>,
+    }
+
+    impl SeededJob {
+        fn plain() -> SeededJob {
+            SeededJob { sabotage: None }
+        }
+    }
+
+    impl ShardJob for SeededJob {
+        type Record = u64;
+
+        fn run(&self, shard: &Shard) -> Vec<u64> {
+            crate::obs::count("job.shards", 1);
+            crate::obs::count("job.items", shard.len as u64);
+            if let Some(s) = &self.sabotage {
+                s.trip(shard.index);
+            }
+            let mut rng = Rng::seed_from_u64(shard.seed);
+            shard.range().map(|i| rng.next_u64() ^ i as u64).collect()
+        }
+
+        fn encode(&self, _shard: &Shard, records: &[u64], out: &mut Vec<u8>) {
+            for r in records {
+                out.extend_from_slice(&r.to_le_bytes());
+            }
+        }
+
+        fn decode(&self, shard: &Shard, payload: &[u8]) -> Option<Vec<u64>> {
+            if payload.len() != shard.len * 8 {
+                return None;
+            }
+            Some(
+                payload
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect(),
+            )
+        }
+    }
+
+    fn temp_ck(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("rt-exec-test-{}-{tag}-{n}.ck", std::process::id()))
+    }
+
+    #[test]
+    fn plan_covers_every_item_once() {
+        let shards = plan(103, 16, 5);
+        assert_eq!(shards.len(), 7);
+        let mut next = 0usize;
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.start, next);
+            assert!(s.len <= 16 && s.len > 0);
+            next += s.len;
+        }
+        assert_eq!(next, 103);
+        assert!(plan(0, 16, 5).is_empty());
+    }
+
+    #[test]
+    fn plan_seeds_are_decorrelated_and_stable() {
+        let a = plan(64, 8, 42);
+        let b = plan(64, 8, 42);
+        assert_eq!(a, b, "same inputs, same plan");
+        let seeds: Vec<u64> = a.iter().map(|s| s.seed).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "duplicate shard seeds");
+        assert_ne!(plan(64, 8, 43)[0].seed, a[0].seed, "seed ignored");
+    }
+
+    #[test]
+    fn segmented_plan_respects_boundaries() {
+        let shards = plan_segmented(&[10, 3, 0, 7], 4, 9);
+        let lens: Vec<usize> = shards.iter().map(|s| s.len).collect();
+        assert_eq!(lens, vec![4, 4, 2, 3, 4, 3]);
+        let starts: Vec<usize> = shards.iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![0, 4, 8, 10, 13, 17]);
+        // No shard straddles a segment edge (10, 13, 20).
+        for s in &shards {
+            for edge in [10usize, 13] {
+                assert!(
+                    s.start + s.len <= edge || s.start >= edge,
+                    "shard {s:?} straddles {edge}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_mixes_all_parts() {
+        let base = fingerprint(&[1, 2, 3]);
+        assert_eq!(base, fingerprint(&[1, 2, 3]));
+        assert_ne!(base, fingerprint(&[1, 2, 4]));
+        assert_ne!(base, fingerprint(&[3, 2, 1]), "order must matter");
+        assert_ne!(fingerprint(&[]), fingerprint(&[0]));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The standard IEEE test vector plus the empty string.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn codec_roundtrips_arbitrary_frames() {
+        crate::check::check_cases("checkpoint codec roundtrip", 64, |d| {
+            let fp = d.next_u64();
+            let frames: Vec<Frame> = (0..d.below(6))
+                .map(|_| Frame {
+                    shard: d.below(1000) as u32,
+                    records: d.below(1000) as u32,
+                    payload: (0..d.below(40)).map(|_| d.below(256) as u8).collect(),
+                })
+                .collect();
+            let bytes = encode_checkpoint(fp, &frames);
+            let decoded = decode_checkpoint(&bytes, fp);
+            assert!(decoded.clean);
+            assert_eq!(decoded.frames, frames);
+            assert_eq!(decoded.valid_len, bytes.len());
+            // A different fingerprint rejects the whole file.
+            let foreign = decode_checkpoint(&bytes, fp ^ 1);
+            assert!(foreign.frames.is_empty());
+            assert_eq!(foreign.valid_len, 0);
+        });
+    }
+
+    #[test]
+    fn truncated_stream_yields_a_clean_prefix() {
+        crate::check::check_cases("checkpoint truncation", 64, |d| {
+            let fp = d.next_u64();
+            let frames: Vec<Frame> = (0..1 + d.below(4))
+                .map(|i| Frame {
+                    shard: i as u32,
+                    records: 1,
+                    payload: (0..1 + d.below(20)).map(|_| d.below(256) as u8).collect(),
+                })
+                .collect();
+            let bytes = encode_checkpoint(fp, &frames);
+            let cut = d.below(bytes.len() + 1);
+            let decoded = decode_checkpoint(&bytes[..cut], fp);
+            // Whatever survives is an exact prefix of what was written.
+            assert!(decoded.frames.len() <= frames.len());
+            assert_eq!(decoded.frames[..], frames[..decoded.frames.len()]);
+            // A cut is only "clean" when it lands exactly on a frame
+            // boundary — the result then looks like a shorter checkpoint.
+            let mut boundaries = vec![HEADER_LEN];
+            for f in &frames {
+                boundaries
+                    .push(boundaries.last().expect("nonempty") + FRAME_OVERHEAD + f.payload.len());
+            }
+            assert_eq!(
+                decoded.clean,
+                cut >= HEADER_LEN && boundaries.contains(&cut)
+            );
+            assert!(decoded.valid_len <= cut);
+        });
+    }
+
+    #[test]
+    fn corrupted_byte_never_fabricates_a_frame() {
+        crate::check::check_cases("checkpoint corruption", 64, |d| {
+            let fp = d.next_u64();
+            let frames: Vec<Frame> = (0..1 + d.below(4))
+                .map(|i| Frame {
+                    shard: i as u32,
+                    records: 2,
+                    payload: (0..4 + d.below(16)).map(|_| d.below(256) as u8).collect(),
+                })
+                .collect();
+            let mut bytes = encode_checkpoint(fp, &frames);
+            let at = d.below(bytes.len());
+            let flip = 1u8 << d.below(8);
+            bytes[at] ^= flip;
+            let decoded = decode_checkpoint(&bytes, fp);
+            // Every decoded frame must be one that was actually written,
+            // in order — corruption may only shorten, never invent.
+            assert!(decoded.frames.len() <= frames.len());
+            assert_eq!(decoded.frames[..], frames[..decoded.frames.len()]);
+            if at < HEADER_LEN {
+                assert_eq!(decoded.valid_len, 0, "damaged header must reject all");
+            }
+        });
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_and_tail_truncation() {
+        let path = temp_ck("roundtrip");
+        let job = SeededJob::plain();
+        let shards = plan(20, 4, 3);
+        {
+            let mut ck = Checkpoint::open(&path, 77).expect("open");
+            assert!(ck.frames().is_empty());
+            for shard in &shards[..3] {
+                let records = job.run(shard);
+                let mut payload = Vec::new();
+                job.encode(shard, &records, &mut payload);
+                ck.append(&Frame {
+                    shard: shard.index as u32,
+                    records: records.len() as u32,
+                    payload,
+                })
+                .expect("append");
+            }
+        }
+        // Corrupt the tail: damage the last byte.
+        let mut bytes = fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).expect("rewrite");
+        let ck = Checkpoint::open(&path, 77).expect("reopen");
+        assert_eq!(ck.frames().len(), 2, "corrupt tail frame dropped");
+        assert_eq!(
+            fs::metadata(&path).expect("meta").len() as usize,
+            bytes.len() - (FRAME_OVERHEAD + 4 * 8),
+            "file truncated back to the trusted prefix"
+        );
+        // A foreign fingerprint resets the file entirely.
+        let ck = Checkpoint::open(&path, 78).expect("reopen foreign");
+        assert!(ck.frames().is_empty());
+        assert_eq!(
+            fs::metadata(&path).expect("meta").len() as usize,
+            HEADER_LEN
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_shards_is_thread_count_invariant() {
+        let shards = plan(57, 8, 11);
+        let job = SeededJob::plain();
+        let baseline = run_shards(1, &RetryPolicy::none(), None, &shards, &job);
+        assert!(baseline.is_complete());
+        assert_eq!(baseline.records.len(), 57);
+        for threads in [2, 4, 7] {
+            let r = run_shards(threads, &RetryPolicy::none(), None, &shards, &job);
+            assert_eq!(r.records, baseline.records, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn one_shot_panic_with_retry_recovers_byte_identically() {
+        let shards = plan(40, 8, 21);
+        let plain = SeededJob::plain();
+        let ((), straight_metrics, _) = crate::obs::observe(|| {
+            let straight = run_shards(2, &RetryPolicy::none(), None, &shards, &plain);
+            let sab = SeededJob {
+                sabotage: Some(Sabotage::once(2)),
+            };
+            let ((), retried_metrics, _) = crate::obs::observe(|| {
+                let recovered = crate::check::quiet(|| {
+                    run_shards(2, &RetryPolicy::retries(2), None, &shards, &sab)
+                });
+                assert!(recovered.is_complete(), "retry must recover the shard");
+                assert_eq!(recovered.records, straight.records, "records drifted");
+                assert_eq!(recovered.summary.retried, 1);
+                assert!(recovered.summary.backoff_ticks > 0);
+            });
+            // The failed attempt's partial telemetry was discarded, so the
+            // deterministic job counters match an untroubled run exactly.
+            assert_eq!(
+                retried_metrics.counter("job.shards"),
+                Some(shards.len() as u64)
+            );
+            assert_eq!(retried_metrics.counter("job.items"), Some(40));
+            assert_eq!(retried_metrics.counter("exec.shards.retried"), Some(1));
+        });
+        assert_eq!(
+            straight_metrics.counter("job.shards"),
+            Some(shards.len() as u64)
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_a_manifest() {
+        let shards = plan(30, 10, 9);
+        let sab = SeededJob {
+            sabotage: Some(Sabotage::times(1, u32::MAX)),
+        };
+        let report =
+            crate::check::quiet(|| run_shards(2, &RetryPolicy::retries(2), None, &shards, &sab));
+        assert!(!report.is_complete());
+        assert_eq!(report.incomplete.len(), 1);
+        let failure = &report.incomplete[0];
+        assert_eq!(failure.shard, 1);
+        assert_eq!((failure.start, failure.len), (10, 10));
+        assert_eq!(failure.attempts, 3, "first try + two retries");
+        assert!(failure.message.contains("sabotage"), "{}", failure.message);
+        // Completed shards still delivered, in order.
+        let plain = SeededJob::plain();
+        let straight = run_shards(1, &RetryPolicy::none(), None, &shards, &plain);
+        let expected: Vec<u64> = straight.records[..10]
+            .iter()
+            .chain(&straight.records[20..])
+            .copied()
+            .collect();
+        assert_eq!(report.records, expected);
+        assert_eq!(report.summary.completed, 2);
+        assert_eq!(report.summary.failed, 1);
+    }
+
+    #[test]
+    fn interrupted_run_resumes_byte_identically() {
+        let shards = plan(48, 6, 33);
+        let plain = SeededJob::plain();
+        let straight = run_shards(3, &RetryPolicy::none(), None, &shards, &plain);
+        for threads in [1, 2, 4, 7] {
+            let path = temp_ck(&format!("resume-{threads}"));
+            let fp = fingerprint(&[48, 6, 33]);
+            // Interrupted run: shard 5 dies with no retry budget.
+            let sab = SeededJob {
+                sabotage: Some(Sabotage::once(5)),
+            };
+            let mut ck = Checkpoint::open(&path, fp).expect("open");
+            let partial = crate::check::quiet(|| {
+                run_shards(threads, &RetryPolicy::none(), Some(&mut ck), &shards, &sab)
+            });
+            assert!(!partial.is_complete());
+            assert_eq!(partial.incomplete[0].shard, 5);
+            drop(ck);
+            // Resumed run: same fingerprint, fresh process simulation.
+            let mut ck = Checkpoint::open(&path, fp).expect("reopen");
+            assert_eq!(ck.frames().len(), shards.len() - 1);
+            let resumed = run_shards(
+                threads,
+                &RetryPolicy::none(),
+                Some(&mut ck),
+                &shards,
+                &plain,
+            );
+            assert!(resumed.is_complete());
+            assert_eq!(
+                resumed.records, straight.records,
+                "resume at {threads} threads not byte-identical"
+            );
+            assert_eq!(resumed.summary.resumed, shards.len() - 1);
+            let _ = fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_ticks: 3,
+            max_ticks: 20,
+        };
+        assert_eq!(p.backoff_ticks(0), 0);
+        assert_eq!(p.backoff_ticks(1), 3);
+        assert_eq!(p.backoff_ticks(2), 6);
+        assert_eq!(p.backoff_ticks(3), 12);
+        assert_eq!(p.backoff_ticks(4), 20, "capped");
+        assert_eq!(p.backoff_ticks(90), 20, "shift overflow saturates");
+        assert_eq!(RetryPolicy::none().backoff_ticks(1), 0);
+    }
+
+    #[test]
+    fn sabotage_is_seeded_and_bounded() {
+        let s = Sabotage::seeded(123, 7, 2);
+        assert!(s.target() < 7);
+        assert_eq!(s.target(), Sabotage::seeded(123, 7, 2).target());
+        let armed = Sabotage::times(3, 2);
+        for _ in 0..2 {
+            let caught = std::panic::catch_unwind(|| armed.trip(3));
+            assert!(caught.is_err(), "armed sabotage must fire");
+        }
+        armed.trip(3); // charges spent: no panic
+        armed.trip(0); // wrong shard: never fires
+    }
+}

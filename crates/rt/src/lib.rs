@@ -17,6 +17,11 @@
 //!   the minimal sequence that still fails ([`check::replay`] re-runs it),
 //! * [`timing`] — a wall-clock micro-benchmark harness with automatic
 //!   iteration calibration,
+//! * [`exec`] — resumable, panic-isolated shard execution: deterministic
+//!   shard planning, a CRC-checked length-prefixed checkpoint codec with
+//!   kill-and-resume byte-identity, bounded retry with exponential
+//!   backoff in virtual time, and seeded fault injection
+//!   ([`exec::Sabotage`]) to prove the recovery paths,
 //! * [`obs`] — a zero-dependency observability layer: deterministic
 //!   counters/gauges/log-bucketed histograms (byte-identical at any
 //!   thread count, snapshotted to the tracked `results/metrics.json`),
@@ -48,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 pub mod check;
+pub mod exec;
 pub mod obs;
 pub mod par;
 pub mod rng;

@@ -200,20 +200,28 @@ pub fn absorb_worker(worker: WorkerObs) {
         c.metrics.merge(&worker.metrics);
         // Remap the worker's tid space (its own spans are tid 0, plus any
         // workers it absorbed in turn) to fresh tids here.
-        let mut remap: Vec<(u32, u32)> = Vec::new();
-        for mut event in worker.events {
-            let mapped = match remap.iter().find(|&&(from, _)| from == event.tid) {
-                Some(&(_, to)) => to,
-                None => {
-                    c.next_tid += 1;
-                    remap.push((event.tid, c.next_tid));
-                    c.next_tid
-                }
-            };
-            event.tid = mapped;
-            c.events.push(event);
-        }
+        push_remapped(&mut c, worker.events, Vec::new());
     });
+}
+
+/// Appends `events` to `c` with their tid space remapped into `c`'s:
+/// tids listed in `identity` keep their value (used for "same physical
+/// thread" merges), every other tid gets a fresh one from `c.next_tid`
+/// in first-appearance order.
+fn push_remapped(c: &mut Collector, events: Vec<SpanEvent>, identity: Vec<u32>) {
+    let mut remap: Vec<(u32, u32)> = identity.into_iter().map(|t| (t, t)).collect();
+    for mut event in events {
+        let mapped = match remap.iter().find(|&&(from, _)| from == event.tid) {
+            Some(&(_, to)) => to,
+            None => {
+                c.next_tid += 1;
+                remap.push((event.tid, c.next_tid));
+                c.next_tid
+            }
+        };
+        event.tid = mapped;
+        c.events.push(event);
+    }
 }
 
 /// Runs `f` against a fresh ambient collector and returns its result
@@ -249,9 +257,63 @@ impl Drop for RestoreOnUnwind {
                 flush_hot(&mut c);
                 let captured = std::mem::replace(&mut *c, saved);
                 c.metrics.merge(&captured.metrics);
-                c.events.extend(captured.events);
+                // The captured events' tid space is private to the
+                // aborted capture: its tid 0 is this same thread, but
+                // any worker tids it handed out would collide with
+                // workers the restored collector has already absorbed.
+                // Remap everything except tid 0 onto fresh tids.
+                push_remapped(&mut c, captured.events, vec![0]);
             });
         }
+    }
+}
+
+/// Runs `f` against a fresh ambient collector with **panic isolation**:
+/// on success the captured telemetry is absorbed back into the ambient
+/// collector (tid 0 staying this thread, worker tids remapped fresh) and
+/// the closure's value is returned; on panic the partial capture is
+/// **discarded wholesale** and the panic message is returned instead.
+///
+/// This is the capture primitive behind [`crate::exec`]'s retry loop:
+/// discarding a failed attempt's half-recorded counters is what keeps a
+/// retried run's metrics byte-identical to an untroubled run's. Contrast
+/// with [`observe`], which *keeps* data when a panic unwinds through it
+/// (the panic propagates, so the telemetry is diagnostic, not part of a
+/// deterministic result).
+pub fn quarantine<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    let saved = AMBIENT.with(|c| {
+        let mut c = c.borrow_mut();
+        flush_hot(&mut c);
+        std::mem::take(&mut *c)
+    });
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    let captured = AMBIENT.with(|c| {
+        let mut c = c.borrow_mut();
+        flush_hot(&mut c);
+        std::mem::replace(&mut *c, saved)
+    });
+    match outcome {
+        Ok(value) => {
+            AMBIENT.with(|c| {
+                let mut c = c.borrow_mut();
+                c.metrics.merge(&captured.metrics);
+                push_remapped(&mut c, captured.events, vec![0]);
+            });
+            Ok(value)
+        }
+        Err(payload) => Err(payload_text(payload)),
+    }
+}
+
+/// Best-effort text of a panic payload (`String` and `&str` payloads;
+/// anything else becomes a placeholder).
+pub(crate) fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
     }
 }
 
@@ -387,5 +449,81 @@ mod tests {
         assert_eq!(runs[0].counter("inv.items"), Some(97));
         assert_eq!(runs[0].counter("dsim.eval.calls"), Some(97));
         assert_eq!(runs[0].histogram("inv.values").unwrap().count(), 97);
+    }
+
+    #[test]
+    fn quarantine_keeps_telemetry_on_success() {
+        let ((), m, events) = observe(|| {
+            let out = quarantine(|| {
+                count("q.items", 5);
+                drop(span("q.work"));
+                42
+            });
+            assert_eq!(out, Ok(42));
+        });
+        assert_eq!(m.counter("q.items"), Some(5));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "q.work");
+    }
+
+    #[test]
+    fn quarantine_discards_partial_telemetry_on_panic() {
+        let ((), m, events) = observe(|| {
+            count("q.before", 1);
+            let out = crate::check::quiet(|| {
+                quarantine(|| {
+                    count("q.partial", 9);
+                    drop(span("q.doomed"));
+                    panic!("shard exploded");
+                })
+            });
+            assert_eq!(out, Err("shard exploded".to_string()));
+            count("q.after", 1);
+        });
+        // The failed attempt's capture is dropped wholesale: a retried run
+        // must end up byte-identical to one that never panicked.
+        assert_eq!(m.counter("q.partial"), None, "partial telemetry leaked");
+        assert_eq!(m.counter("q.before"), Some(1));
+        assert_eq!(m.counter("q.after"), Some(1));
+        assert!(events.is_empty(), "doomed span leaked: {events:?}");
+    }
+
+    #[test]
+    fn unwound_capture_remaps_worker_tids() {
+        // Regression: RestoreOnUnwind used to splice the inner capture's
+        // events back verbatim, so a worker absorbed inside the doomed
+        // capture (tid 1 there) collided with a worker the outer capture
+        // had already absorbed as tid 1.
+        let ((), _, events) = observe(|| {
+            let w = std::thread::spawn(|| {
+                drop(span("outer.worker"));
+                drain_worker()
+            })
+            .join()
+            .unwrap();
+            absorb_worker(w); // outer tid 1
+            let caught = std::panic::catch_unwind(|| {
+                observe(|| {
+                    let w = std::thread::spawn(|| {
+                        drop(span("inner.worker"));
+                        drain_worker()
+                    })
+                    .join()
+                    .unwrap();
+                    absorb_worker(w); // tid 1 *inside the capture*
+                    panic!("unwind through the guard");
+                })
+            });
+            assert!(caught.is_err());
+        });
+        let mut seen = std::collections::HashMap::new();
+        for e in &events {
+            seen.insert(e.name.clone(), e.tid);
+        }
+        assert_eq!(seen["outer.worker"], 1);
+        assert_ne!(
+            seen["inner.worker"], seen["outer.worker"],
+            "distinct physical workers merged onto one tid"
+        );
     }
 }

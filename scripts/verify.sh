@@ -20,6 +20,15 @@ cargo test -q --offline
 echo "==> fuzz smoke (conform)"
 OBS=1 cargo run -q -p conform --release --offline --bin fuzz_smoke
 
+# Documentation gate: rustdoc must build without warnings (missing docs
+# are denied via #![warn(missing_docs)] + -D warnings) and every doctest
+# must pass. Both offline, like everything else.
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
+
+echo "==> cargo test --doc --offline"
+cargo test -q --doc --offline
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
