@@ -1,5 +1,5 @@
 //! Scalar vs bit-parallel (PPSFP) fault-simulation throughput on the
-//! paper's digital chains.
+//! paper's digital chains, at every packed plane width.
 //!
 //! ```text
 //! cargo run -p bench --release --bin bitpar_speedup
@@ -8,13 +8,22 @@
 //! Both sides run the complete stuck-at campaign single-threaded — the
 //! scalar reference `scan_coverage_scalar` (one pattern per gate-level
 //! walk, early exit per fault) against the packed `dsim::bitpar` kernel
-//! behind `scan_coverage` (64 patterns per walk, fault dropping across
-//! blocks) — so the reported speedup is purely algorithmic.
+//! at each supported plane width (64 patterns per `u64` word, 256 per
+//! `[u64; 4]`, 512 per `[u64; 8]`, fault dropping across blocks) — so
+//! the reported speedup is purely algorithmic.
 //!
 //! Writes `results/bitpar_speedup.csv`
-//! (`chain,faults,patterns,scalar_ns_per_pattern,packed_ns_per_pattern,speedup`).
-//! Timing CSVs are **untracked** (see EXPERIMENTS.md): every tracked file
-//! under `results/` is deterministic, and this one is not.
+//! (`chain,faults,patterns,width,scalar_ns_per_pattern,packed_ns_per_pattern,speedup`),
+//! one row per chain × width. Timing CSVs are **untracked** (see
+//! EXPERIMENTS.md): every tracked file under `results/` is
+//! deterministic, and this one is not.
+//!
+//! The run also prints a scalar-reference timing note: the scalar side
+//! is itself event-driven now (levelized order, fanout-cone scheduling,
+//! no per-gate scratch allocation), so the note times it against the
+//! retained bounded-sweep composition (`Circuit::eval_sweep`) to show
+//! how much the reference improved — the packed speedup column is
+//! measured against the *better* scalar baseline, not a strawman.
 
 use std::time::Duration;
 
@@ -22,12 +31,47 @@ use bench::{save_artifact, Csv};
 use dft::chain_b::ChainB;
 use dft::report::render_table;
 use dsim::atpg::random_vectors;
+use dsim::bitpar::Word;
 use dsim::blocks::divider::Divider;
 use dsim::blocks::fsm::ControlFsm;
 use dsim::blocks::lock_counter::LockCounter;
-use dsim::circuit::Circuit;
+use dsim::circuit::{Circuit, SimState};
+use dsim::logic::Logic;
+use dsim::scan::{apply_vector, ScanVector};
 use dsim::stuck_at::{enumerate_faults, scan_coverage_scalar};
 use rt::timing::Bench;
+
+/// Fault-free simulation of the whole vector set on the event-driven
+/// scalar evaluator (the shipping path).
+fn simulate_event(c: &Circuit, vectors: &[ScanVector]) -> usize {
+    let mut state = SimState::for_circuit(c);
+    vectors
+        .iter()
+        .map(|v| apply_vector(c, &mut state, v).po.len())
+        .sum()
+}
+
+/// The same simulation composed on the retained bounded-sweep evaluator
+/// — sweep-for-eval, mirroring `apply_vector` + `tick` — i.e. the old
+/// scalar reference algorithm (minus its per-gate scratch allocation,
+/// which is gone from both paths).
+fn simulate_sweep(c: &Circuit, vectors: &[ScanVector]) -> usize {
+    let mut state = SimState::for_circuit(c);
+    let mut total = 0;
+    for v in vectors {
+        state.load_ffs(&v.load);
+        for (&net, &val) in c.inputs().iter().zip(&v.pi) {
+            state.set_input(c, net, val);
+        }
+        c.eval_sweep(&mut state);
+        total += state.read_outputs(c).len();
+        c.eval_sweep(&mut state);
+        let capture: Vec<Logic> = c.dffs().iter().map(|d| state.net(d.d)).collect();
+        state.load_ffs(&capture);
+        c.eval_sweep(&mut state);
+    }
+    total
+}
 
 fn main() {
     let chains: Vec<(&str, Circuit, u64)> = vec![
@@ -40,7 +84,9 @@ fn main() {
         ("lock counter", LockCounter::new(3).circuit().clone(), 47),
         ("control FSM", ControlFsm::new().circuit().clone(), 53),
     ];
-    let patterns = 256;
+    // One full 512-lane plane, so every width runs with full words (the
+    // 64-lane rows see 8 blocks, the 512-lane rows exactly one).
+    let patterns = 512;
 
     // A generous budget keeps the medians stable against background load:
     // the speedup column is the acceptance number, so it must not wobble.
@@ -48,10 +94,12 @@ fn main() {
         .with_budget(Duration::from_millis(1200))
         .with_samples(21);
     let mut rows = Vec::new();
+    let mut notes = Vec::new();
     let mut csv = Csv::new(&[
         "chain",
         "faults",
         "patterns",
+        "width",
         "scalar_ns_per_pattern",
         "packed_ns_per_pattern",
         "speedup",
@@ -65,34 +113,75 @@ fn main() {
                 scan_coverage_scalar(circuit, &vectors).detected()
             })
             .median_ns;
-        let packed = bench
-            .run(format!("{name}/packed"), || {
-                dsim::bitpar::ppsfp_detect_with(1, circuit, &vectors, &faults)
-                    .iter()
-                    .filter(|&&d| d)
-                    .count()
+        let scalar_pp = scalar / patterns as f64;
+
+        // Scalar-reference timing note: event-driven vs the retained
+        // bounded sweep on the fault-free pattern set.
+        let event_ns = bench
+            .run(format!("{name}/scalar-event"), || {
+                simulate_event(circuit, &vectors)
             })
             .median_ns;
+        let sweep_ns = bench
+            .run(format!("{name}/scalar-sweep"), || {
+                simulate_sweep(circuit, &vectors)
+            })
+            .median_ns;
+        notes.push(format!(
+            "{name}: event-driven scalar eval {:.0} ns/pattern vs bounded sweep {:.0} \
+             ns/pattern ({:.1}x)",
+            event_ns / patterns as f64,
+            sweep_ns / patterns as f64,
+            sweep_ns / event_ns,
+        ));
 
-        let scalar_pp = scalar / patterns as f64;
-        let packed_pp = packed / patterns as f64;
-        let speedup = scalar_pp / packed_pp;
-        rows.push(vec![
-            name.to_string(),
-            faults.len().to_string(),
-            patterns.to_string(),
-            format!("{scalar_pp:.0}"),
-            format!("{packed_pp:.0}"),
-            format!("{speedup:.1}x"),
-        ]);
-        csv.row(&[
-            name.to_string(),
-            faults.len().to_string(),
-            patterns.to_string(),
-            format!("{scalar_pp:.0}"),
-            format!("{packed_pp:.0}"),
-            format!("{speedup:.2}"),
-        ]);
+        let mut width_row = |width: usize, packed: f64| {
+            let packed_pp = packed / patterns as f64;
+            let speedup = scalar_pp / packed_pp;
+            rows.push(vec![
+                name.to_string(),
+                faults.len().to_string(),
+                patterns.to_string(),
+                width.to_string(),
+                format!("{scalar_pp:.0}"),
+                format!("{packed_pp:.0}"),
+                format!("{speedup:.1}x"),
+            ]);
+            csv.row(&[
+                name.to_string(),
+                faults.len().to_string(),
+                patterns.to_string(),
+                width.to_string(),
+                format!("{scalar_pp:.0}"),
+                format!("{packed_pp:.0}"),
+                format!("{speedup:.2}"),
+            ]);
+        };
+        let detected = |flags: Vec<bool>| flags.iter().filter(|&&d| d).count();
+        let w64 = bench
+            .run(format!("{name}/packed-64"), || {
+                detected(dsim::bitpar::ppsfp_detect_wide::<u64>(
+                    1, circuit, &vectors, &faults,
+                ))
+            })
+            .median_ns;
+        width_row(<u64 as Word>::BITS, w64);
+        let w256 = bench
+            .run(format!("{name}/packed-256"), || {
+                detected(dsim::bitpar::ppsfp_detect_wide::<[u64; 4]>(
+                    1, circuit, &vectors, &faults,
+                ))
+            })
+            .median_ns;
+        width_row(<[u64; 4] as Word>::BITS, w256);
+        let w512 = bench
+            .run(format!("{name}/packed-512"), || {
+                detected(dsim::bitpar::ppsfp_detect_wide::<[u64; 8]>(
+                    1, circuit, &vectors, &faults,
+                ))
+            })
+            .median_ns;
+        width_row(<[u64; 8] as Word>::BITS, w512);
     }
 
     println!("=== Scalar vs bit-parallel (PPSFP) stuck-at campaign ===\n");
@@ -103,6 +192,7 @@ fn main() {
                 "Chain",
                 "Faults",
                 "Patterns",
+                "Width",
                 "Scalar ns/pat",
                 "Packed ns/pat",
                 "Speedup"
@@ -110,6 +200,10 @@ fn main() {
             &rows
         )
     );
+    println!("\n--- scalar reference (event-driven vs retained bounded sweep) ---");
+    for note in &notes {
+        println!("note: {note}");
+    }
 
     save_artifact("untracked timing CSV", "bitpar_speedup.csv", csv.as_str());
 }

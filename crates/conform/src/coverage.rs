@@ -134,6 +134,12 @@ pub fn vector_coverage(circuit: &Circuit, v: &ScanVector) -> NodeCoverage {
 /// One packed run of up to 64 vectors, observed at the same two strobe
 /// points as [`vector_coverage`]; returns per-net `(seen0, seen1)` lane
 /// masks.
+///
+/// Footprint extraction stays pinned at the 64-lane base width (plain
+/// `u64` planes) even though the simulator is width-generic: the fuzzer
+/// proposes candidates in 64-wide blocks and the per-lane mask surgery
+/// below is `u64`-shaped. The wide (256/512-lane) planes are a PPSFP
+/// throughput feature; they buy nothing for 64-candidate footprints.
 fn block_observation(circuit: &Circuit, block: &[ScanVector]) -> (Vec<u64>, Vec<u64>) {
     let n = circuit.net_count();
     let mut seen0 = vec![0u64; n];

@@ -14,8 +14,11 @@
 //! * [`CampaignSnapshotOracle`] — the full fault campaign against the
 //!   paper's golden coverage snapshot under tolerance,
 //! * [`PackedVsScalarOracle`] — the bit-parallel packed simulator
-//!   (`dsim::bitpar`) against the scalar reference: scan responses,
-//!   stuck-at coverage records and coverage footprints, bit-exact,
+//!   (`dsim::bitpar`) against the scalar reference at every plane width
+//!   (64, 256 and 512 lanes): scan responses, stuck-at coverage records,
+//!   coverage footprints, forced-width PPSFP detection flags across
+//!   worker-thread counts, and the event-driven evaluator against the
+//!   retained bounded-sweep reference — all bit-exact,
 //! * [`InstrumentedPpsfpOracle`] — the PPSFP kernel under an explicit
 //!   `rt::obs` metrics capture against the plain run: detection flags
 //!   byte-identical, captured metrics thread-count invariant,
@@ -46,8 +49,8 @@ use dft::chain_b::ChainB;
 use dsim::bitpar;
 use dsim::circuit::{Circuit, SimState};
 use dsim::logic::Logic;
-use dsim::scan::{apply_vector, shift, ScanVector};
-use dsim::stuck_at::{enumerate_faults, scan_coverage, scan_coverage_scalar};
+use dsim::scan::{apply_vector, shift, ScanResponse, ScanVector};
+use dsim::stuck_at::{enumerate_faults, scan_coverage, scan_coverage_scalar, StuckAtFault};
 use dsim::transition::{launch_capture_response, TwoPatternTest};
 use link::synchronizer::{decisions_from_trace, RunConfig, Synchronizer};
 use msim::effects::AnalogEffect;
@@ -454,23 +457,163 @@ impl DiffOracle for CampaignSnapshotOracle {
 
 /// Packed (bit-parallel) vs scalar simulation: the word-packed two-plane
 /// simulator in [`dsim::bitpar`] must agree **bit-exactly** with the
-/// one-pattern-at-a-time scalar simulator on three independent routes —
-/// per-vector scan responses (lane extraction vs `apply_vector`,
-/// including partial final words and `X` lanes), whole stuck-at coverage
-/// records (`scan_coverage` on the PPSFP kernel vs
-/// `scan_coverage_scalar`, including the undetected fault order), and
-/// per-vector node-activation footprints (packed batch extraction vs
-/// `vector_coverage`).
+/// one-pattern-at-a-time scalar simulator on five independent routes —
+/// per-vector scan responses at every plane width (64, 256 and 512
+/// lanes; lane extraction vs `apply_vector`, including partial final
+/// words and `X` lanes), whole stuck-at coverage records
+/// (`scan_coverage` on the PPSFP kernel vs `scan_coverage_scalar`,
+/// including the undetected fault order), per-vector node-activation
+/// footprints (packed batch extraction vs `vector_coverage`),
+/// forced-width PPSFP detection flags ([`bitpar::ppsfp_detect_wide`] at
+/// each width and every probed worker-thread count vs the scalar
+/// fault-by-fault reference), and the event-driven evaluator
+/// ([`Circuit::eval`]) vs the retained bounded-sweep reference
+/// ([`Circuit::eval_sweep`]), fault-free and under sampled stuck-at
+/// overlays.
+///
+/// The last route is what makes the oracle meaningful on feedback
+/// (oscillating) circuits: there the event-driven path must *fall back*
+/// to the bounded sweep, so the sweep-composed reference and the normal
+/// route must stay trajectory-identical, not just fixpoint-identical.
 #[derive(Debug, Clone)]
 pub struct PackedVsScalarOracle {
     circuit: Circuit,
     vectors: Vec<ScanVector>,
+    threads: Vec<usize>,
 }
 
 impl PackedVsScalarOracle {
-    /// An oracle over `vectors` on `circuit`.
+    /// An oracle over `vectors` on `circuit`, probing 1/2/4/7 worker
+    /// threads on the forced-width PPSFP route.
     pub fn new(circuit: Circuit, vectors: Vec<ScanVector>) -> PackedVsScalarOracle {
-        PackedVsScalarOracle { circuit, vectors }
+        PackedVsScalarOracle {
+            circuit,
+            vectors,
+            threads: vec![1, 2, 4, 7],
+        }
+    }
+
+    /// Overrides the probed worker-thread counts.
+    pub fn with_threads(mut self, threads: Vec<usize>) -> PackedVsScalarOracle {
+        self.threads = threads;
+        self
+    }
+
+    /// Route 1 at one plane width: packed scan responses, lane by lane.
+    fn check_lanes<W: bitpar::Word>(&self) -> Result<(), Divergence> {
+        let c = &self.circuit;
+        for (bi, block) in self.vectors.chunks(W::BITS).enumerate() {
+            let packed =
+                bitpar::apply_vectors(c, &mut bitpar::WideState::<W>::for_circuit(c), block);
+            for (k, v) in block.iter().enumerate() {
+                let scalar = apply_vector(c, &mut SimState::for_circuit(c), v);
+                let lane = bitpar::response_lane(&packed, k);
+                if lane != scalar {
+                    return Err(Divergence {
+                        oracle: self.name(),
+                        detail: format!(
+                            "{}: width {}: block {bi} lane {k}: packed (po {:?}, \
+                             capture {:?}) vs scalar (po {:?}, capture {:?})",
+                            c.name(),
+                            W::BITS,
+                            lane.po,
+                            lane.capture,
+                            scalar.po,
+                            scalar.capture,
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Route 4 at one plane width: forced-width PPSFP detection flags at
+    /// every probed worker-thread count against the scalar reference.
+    fn check_ppsfp_width<W: bitpar::Word>(
+        &self,
+        faults: &[StuckAtFault],
+        want: &[bool],
+    ) -> Result<(), Divergence> {
+        let c = &self.circuit;
+        for &threads in &self.threads {
+            let got = bitpar::ppsfp_detect_wide::<W>(threads, c, &self.vectors, faults);
+            if got != want {
+                let first = got.iter().zip(want).position(|(g, w)| g != w);
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{}: width {} at {threads} threads: PPSFP flags diverge from \
+                         scalar (first at fault index {first:?}; {} vs {} detected)",
+                        c.name(),
+                        W::BITS,
+                        got.iter().filter(|&&d| d).count(),
+                        want.iter().filter(|&&d| d).count(),
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Route 5 for one initial state: event-driven `Circuit::eval` (via
+    /// `apply_vector`) against the sweep-composed reference.
+    fn check_event_vs_sweep(
+        &self,
+        fault: Option<StuckAtFault>,
+        label: &str,
+    ) -> Result<(), Divergence> {
+        let c = &self.circuit;
+        for (i, v) in self.vectors.iter().enumerate() {
+            let mut event_state = SimState::for_circuit(c);
+            let mut sweep_state = SimState::for_circuit(c);
+            if let Some(f) = fault {
+                event_state.inject(f.net, f.value());
+                sweep_state.inject(f.net, f.value());
+            }
+            let event = apply_vector(c, &mut event_state, v);
+            let swept = apply_vector_sweep(c, &mut sweep_state, v);
+            if event != swept {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{}: vector {i} ({label}): event-driven (po {:?}, capture {:?}) \
+                         vs bounded sweep (po {:?}, capture {:?})",
+                        c.name(),
+                        event.po,
+                        event.capture,
+                        swept.po,
+                        swept.capture,
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `apply_vector` re-composed on the retained bounded-sweep evaluator
+/// ([`Circuit::eval_sweep`]), sweep-for-eval: one sweep per `eval` the
+/// normal route performs (launch strobe, pre-capture, post-capture), so
+/// the two routes must agree even on feedback circuits where the bounded
+/// sweep's trajectory — not just its fixpoint — defines the X-closure
+/// semantics.
+fn apply_vector_sweep(c: &Circuit, state: &mut SimState, v: &ScanVector) -> ScanResponse {
+    state.load_ffs(&v.load);
+    for (&net, &val) in c.inputs().iter().zip(&v.pi) {
+        state.set_input(c, net, val);
+    }
+    c.eval_sweep(state);
+    let po = state.read_outputs(c);
+    // The capture edge, sweep-composed exactly like `Circuit::tick`:
+    // evaluate, capture every flip-flop's `d`, propagate the new outputs.
+    c.eval_sweep(state);
+    let capture: Vec<Logic> = c.dffs().iter().map(|d| state.net(d.d)).collect();
+    state.load_ffs(&capture);
+    c.eval_sweep(state);
+    ScanResponse {
+        po,
+        capture: state.ff_values().to_vec(),
     }
 }
 
@@ -482,28 +625,10 @@ impl DiffOracle for PackedVsScalarOracle {
     fn check(&self) -> Result<(), Divergence> {
         let c = &self.circuit;
 
-        // Route 1: packed scan responses, lane by lane.
-        for (bi, block) in self.vectors.chunks(bitpar::LANES).enumerate() {
-            let packed = bitpar::apply_vectors(c, &mut bitpar::PackedState::for_circuit(c), block);
-            for (k, v) in block.iter().enumerate() {
-                let scalar = apply_vector(c, &mut SimState::for_circuit(c), v);
-                let lane = bitpar::response_lane(&packed, k);
-                if lane != scalar {
-                    return Err(Divergence {
-                        oracle: self.name(),
-                        detail: format!(
-                            "{}: block {bi} lane {k}: packed (po {:?}, capture {:?}) \
-                             vs scalar (po {:?}, capture {:?})",
-                            c.name(),
-                            lane.po,
-                            lane.capture,
-                            scalar.po,
-                            scalar.capture,
-                        ),
-                    });
-                }
-            }
-        }
+        // Route 1: packed scan responses, lane by lane, at every width.
+        self.check_lanes::<u64>()?;
+        self.check_lanes::<[u64; 4]>()?;
+        self.check_lanes::<[u64; 8]>()?;
 
         // Route 2: whole coverage records, bit-exact including order.
         let packed_cov = scan_coverage(c, &self.vectors);
@@ -539,6 +664,29 @@ impl DiffOracle for PackedVsScalarOracle {
                     ),
                 });
             }
+        }
+
+        // Route 4: forced-width PPSFP flags at every width and probed
+        // thread count against the scalar fault-by-fault reference
+        // (derived from route 2's scalar record, which preserves the
+        // undetected fault order).
+        let faults = enumerate_faults(c);
+        let scalar_flags: Vec<bool> = faults
+            .iter()
+            .map(|f| !scalar_cov.undetected().contains(f))
+            .collect();
+        self.check_ppsfp_width::<u64>(&faults, &scalar_flags)?;
+        self.check_ppsfp_width::<[u64; 4]>(&faults, &scalar_flags)?;
+        self.check_ppsfp_width::<[u64; 8]>(&faults, &scalar_flags)?;
+
+        // Route 5: event-driven evaluation vs the bounded sweep it
+        // replaced, fault-free and under a sampled set of stuck-at
+        // overlays (fault injection exercises the overlay-transition
+        // event seeding).
+        self.check_event_vs_sweep(None, "fault-free")?;
+        let stride = (faults.len() / 6).max(1);
+        for f in faults.iter().step_by(stride) {
+            self.check_event_vs_sweep(Some(*f), &format!("fault {f:?}"))?;
         }
         Ok(())
     }

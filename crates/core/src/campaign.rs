@@ -421,10 +421,14 @@ impl FaultCampaign {
     }
 }
 
-/// Stuck-at shard size for the digital campaign: matches the behavioral
-/// campaign's granularity; chains are segment boundaries the planner
-/// never cuts across.
-const DIGITAL_SHARD_SIZE: usize = 64;
+/// Stuck-at shard size for the digital campaign. Wider than the
+/// behavioral campaign's 64: the PPSFP kernel now evaluates up to 512
+/// patterns per pass, so fatter shards amortize its per-shard golden
+/// simulation without hurting load balance on the paper's chain sizes.
+/// Chains are segment boundaries the planner never cuts across, and shard
+/// stitching is result-invariant, so this is purely a scheduling knob
+/// (it does feed the campaign fingerprint, invalidating old checkpoints).
+const DIGITAL_SHARD_SIZE: usize = 128;
 
 /// Base seed for the digital campaign's shard substreams.
 const DIGITAL_SHARD_SEED: u64 = 0xD101;

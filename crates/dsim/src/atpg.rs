@@ -133,6 +133,11 @@ pub fn weighted_vectors(
 /// fault it is first to detect. Generation stops when `budget` candidates
 /// have been drawn or no undetected fault remains.
 ///
+/// ATPG stays pinned at the 64-lane base width (the wide 256/512-lane
+/// planes are a bulk-PPSFP feature): the credit assignment walks per-lane
+/// `u64` detect masks, and a fault-dropping loop rarely keeps more than a
+/// handful of candidates per block alive anyway.
+///
 /// The result is a compacted test set: same coverage as the full random
 /// stream over the candidates actually drawn, usually a small fraction of
 /// its length.

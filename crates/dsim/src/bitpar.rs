@@ -1,10 +1,14 @@
 //! Bit-parallel (word-packed) three-valued simulation — the PPSFP kernel.
 //!
-//! Classic parallel-pattern single-fault propagation (PPSFP): 64 test
-//! patterns are packed into one machine word per net, so a single
-//! gate-level walk evaluates all 64 patterns at once. Three-valued logic
-//! uses a **two-plane encoding**: every packed value is a pair of `u64`
-//! planes, `val` and `known`, where lane *i* (bit *i*) holds pattern *i*:
+//! Classic parallel-pattern single-fault propagation (PPSFP): a block of
+//! test patterns is packed into one machine word per net, so a single
+//! gate-level walk evaluates the whole block at once. The plane type is
+//! generic over the [`Word`] abstraction — `u64` (64 patterns per pass),
+//! `[u64; 4]` (256) and `[u64; 8]` (512); the array widths use plain
+//! per-limb operations that LLVM auto-vectorizes, so no intrinsics are
+//! needed and the crate stays hermetic. Three-valued logic uses a
+//! **two-plane encoding**: every packed value is a pair of planes, `val`
+//! and `known`, where lane *i* (bit *i*) holds pattern *i*:
 //!
 //! | lane state | `known` bit | `val` bit |
 //! |------------|-------------|-----------|
@@ -17,12 +21,22 @@
 //! [`Logic`] equality, so the scalar simulator in [`crate::circuit`] and
 //! this module agree *bit-exactly* — a property the `conform` crate's
 //! packed-vs-scalar differential oracle and the `tests/packed_equivalence`
-//! suite enforce.
+//! suite enforce at every width.
+//!
+//! Like the scalar evaluator, [`eval`] takes a levelized **event-driven**
+//! fast path on acyclic single-driver netlists (one pass over the cached
+//! topological order, re-evaluating only gates whose fan-in changed) and
+//! falls back to the retained bounded Gauss–Seidel sweep ([`eval_sweep`])
+//! on combinational feedback loops, where the cut-off state is
+//! trajectory-dependent and only the sweep's pass order defines the
+//! answer.
 //!
 //! On top of the packed evaluator sit the packed scan protocol
 //! ([`apply_vectors`], [`shift`]) and the PPSFP stuck-at fault-simulation
 //! kernel ([`ppsfp_detect`]) with fault dropping: once a fault is detected
-//! by any pattern block it is never simulated again.
+//! by any pattern block it is never simulated again. [`ppsfp_detect`]
+//! picks the plane width from the pattern count; [`ppsfp_detect_wide`]
+//! pins it explicitly.
 //!
 //! # Examples
 //!
@@ -44,7 +58,7 @@ use crate::logic::Logic;
 use crate::scan::{ScanResponse, ScanVector};
 use crate::stuck_at::StuckAtFault;
 
-/// Patterns per packed word.
+/// Patterns per `u64` packed word — the narrowest plane width.
 pub const LANES: usize = 64;
 
 /// A mask selecting the first `lanes` lanes (all lanes for `lanes >= 64`).
@@ -56,158 +70,309 @@ pub fn lane_mask(lanes: usize) -> u64 {
     }
 }
 
-/// 64 three-valued logic lanes in the two-plane encoding.
+/// A bit-plane: the raw storage of one `val` or `known` plane.
+///
+/// Implemented for `u64` (64 lanes) and for `[u64; N]` (64·N lanes —
+/// instantiated at `[u64; 4]` and `[u64; 8]` throughout the tree). The
+/// array implementations are plain per-limb loops: with a fixed `N` known
+/// at monomorphization time LLVM unrolls and auto-vectorizes them, which
+/// is the whole point of widening the plane — no intrinsics, no feature
+/// detection, identical results everywhere.
+pub trait Word: Copy + Eq + Send + Sync + std::fmt::Debug + 'static {
+    /// Lanes per plane.
+    const BITS: usize;
+    /// All lanes clear.
+    const ZERO: Self;
+    /// All lanes set.
+    const ONES: Self;
+    /// Bitwise NOT.
+    fn not(self) -> Self;
+    /// Bitwise AND.
+    fn and(self, rhs: Self) -> Self;
+    /// Bitwise OR.
+    fn or(self, rhs: Self) -> Self;
+    /// Bitwise XOR.
+    fn xor(self, rhs: Self) -> Self;
+    /// A mask selecting the first `lanes` lanes (all for `lanes >= BITS`).
+    fn mask(lanes: usize) -> Self;
+    /// Whether lane `i` is set.
+    fn bit(self, i: usize) -> bool;
+    /// Sets lane `i`.
+    fn set_bit(&mut self, i: usize);
+    /// Whether any lane is set.
+    fn any(self) -> bool;
+}
+
+impl Word for u64 {
+    const BITS: usize = 64;
+    const ZERO: u64 = 0;
+    const ONES: u64 = u64::MAX;
+
+    fn not(self) -> u64 {
+        !self
+    }
+
+    fn and(self, rhs: u64) -> u64 {
+        self & rhs
+    }
+
+    fn or(self, rhs: u64) -> u64 {
+        self | rhs
+    }
+
+    fn xor(self, rhs: u64) -> u64 {
+        self ^ rhs
+    }
+
+    fn mask(lanes: usize) -> u64 {
+        lane_mask(lanes)
+    }
+
+    fn bit(self, i: usize) -> bool {
+        (self >> i) & 1 == 1
+    }
+
+    fn set_bit(&mut self, i: usize) {
+        *self |= 1 << i;
+    }
+
+    fn any(self) -> bool {
+        self != 0
+    }
+}
+
+impl<const N: usize> Word for [u64; N] {
+    const BITS: usize = 64 * N;
+    const ZERO: [u64; N] = [0; N];
+    const ONES: [u64; N] = [u64::MAX; N];
+
+    fn not(self) -> Self {
+        let mut out = self;
+        for limb in &mut out {
+            *limb = !*limb;
+        }
+        out
+    }
+
+    fn and(self, rhs: Self) -> Self {
+        let mut out = self;
+        for (l, r) in out.iter_mut().zip(rhs) {
+            *l &= r;
+        }
+        out
+    }
+
+    fn or(self, rhs: Self) -> Self {
+        let mut out = self;
+        for (l, r) in out.iter_mut().zip(rhs) {
+            *l |= r;
+        }
+        out
+    }
+
+    fn xor(self, rhs: Self) -> Self {
+        let mut out = self;
+        for (l, r) in out.iter_mut().zip(rhs) {
+            *l ^= r;
+        }
+        out
+    }
+
+    fn mask(lanes: usize) -> Self {
+        let mut out = [0u64; N];
+        for (li, limb) in out.iter_mut().enumerate() {
+            *limb = lane_mask(lanes.saturating_sub(li * 64));
+        }
+        out
+    }
+
+    fn bit(self, i: usize) -> bool {
+        (self[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn set_bit(&mut self, i: usize) {
+        self[i / 64] |= 1 << (i % 64);
+    }
+
+    fn any(self) -> bool {
+        self.iter().any(|&l| l != 0)
+    }
+}
+
+/// `W::BITS` three-valued logic lanes in the two-plane encoding.
 ///
 /// Invariant (maintained by every constructor and operator): an unknown
 /// lane carries `val = 0`, i.e. `val & !known == 0`. Derived equality is
 /// therefore lane-wise [`Logic`] equality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct PackedLogic {
-    val: u64,
-    known: u64,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packed<W: Word> {
+    val: W,
+    known: W,
 }
 
-impl PackedLogic {
-    /// All 64 lanes `X`.
-    pub const X: PackedLogic = PackedLogic { val: 0, known: 0 };
+/// The 64-lane packed word — the historical name for [`Packed<u64>`].
+pub type PackedLogic = Packed<u64>;
+
+impl<W: Word> Default for Packed<W> {
+    fn default() -> Packed<W> {
+        Packed::X
+    }
+}
+
+impl<W: Word> Packed<W> {
+    /// All lanes `X`.
+    pub const X: Packed<W> = Packed {
+        val: W::ZERO,
+        known: W::ZERO,
+    };
 
     /// Builds a packed word from raw planes, canonicalizing `val` so that
     /// unknown lanes carry `0`.
-    pub fn from_planes(val: u64, known: u64) -> PackedLogic {
-        PackedLogic {
-            val: val & known,
+    pub fn from_planes(val: W, known: W) -> Packed<W> {
+        Packed {
+            val: val.and(known),
             known,
         }
     }
 
-    /// Broadcasts one scalar value to all 64 lanes.
-    pub fn splat(v: Logic) -> PackedLogic {
+    /// Broadcasts one scalar value to all lanes.
+    pub fn splat(v: Logic) -> Packed<W> {
         match v {
-            Logic::Zero => PackedLogic {
-                val: 0,
-                known: u64::MAX,
+            Logic::Zero => Packed {
+                val: W::ZERO,
+                known: W::ONES,
             },
-            Logic::One => PackedLogic {
-                val: u64::MAX,
-                known: u64::MAX,
+            Logic::One => Packed {
+                val: W::ONES,
+                known: W::ONES,
             },
-            Logic::X => PackedLogic::X,
+            Logic::X => Packed::X,
         }
     }
 
-    /// Packs up to 64 scalar values into lanes `0..lanes.len()`; remaining
-    /// lanes are `X`.
+    /// Packs up to `W::BITS` scalar values into lanes `0..lanes.len()`;
+    /// remaining lanes are `X`.
     ///
     /// # Panics
     ///
-    /// Panics if more than [`LANES`] values are given.
-    pub fn from_lanes(lanes: &[Logic]) -> PackedLogic {
-        assert!(lanes.len() <= LANES, "more than {LANES} lanes");
-        let mut val = 0u64;
-        let mut known = 0u64;
+    /// Panics if more than `W::BITS` values are given.
+    pub fn from_lanes(lanes: &[Logic]) -> Packed<W> {
+        assert!(lanes.len() <= W::BITS, "more than {} lanes", W::BITS);
+        let mut val = W::ZERO;
+        let mut known = W::ZERO;
         for (i, &l) in lanes.iter().enumerate() {
             match l {
-                Logic::Zero => known |= 1 << i,
+                Logic::Zero => known.set_bit(i),
                 Logic::One => {
-                    known |= 1 << i;
-                    val |= 1 << i;
+                    known.set_bit(i);
+                    val.set_bit(i);
                 }
                 Logic::X => {}
             }
         }
-        PackedLogic { val, known }
+        Packed { val, known }
     }
 
     /// The scalar value in lane `i`.
     ///
     /// # Panics
     ///
-    /// Panics if `i >= 64`.
+    /// Panics if `i >= W::BITS`.
     pub fn lane(self, i: usize) -> Logic {
-        assert!(i < LANES, "lane {i} out of range");
-        if (self.known >> i) & 1 == 1 {
-            Logic::from_bool((self.val >> i) & 1 == 1)
+        assert!(i < W::BITS, "lane {i} out of range");
+        if self.known.bit(i) {
+            Logic::from_bool(self.val.bit(i))
         } else {
             Logic::X
         }
     }
 
     /// The `val` plane (canonical: `0` in unknown lanes).
-    pub fn val_mask(self) -> u64 {
+    pub fn val_mask(self) -> W {
         self.val
     }
 
     /// The `known` plane (`1` = lane holds a known `0`/`1`).
-    pub fn known_mask(self) -> u64 {
+    pub fn known_mask(self) -> W {
         self.known
     }
 
     /// Lanes observed at a known `0`.
-    pub fn zero_mask(self) -> u64 {
-        self.known & !self.val
+    pub fn zero_mask(self) -> W {
+        self.known.and(self.val.not())
     }
 
     /// Lanes observed at a known `1` (alias of [`Self::val_mask`] under the
     /// canonical invariant).
-    pub fn one_mask(self) -> u64 {
+    pub fn one_mask(self) -> W {
         self.val
     }
 
     /// Lane-wise [`Logic::not`].
     #[allow(clippy::should_implement_trait)]
-    pub fn not(self) -> PackedLogic {
-        PackedLogic {
-            val: !self.val & self.known,
+    pub fn not(self) -> Packed<W> {
+        Packed {
+            val: self.val.not().and(self.known),
             known: self.known,
         }
     }
 
     /// Lane-wise [`Logic::and`]: a controlling `0` forces `0` even against
     /// `X`.
-    pub fn and(self, rhs: PackedLogic) -> PackedLogic {
-        PackedLogic {
-            val: self.val & rhs.val,
-            known: (self.known & rhs.known) | self.zero_mask() | rhs.zero_mask(),
+    pub fn and(self, rhs: Packed<W>) -> Packed<W> {
+        Packed {
+            val: self.val.and(rhs.val),
+            known: (self.known.and(rhs.known))
+                .or(self.zero_mask())
+                .or(rhs.zero_mask()),
         }
     }
 
     /// Lane-wise [`Logic::or`]: a controlling `1` forces `1` even against
     /// `X`.
-    pub fn or(self, rhs: PackedLogic) -> PackedLogic {
-        PackedLogic {
-            val: self.val | rhs.val,
-            known: (self.known & rhs.known) | self.val | rhs.val,
+    pub fn or(self, rhs: Packed<W>) -> Packed<W> {
+        Packed {
+            val: self.val.or(rhs.val),
+            known: (self.known.and(rhs.known)).or(self.val).or(rhs.val),
         }
     }
 
     /// Lane-wise [`Logic::xor`]: any `X` input makes the lane `X`.
-    pub fn xor(self, rhs: PackedLogic) -> PackedLogic {
-        let known = self.known & rhs.known;
-        PackedLogic {
-            val: (self.val ^ rhs.val) & known,
+    pub fn xor(self, rhs: Packed<W>) -> Packed<W> {
+        let known = self.known.and(rhs.known);
+        Packed {
+            val: (self.val.xor(rhs.val)).and(known),
             known,
         }
     }
 
     /// Lane-wise [`Logic::mux`]: known select picks an input; an `X` select
     /// still resolves when both inputs agree at a known value.
-    pub fn mux(sel: PackedLogic, lo: PackedLogic, hi: PackedLogic) -> PackedLogic {
-        let pick_hi = sel.known & sel.val;
-        let pick_lo = sel.known & !sel.val;
-        let agree = !sel.known & lo.known & hi.known & !(lo.val ^ hi.val);
-        let known = (pick_hi & hi.known) | (pick_lo & lo.known) | agree;
-        PackedLogic {
-            val: ((pick_hi & hi.val) | (pick_lo & lo.val) | (agree & lo.val)) & known,
+    pub fn mux(sel: Packed<W>, lo: Packed<W>, hi: Packed<W>) -> Packed<W> {
+        let pick_hi = sel.known.and(sel.val);
+        let pick_lo = sel.known.and(sel.val.not());
+        let agree = sel
+            .known
+            .not()
+            .and(lo.known)
+            .and(hi.known)
+            .and(lo.val.xor(hi.val).not());
+        let known = (pick_hi.and(hi.known)).or(pick_lo.and(lo.known)).or(agree);
+        Packed {
+            val: ((pick_hi.and(hi.val))
+                .or(pick_lo.and(lo.val))
+                .or(agree.and(lo.val)))
+            .and(known),
             known,
         }
     }
 }
 
-impl std::ops::Not for PackedLogic {
-    type Output = PackedLogic;
+impl<W: Word> std::ops::Not for Packed<W> {
+    type Output = Packed<W>;
 
-    fn not(self) -> PackedLogic {
-        PackedLogic::not(self)
+    fn not(self) -> Packed<W> {
+        Packed::not(self)
     }
 }
 
@@ -215,40 +380,85 @@ impl std::ops::Not for PackedLogic {
 /// [`crate::circuit::SimState`], with the same stuck-at overlay semantics
 /// (the fault value is broadcast to every lane — *single* fault, parallel
 /// *patterns*).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PackedState {
-    nets: Vec<PackedLogic>,
-    ff: Vec<PackedLogic>,
+///
+/// Equality compares only the observable state (net words, flip-flop words
+/// and the fault overlay) — the event-scheduling scratch is excluded.
+#[derive(Debug, Clone)]
+pub struct WideState<W: Word> {
+    nets: Vec<Packed<W>>,
+    ff: Vec<Packed<W>>,
     fault: Option<(NetId, Logic)>,
+    /// Nets written from outside [`eval`] since the last eval; their
+    /// fanout cones (and drivers) are re-evaluated unconditionally.
+    touched: Vec<NetId>,
+    /// Per-net "value moved this eval" scratch.
+    changed: Vec<bool>,
+    /// Per-gate "must re-evaluate" scratch.
+    pending: Vec<bool>,
 }
 
-impl PackedState {
+/// The 64-lane packed state — the historical name for [`WideState<u64>`].
+pub type PackedState = WideState<u64>;
+
+impl<W: Word> PartialEq for WideState<W> {
+    fn eq(&self, other: &WideState<W>) -> bool {
+        // Scheduling scratch is derived state and never participates.
+        self.nets == other.nets && self.ff == other.ff && self.fault == other.fault
+    }
+}
+
+impl<W: Word> Eq for WideState<W> {}
+
+impl<W: Word> WideState<W> {
     /// Creates an all-`X` state sized for `circuit`.
-    pub fn for_circuit(circuit: &Circuit) -> PackedState {
-        PackedState {
-            nets: vec![PackedLogic::X; circuit.net_count()],
-            ff: vec![PackedLogic::X; circuit.dff_count()],
+    pub fn for_circuit(circuit: &Circuit) -> WideState<W> {
+        WideState {
+            nets: vec![Packed::X; circuit.net_count()],
+            ff: vec![Packed::X; circuit.dff_count()],
             fault: None,
+            touched: Vec::new(),
+            changed: vec![false; circuit.net_count()],
+            pending: vec![false; circuit.gate_count()],
         }
     }
 
     /// Injects a stuck-at fault on `net`, pinning every lane; it overrides
     /// every subsequent write of that net.
     pub fn inject(&mut self, net: NetId, value: Logic) {
+        if let Some((old, _)) = self.fault {
+            // A superseded pin site must be re-derived from its driver.
+            self.touched.push(old);
+        }
         self.fault = Some((net, value));
-        self.nets[net.0] = PackedLogic::splat(value);
+        self.nets[net.0] = Packed::splat(value);
+        self.touched.push(net);
     }
 
     /// Removes any injected fault.
+    ///
+    /// The previously pinned net keeps its pinned word until the next eval
+    /// re-derives it from its driver (or, for a primary input, until the
+    /// next [`WideState::set_input`]) — the same semantics the bounded
+    /// sweep has always had.
     pub fn clear_fault(&mut self) {
+        if let Some((n, _)) = self.fault {
+            self.touched.push(n);
+        }
         self.fault = None;
     }
 
-    fn write(&mut self, net: NetId, v: PackedLogic) {
+    fn write(&mut self, net: NetId, v: Packed<W>) {
         self.nets[net.0] = match self.fault {
-            Some((f, fv)) if f == net => PackedLogic::splat(fv),
+            Some((f, fv)) if f == net => Packed::splat(fv),
             _ => v,
         };
+    }
+
+    /// A write from outside [`eval`]: applies the fault overlay and marks
+    /// the net for unconditional re-scheduling at the next eval.
+    fn write_external(&mut self, net: NetId, v: Packed<W>) {
+        self.write(net, v);
+        self.touched.push(net);
     }
 
     /// Sets a primary input word.
@@ -256,21 +466,21 @@ impl PackedState {
     /// # Panics
     ///
     /// Panics if `net` is not a primary input of `circuit`.
-    pub fn set_input(&mut self, circuit: &Circuit, net: NetId, v: PackedLogic) {
+    pub fn set_input(&mut self, circuit: &Circuit, net: NetId, v: Packed<W>) {
         assert!(
             circuit.inputs().contains(&net),
             "{net} is not a primary input"
         );
-        self.write(net, v);
+        self.write_external(net, v);
     }
 
     /// Current packed value of a net.
-    pub fn net(&self, net: NetId) -> PackedLogic {
+    pub fn net(&self, net: NetId) -> Packed<W> {
         self.nets[net.0]
     }
 
     /// Current flip-flop contents in scan-chain order.
-    pub fn ff_values(&self) -> &[PackedLogic] {
+    pub fn ff_values(&self) -> &[Packed<W>] {
         &self.ff
     }
 
@@ -279,21 +489,20 @@ impl PackedState {
     /// # Panics
     ///
     /// Panics if the slice length differs from the flip-flop count.
-    pub fn load_ffs(&mut self, values: &[PackedLogic]) {
+    pub fn load_ffs(&mut self, values: &[Packed<W>]) {
         assert_eq!(values.len(), self.ff.len(), "scan load length mismatch");
         self.ff.copy_from_slice(values);
     }
 
     /// Packed output values in declaration order.
-    pub fn read_outputs(&self, circuit: &Circuit) -> Vec<PackedLogic> {
+    pub fn read_outputs(&self, circuit: &Circuit) -> Vec<Packed<W>> {
         circuit.outputs().iter().map(|&n| self.net(n)).collect()
     }
 }
 
 /// Evaluates one gate on the current state without allocating — the packed
-/// counterpart of the scalar per-gate `Vec<Logic>` collect (whose heap
-/// traffic dominates the scalar walk).
-fn eval_gate(g: &Gate, nets: &[PackedLogic]) -> PackedLogic {
+/// counterpart of the scalar per-gate evaluation.
+fn eval_gate<W: Word>(g: &Gate, nets: &[Packed<W>]) -> Packed<W> {
     let at = |n: NetId| nets[n.0];
     let ins = g.inputs();
     match g.kind() {
@@ -301,34 +510,110 @@ fn eval_gate(g: &Gate, nets: &[PackedLogic]) -> PackedLogic {
         GateKind::Not => at(ins[0]).not(),
         GateKind::And => ins
             .iter()
-            .fold(PackedLogic::splat(Logic::One), |acc, &n| acc.and(at(n))),
+            .fold(Packed::splat(Logic::One), |acc, &n| acc.and(at(n))),
         GateKind::Nand => ins
             .iter()
-            .fold(PackedLogic::splat(Logic::One), |acc, &n| acc.and(at(n)))
+            .fold(Packed::splat(Logic::One), |acc, &n| acc.and(at(n)))
             .not(),
         GateKind::Or => ins
             .iter()
-            .fold(PackedLogic::splat(Logic::Zero), |acc, &n| acc.or(at(n))),
+            .fold(Packed::splat(Logic::Zero), |acc, &n| acc.or(at(n))),
         GateKind::Nor => ins
             .iter()
-            .fold(PackedLogic::splat(Logic::Zero), |acc, &n| acc.or(at(n)))
+            .fold(Packed::splat(Logic::Zero), |acc, &n| acc.or(at(n)))
             .not(),
         GateKind::Xor => at(ins[0]).xor(at(ins[1])),
         GateKind::Xnor => at(ins[0]).xor(at(ins[1])).not(),
-        GateKind::Mux => PackedLogic::mux(at(ins[0]), at(ins[1]), at(ins[2])),
+        GateKind::Mux => Packed::mux(at(ins[0]), at(ins[1]), at(ins[2])),
     }
 }
 
 /// Packed twin of [`Circuit::eval`]: drives flip-flop outputs, re-asserts
-/// primary inputs through the fault overlay, then runs the same bounded
-/// Gauss–Seidel relaxation in the same gate order.
+/// primary inputs through the fault overlay, then propagates to the
+/// three-valued fixpoint.
 ///
-/// Equivalence with the scalar evaluator is lane-wise: both walk gates in
-/// insertion order with immediate writes, so after each pass every lane
-/// holds exactly the scalar value of that pattern; converged lanes are
-/// fixpoints of further passes, and non-converging (oscillating) lanes run
-/// the identical `gate_count + 1` pass bound in both simulators.
-pub fn eval(circuit: &Circuit, state: &mut PackedState) {
+/// On acyclic single-driver netlists this takes the levelized event-driven
+/// fast path (one pass over the cached topological order, skipping gates
+/// whose fan-in did not change); the fixpoint there is unique, so the
+/// result is bit-identical to [`eval_sweep`]. Circuits with combinational
+/// feedback or multiply-driven nets fall back to the sweep, which walks
+/// gates in insertion order with immediate writes exactly like the scalar
+/// sweep — so every lane holds exactly the scalar value of its pattern,
+/// including the trajectory-dependent cut-off state of oscillating lanes.
+pub fn eval<W: Word>(circuit: &Circuit, state: &mut WideState<W>) {
+    let plan = circuit.eval_plan();
+    if !plan.event_ready {
+        state.touched.clear();
+        eval_sweep(circuit, state);
+        return;
+    }
+    state.changed.fill(false);
+    state.pending.fill(false);
+    // Seed: drive FF outputs and re-assert primary inputs through the
+    // fault overlay, waking fanouts only where the word actually moved.
+    for (i, ff) in circuit.dffs().iter().enumerate() {
+        let old = state.nets[ff.q.0];
+        let v = state.ff[i];
+        state.write(ff.q, v);
+        if state.nets[ff.q.0] != old {
+            state.changed[ff.q.0] = true;
+        }
+    }
+    for &pi in circuit.inputs() {
+        let old = state.nets[pi.0];
+        state.write(pi, old);
+        if state.nets[pi.0] != old {
+            state.changed[pi.0] = true;
+        }
+    }
+    // Nets externally written since the previous eval (inputs, fault
+    // injection or removal) wake their cones even when the stored word is
+    // already final — removing a fault must re-derive the net from its
+    // driver, and injection must override it.
+    for &n in &state.touched {
+        state.changed[n.0] = true;
+        if let Some(d) = plan.driver[n.0] {
+            state.pending[d as usize] = true;
+        }
+    }
+    state.touched.clear();
+    for (n, &moved) in state.changed.iter().enumerate() {
+        if moved {
+            for &g in &plan.fanouts[n] {
+                state.pending[g as usize] = true;
+            }
+        }
+    }
+    let mut skipped = 0u64;
+    for &gi in &plan.order {
+        if !state.pending[gi as usize] {
+            skipped += 1;
+            continue;
+        }
+        let g = &circuit.gates()[gi as usize];
+        let v = eval_gate(g, &state.nets);
+        let out = g.output().0;
+        let old = state.nets[out];
+        state.write(g.output(), v);
+        if state.nets[out] != old {
+            for &c in &plan.fanouts[out] {
+                state.pending[c as usize] = true;
+            }
+        }
+    }
+    rt::obs::hot_add(rt::obs::Hot::PackedEvalCalls, 1);
+    rt::obs::hot_add(rt::obs::Hot::PackedEvalPasses, 1);
+    if skipped > 0 {
+        rt::obs::hot_add(rt::obs::Hot::PackedEventsSkipped, skipped);
+    }
+}
+
+/// Packed twin of [`Circuit::eval_sweep`]: the retained bounded
+/// Gauss–Seidel reference — up to `gates + 1` full passes in gate
+/// insertion order with immediate writes. [`eval`] must agree with it
+/// bit-for-bit wherever the event-driven path runs, and falls back to it
+/// on feedback loops.
+pub fn eval_sweep<W: Word>(circuit: &Circuit, state: &mut WideState<W>) {
     for (i, ff) in circuit.dffs().iter().enumerate() {
         let v = state.ff[i];
         state.write(ff.q, v);
@@ -358,21 +643,23 @@ pub fn eval(circuit: &Circuit, state: &mut PackedState) {
 
 /// Packed twin of [`Circuit::tick`]: evaluate, capture every flip-flop's
 /// `d` word, propagate the new outputs.
-pub fn tick(circuit: &Circuit, state: &mut PackedState) {
+pub fn tick<W: Word>(circuit: &Circuit, state: &mut WideState<W>) {
     eval(circuit, state);
-    let next: Vec<PackedLogic> = circuit.dffs().iter().map(|ff| state.net(ff.d)).collect();
-    state.ff.copy_from_slice(&next);
+    let WideState { nets, ff, .. } = state;
+    for (slot, dff) in ff.iter_mut().zip(circuit.dffs()) {
+        *slot = nets[dff.d.0];
+    }
     eval(circuit, state);
 }
 
-/// Packed twin of [`crate::scan::shift`]: shifts 64 independent chain
-/// images one word at a time (first word enters first and ends up in the
-/// last flip-flop), returning the words shifted out.
-pub fn shift(
-    state: &mut PackedState,
+/// Packed twin of [`crate::scan::shift`]: shifts `W::BITS` independent
+/// chain images one word at a time (first word enters first and ends up in
+/// the last flip-flop), returning the words shifted out.
+pub fn shift<W: Word>(
+    state: &mut WideState<W>,
     circuit: &Circuit,
-    words: &[PackedLogic],
-) -> Vec<PackedLogic> {
+    words: &[Packed<W>],
+) -> Vec<Packed<W>> {
     rt::obs::hot_add(rt::obs::Hot::PackedShiftWords, words.len() as u64);
     let n = circuit.dff_count();
     let mut ff = state.ff_values().to_vec();
@@ -390,69 +677,72 @@ pub fn shift(
     out
 }
 
-/// Transposes up to 64 scan vectors into packed per-input and per-flip-flop
-/// words (lane *i* = vector *i*; unused lanes are `X`).
+/// Transposes up to `W::BITS` scan vectors into packed per-input and
+/// per-flip-flop words (lane *i* = vector *i*; unused lanes are `X`).
 ///
 /// # Panics
 ///
-/// Panics if more than [`LANES`] vectors are given or a vector's
+/// Panics if more than `W::BITS` vectors are given or a vector's
 /// `pi`/`load` lengths do not match the circuit.
-pub fn pack_vectors(
+pub fn pack_vectors<W: Word>(
     circuit: &Circuit,
     vectors: &[ScanVector],
-) -> (Vec<PackedLogic>, Vec<PackedLogic>) {
-    let block = PackedBlock::pack(circuit, vectors);
+) -> (Vec<Packed<W>>, Vec<Packed<W>>) {
+    let block = WideBlock::pack(circuit, vectors);
     (block.pi, block.load)
 }
 
-/// A pre-transposed block of up to 64 scan vectors: pack once, replay
-/// against any number of faults. The PPSFP kernel packs each block a
-/// single time and shares it across every live fault's simulation — the
+/// A pre-transposed block of up to `W::BITS` scan vectors: pack once,
+/// replay against any number of faults. The PPSFP kernel packs each block
+/// a single time and shares it across every live fault's simulation — the
 /// transpose is O(vectors × bits) and would otherwise be paid per fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PackedBlock {
-    pi: Vec<PackedLogic>,
-    load: Vec<PackedLogic>,
+pub struct WideBlock<W: Word> {
+    pi: Vec<Packed<W>>,
+    load: Vec<Packed<W>>,
     lanes: usize,
 }
 
-impl PackedBlock {
+/// The 64-lane packed block — the historical name for [`WideBlock<u64>`].
+pub type PackedBlock = WideBlock<u64>;
+
+impl<W: Word> WideBlock<W> {
     /// Transposes `vectors` (lane *i* = vector *i*; unused lanes `X`).
     ///
     /// # Panics
     ///
-    /// Panics if more than [`LANES`] vectors are given or a vector's
+    /// Panics if more than `W::BITS` vectors are given or a vector's
     /// `pi`/`load` lengths do not match the circuit.
-    pub fn pack(circuit: &Circuit, vectors: &[ScanVector]) -> PackedBlock {
+    pub fn pack(circuit: &Circuit, vectors: &[ScanVector]) -> WideBlock<W> {
         assert!(
-            vectors.len() <= LANES,
-            "more than {LANES} vectors per block"
+            vectors.len() <= W::BITS,
+            "more than {} vectors per block",
+            W::BITS
         );
         for v in vectors {
             assert_eq!(v.pi.len(), circuit.inputs().len(), "PI pattern length");
             assert_eq!(v.load.len(), circuit.dff_count(), "scan load length");
         }
-        let pack =
-            |field: &dyn Fn(&ScanVector, usize) -> Logic, count: usize| -> Vec<PackedLogic> {
-                (0..count)
-                    .map(|j| {
-                        let mut val = 0u64;
-                        let mut known = 0u64;
-                        for (i, v) in vectors.iter().enumerate() {
-                            match field(v, j) {
-                                Logic::Zero => known |= 1 << i,
-                                Logic::One => {
-                                    known |= 1 << i;
-                                    val |= 1 << i;
-                                }
-                                Logic::X => {}
+        let pack = |field: &dyn Fn(&ScanVector, usize) -> Logic, count: usize| -> Vec<Packed<W>> {
+            (0..count)
+                .map(|j| {
+                    let mut val = W::ZERO;
+                    let mut known = W::ZERO;
+                    for (i, v) in vectors.iter().enumerate() {
+                        match field(v, j) {
+                            Logic::Zero => known.set_bit(i),
+                            Logic::One => {
+                                known.set_bit(i);
+                                val.set_bit(i);
                             }
+                            Logic::X => {}
                         }
-                        PackedLogic { val, known }
-                    })
-                    .collect()
-            };
-        PackedBlock {
+                    }
+                    Packed { val, known }
+                })
+                .collect()
+        };
+        WideBlock {
             pi: pack(&|v, j| v.pi[j], circuit.inputs().len()),
             load: pack(&|v, j| v.load[j], circuit.dff_count()),
             lanes: vectors.len(),
@@ -468,19 +758,19 @@ impl PackedBlock {
 /// Applies a pre-packed block: loads the chain, applies the primary
 /// inputs, strobes the outputs, pulses one functional clock and captures —
 /// the replay half of [`apply_vectors`].
-pub fn apply_block(
+pub fn apply_block<W: Word>(
     circuit: &Circuit,
-    state: &mut PackedState,
-    block: &PackedBlock,
-) -> PackedResponse {
+    state: &mut WideState<W>,
+    block: &WideBlock<W>,
+) -> WideResponse<W> {
     state.load_ffs(&block.load);
     for (&net, &w) in circuit.inputs().iter().zip(&block.pi) {
-        state.write(net, w);
+        state.write_external(net, w);
     }
     eval(circuit, state);
     let po = state.read_outputs(circuit);
     tick(circuit, state);
-    PackedResponse {
+    WideResponse {
         po,
         capture: state.ff_values().to_vec(),
         lanes: block.lanes,
@@ -489,29 +779,33 @@ pub fn apply_block(
 
 /// The packed response to a block of scan vectors.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PackedResponse {
+pub struct WideResponse<W: Word> {
     /// Packed primary-output values after launch.
-    pub po: Vec<PackedLogic>,
+    pub po: Vec<Packed<W>>,
     /// Packed flip-flop contents captured by the functional clock.
-    pub capture: Vec<PackedLogic>,
+    pub capture: Vec<Packed<W>>,
     /// Number of live lanes (= vectors in the block).
     pub lanes: usize,
 }
 
+/// The 64-lane packed response — the historical name for
+/// [`WideResponse<u64>`].
+pub type PackedResponse = WideResponse<u64>;
+
 /// Packed twin of [`crate::scan::apply_vector`]: loads the chain, applies
 /// the primary inputs, strobes the outputs, pulses one functional clock and
-/// captures — for up to 64 vectors in one gate-level walk.
+/// captures — for up to `W::BITS` vectors in one gate-level walk.
 ///
 /// # Panics
 ///
-/// Panics if more than [`LANES`] vectors are given or a vector's lengths do
-/// not match the circuit.
-pub fn apply_vectors(
+/// Panics if more than `W::BITS` vectors are given or a vector's lengths
+/// do not match the circuit.
+pub fn apply_vectors<W: Word>(
     circuit: &Circuit,
-    state: &mut PackedState,
+    state: &mut WideState<W>,
     vectors: &[ScanVector],
-) -> PackedResponse {
-    apply_block(circuit, state, &PackedBlock::pack(circuit, vectors))
+) -> WideResponse<W> {
+    apply_block(circuit, state, &WideBlock::pack(circuit, vectors))
 }
 
 /// Extracts one lane of a packed response as a scalar [`ScanResponse`].
@@ -519,7 +813,7 @@ pub fn apply_vectors(
 /// # Panics
 ///
 /// Panics if `lane` is not below the response's live lane count.
-pub fn response_lane(resp: &PackedResponse, lane: usize) -> ScanResponse {
+pub fn response_lane<W: Word>(resp: &WideResponse<W>, lane: usize) -> ScanResponse {
     assert!(
         lane < resp.lanes,
         "lane {lane} beyond {} vectors",
@@ -538,20 +832,31 @@ pub fn response_lane(resp: &PackedResponse, lane: usize) -> ScanResponse {
 /// compared, while a faulty `X` against a known golden value can.
 /// ([`block_detect_masks`] folds the same rule inline off the simulation
 /// state; this form compares two materialised responses.)
-pub fn detect_lanes(golden: &PackedResponse, faulty: &PackedResponse) -> u64 {
-    let mut m = 0u64;
+pub fn detect_lanes<W: Word>(golden: &WideResponse<W>, faulty: &WideResponse<W>) -> W {
+    let mut m = W::ZERO;
     for (g, f) in golden.po.iter().zip(&faulty.po) {
-        m |= g.known_mask() & (!f.known_mask() | (g.val_mask() ^ f.val_mask()));
+        m = m.or(detect_word(*g, *f));
     }
     for (g, f) in golden.capture.iter().zip(&faulty.capture) {
-        m |= g.known_mask() & (!f.known_mask() | (g.val_mask() ^ f.val_mask()));
+        m = m.or(detect_word(*g, *f));
     }
-    m & lane_mask(golden.lanes)
+    m.and(W::mask(golden.lanes))
+}
+
+/// The tester rule for one golden/faulty word pair: lanes where the golden
+/// value is known and the faulty value is different or unknown.
+fn detect_word<W: Word>(g: Packed<W>, f: Packed<W>) -> W {
+    g.known_mask()
+        .and(f.known_mask().not().or(g.val_mask().xor(f.val_mask())))
 }
 
 /// Simulates one block of up to 64 vectors against every fault and returns
 /// each fault's detection lane mask (bit *i* set = vector *i* detects the
 /// fault). The golden response is computed once per call.
+///
+/// This entry point is pinned at `u64` because its callers (random-vector
+/// ATPG) manipulate the masks as plain `1 << k` lane bits; the PPSFP
+/// kernel itself goes through the width-generic path.
 pub fn block_detect_masks(
     circuit: &Circuit,
     block: &[ScanVector],
@@ -568,41 +873,59 @@ pub fn block_detect_masks_with(
     block: &[ScanVector],
     faults: &[StuckAtFault],
 ) -> Vec<u64> {
-    let packed = PackedBlock::pack(circuit, block);
-    let golden = apply_block(circuit, &mut PackedState::for_circuit(circuit), &packed);
+    wide_block_detect_masks::<u64>(threads, circuit, block, faults)
+}
+
+/// Width-generic core of [`block_detect_masks_with`]: simulates one block
+/// of up to `W::BITS` vectors against every fault, folding each fault's
+/// detection mask straight off the simulation state — no per-fault
+/// response allocation.
+fn wide_block_detect_masks<W: Word>(
+    threads: usize,
+    circuit: &Circuit,
+    block: &[ScanVector],
+    faults: &[StuckAtFault],
+) -> Vec<W> {
+    let packed = WideBlock::<W>::pack(circuit, block);
+    let golden = apply_block(circuit, &mut WideState::for_circuit(circuit), &packed);
     rt::par::parallel_map_with(threads, faults, |f| {
         rt::obs::hot_add(rt::obs::Hot::PpsfpFaultSims, 1);
-        let mut state = PackedState::for_circuit(circuit);
+        let mut state = WideState::<W>::for_circuit(circuit);
         state.inject(f.net, f.value());
         // Inline replay of `apply_block` that folds the detection masks
-        // straight off the state — no per-fault response allocation.
+        // straight off the state.
         state.load_ffs(&packed.load);
         for (&net, &w) in circuit.inputs().iter().zip(&packed.pi) {
-            state.write(net, w);
+            state.write_external(net, w);
         }
         eval(circuit, &mut state);
-        let mut m = 0u64;
+        let mut m = W::ZERO;
         for (g, &net) in golden.po.iter().zip(circuit.outputs()) {
-            let fv = state.net(net);
-            m |= g.known_mask() & (!fv.known_mask() | (g.val_mask() ^ fv.val_mask()));
+            m = m.or(detect_word(*g, state.net(net)));
         }
-        // First half of `tick`: settle, then read what the flip-flops would
-        // capture. The trailing propagation eval of a full `tick` only
-        // updates net state this kernel is about to drop, so it is skipped.
-        eval(circuit, &mut state);
+        // What the flip-flops would capture is the settled `d` values; the
+        // launch eval above already settled them, so no further eval is
+        // needed (a full `tick` would only propagate net state this kernel
+        // is about to drop).
         for (g, ff) in golden.capture.iter().zip(circuit.dffs()) {
-            let fv = state.net(ff.d);
-            m |= g.known_mask() & (!fv.known_mask() | (g.val_mask() ^ fv.val_mask()));
+            m = m.or(detect_word(*g, state.net(ff.d)));
         }
-        m & lane_mask(golden.lanes)
+        m.and(W::mask(golden.lanes))
     })
 }
 
-/// PPSFP fault simulation: packs `vectors` into 64-pattern blocks and
+/// PPSFP fault simulation: packs `vectors` into word-wide blocks and
 /// fault-simulates each block against the still-undetected faults only
 /// (**fault dropping** — a fault detected in an earlier block is never
 /// simulated again). Returns one detection flag per fault, in `faults`
 /// order.
+///
+/// The plane width is picked from the pattern count: 512 lanes
+/// (`[u64; 8]`) above 128 patterns, 256 lanes (`[u64; 4]`) above 64,
+/// `u64` otherwise. Detection flags are width-independent — each
+/// pattern's detecting power depends only on the circuit and the pattern,
+/// never on which block it shares — so the dispatch is purely a
+/// performance choice; [`ppsfp_detect_wide`] pins the width explicitly.
 pub fn ppsfp_detect(
     circuit: &Circuit,
     vectors: &[ScanVector],
@@ -624,22 +947,40 @@ pub fn ppsfp_detect_with(
     vectors: &[ScanVector],
     faults: &[StuckAtFault],
 ) -> Vec<bool> {
+    if vectors.len() > 2 * LANES {
+        ppsfp_detect_wide::<[u64; 8]>(threads, circuit, vectors, faults)
+    } else if vectors.len() > LANES {
+        ppsfp_detect_wide::<[u64; 4]>(threads, circuit, vectors, faults)
+    } else {
+        ppsfp_detect_wide::<u64>(threads, circuit, vectors, faults)
+    }
+}
+
+/// [`ppsfp_detect_with`] at an explicit plane width `W` instead of the
+/// pattern-count dispatch — the conformance oracle and the width-sweep
+/// bench drive every width through this entry point.
+pub fn ppsfp_detect_wide<W: Word>(
+    threads: usize,
+    circuit: &Circuit,
+    vectors: &[ScanVector],
+    faults: &[StuckAtFault],
+) -> Vec<bool> {
     let _span = rt::obs::span("dsim.ppsfp");
     rt::obs::count("dsim.ppsfp.calls", 1);
     rt::obs::count("dsim.ppsfp.faults", faults.len() as u64);
     let mut detected = vec![false; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
-    for block in vectors.chunks(LANES) {
+    for block in vectors.chunks(W::BITS) {
         if live.is_empty() {
             break;
         }
         rt::obs::count("dsim.ppsfp.blocks", 1);
         rt::obs::count("dsim.ppsfp.patterns", block.len() as u64);
         let live_faults: Vec<StuckAtFault> = live.iter().map(|&i| faults[i]).collect();
-        let masks = block_detect_masks_with(threads, circuit, block, &live_faults);
+        let masks = wide_block_detect_masks::<W>(threads, circuit, block, &live_faults);
         let mut next_live = Vec::with_capacity(live.len());
         for (&fi, &mask) in live.iter().zip(&masks) {
-            if mask != 0 {
+            if mask.any() {
                 detected[fi] = true;
             } else {
                 next_live.push(fi);
@@ -665,7 +1006,9 @@ pub fn ppsfp_detect_with(
 /// order is byte-identical to one [`ppsfp_detect`] call over the whole
 /// universe — each fault's detection depends only on the circuit and the
 /// vectors, never on which other faults share the call (dropping is a
-/// per-64-pattern-block performance device, not a result dependency).
+/// per-block performance device, not a result dependency), and the plane
+/// width dispatch depends only on the vector count, which every shard
+/// shares.
 ///
 /// # Panics
 ///
@@ -713,6 +1056,53 @@ mod tests {
     }
 
     #[test]
+    fn wide_ops_match_scalar_truth_tables() {
+        // The same exhaustive sweep at 256 and 512 lanes, probing lanes in
+        // every limb.
+        fn sweep<W: Word>() {
+            let probes = [0, 63, 64, W::BITS / 2, W::BITS - 1];
+            for a in ALL {
+                let pa = Packed::<W>::splat(a);
+                for b in ALL {
+                    let pb = Packed::<W>::splat(b);
+                    for &i in &probes {
+                        assert_eq!(pa.and(pb).lane(i), a.and(b), "and {a:?} {b:?} lane {i}");
+                        assert_eq!(pa.or(pb).lane(i), a.or(b), "or {a:?} {b:?} lane {i}");
+                        assert_eq!(pa.xor(pb).lane(i), a.xor(b), "xor {a:?} {b:?} lane {i}");
+                        for s in ALL {
+                            let ps = Packed::<W>::splat(s);
+                            assert_eq!(
+                                Packed::mux(ps, pa, pb).lane(i),
+                                Logic::mux(s, a, b),
+                                "mux {s:?} {a:?} {b:?} lane {i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        sweep::<[u64; 4]>();
+        sweep::<[u64; 8]>();
+    }
+
+    #[test]
+    fn word_masks_and_bits() {
+        assert_eq!(<[u64; 4]>::BITS, 256);
+        assert_eq!(<[u64; 8]>::BITS, 512);
+        assert_eq!(<[u64; 4]>::mask(0), [0; 4]);
+        assert_eq!(<[u64; 4]>::mask(256), [u64::MAX; 4]);
+        assert_eq!(<[u64; 4]>::mask(999), [u64::MAX; 4]);
+        assert_eq!(<[u64; 4]>::mask(65), [u64::MAX, 1, 0, 0]);
+        assert_eq!(<[u64; 4]>::mask(64), [u64::MAX, 0, 0, 0]);
+        let mut w = [0u64; 4];
+        w.set_bit(64);
+        assert!(w.bit(64));
+        assert!(!w.bit(63));
+        assert!(w.any());
+        assert!(!<[u64; 4]>::ZERO.any());
+    }
+
+    #[test]
     fn canonical_invariant_holds_through_ops() {
         let mixed = PackedLogic::from_lanes(&[Zero, One, X, One, X, Zero]);
         let ops = [
@@ -738,6 +1128,17 @@ mod tests {
         // Unused lanes default to X.
         assert_eq!(w.lane(lanes.len()), X);
         assert_eq!(w.lane(63), X);
+        // And the same across limb boundaries at width 256.
+        let mut wide_lanes = vec![X; 130];
+        wide_lanes[0] = One;
+        wide_lanes[64] = Zero;
+        wide_lanes[129] = One;
+        let w = Packed::<[u64; 4]>::from_lanes(&wide_lanes);
+        assert_eq!(w.lane(0), One);
+        assert_eq!(w.lane(64), Zero);
+        assert_eq!(w.lane(129), One);
+        assert_eq!(w.lane(130), X);
+        assert_eq!(w.lane(255), X);
     }
 
     #[test]
@@ -761,6 +1162,29 @@ mod tests {
             let scalar = apply_vector(c, &mut SimState::for_circuit(c), v);
             assert_eq!(response_lane(&resp, i), scalar, "lane {i}");
         }
+    }
+
+    #[test]
+    fn wide_responses_match_scalar_per_lane() {
+        // 130 vectors fill one partial [u64; 4] block (and a very partial
+        // [u64; 8] block): every live lane must reproduce the scalar
+        // response, and the dead lanes stay X.
+        let rc = crate::blocks::ring_counter::RingCounter::new(4);
+        let c = rc.circuit();
+        let vectors = random_vectors(c, 130, 3);
+        fn check<W: Word>(c: &Circuit, vectors: &[ScanVector]) {
+            let resp = apply_vectors::<W>(c, &mut WideState::for_circuit(c), vectors);
+            for (i, v) in vectors.iter().enumerate() {
+                let scalar = apply_vector(c, &mut SimState::for_circuit(c), v);
+                assert_eq!(response_lane(&resp, i), scalar, "lane {i}");
+            }
+            let dead = W::mask(vectors.len()).not();
+            for w in resp.po.iter().chain(&resp.capture) {
+                assert!(!w.known_mask().and(dead).any(), "dead lane known: {w:?}");
+            }
+        }
+        check::<[u64; 4]>(c, &vectors);
+        check::<[u64; 8]>(c, &vectors);
     }
 
     #[test]
@@ -811,6 +1235,46 @@ mod tests {
     }
 
     #[test]
+    fn event_eval_matches_sweep_after_fault_churn() {
+        // Inject, evaluate, clear, re-inject elsewhere: the event-driven
+        // path must track the sweep through every overlay transition.
+        let rc = crate::blocks::ring_counter::RingCounter::new(4);
+        let c = rc.circuit();
+        let vectors = random_vectors(c, 8, 21);
+        let faults = enumerate_faults(c);
+        for f in faults.iter().take(6) {
+            let mut ev = PackedState::for_circuit(c);
+            let mut sw = PackedState::for_circuit(c);
+            for v in &vectors {
+                let block = WideBlock::pack(c, std::slice::from_ref(v));
+                ev.inject(f.net, f.value());
+                sw.inject(f.net, f.value());
+                let got = apply_block(c, &mut ev, &block);
+                // Sweep-composed reference: same protocol, forced sweep.
+                sw.load_ffs(&block.load);
+                for (&net, &w) in c.inputs().iter().zip(&block.pi) {
+                    sw.write_external(net, w);
+                }
+                sw.touched.clear();
+                eval_sweep(c, &mut sw);
+                let po = sw.read_outputs(c);
+                eval_sweep(c, &mut sw);
+                let capture: Vec<PackedLogic> = c.dffs().iter().map(|ff| sw.net(ff.d)).collect();
+                sw.ff.copy_from_slice(&capture);
+                eval_sweep(c, &mut sw);
+                assert_eq!(got.po, po, "{f:?} po");
+                assert_eq!(got.capture, capture, "{f:?} capture");
+                ev.clear_fault();
+                sw.clear_fault();
+                eval(c, &mut ev);
+                sw.touched.clear();
+                eval_sweep(c, &mut sw);
+                assert_eq!(ev, sw, "{f:?} post-clear state");
+            }
+        }
+    }
+
+    #[test]
     fn ppsfp_matches_scalar_coverage_on_blocks() {
         for (name, circuit, seed) in [
             (
@@ -836,6 +1300,27 @@ mod tests {
                 .map(|f| !scalar.undetected().contains(f))
                 .collect();
             assert_eq!(packed, scalar_detected, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_width_reports_identical_detection_flags() {
+        let rc = crate::blocks::ring_counter::RingCounter::new(4);
+        let c = rc.circuit();
+        let faults = enumerate_faults(c);
+        // Pattern counts straddling every width's block boundary.
+        for count in [1, 63, 64, 65, 130, 255, 256, 257, 511, 512, 513] {
+            let vectors = random_vectors(c, count, 9);
+            let narrow = ppsfp_detect_wide::<u64>(1, c, &vectors, &faults);
+            let mid = ppsfp_detect_wide::<[u64; 4]>(1, c, &vectors, &faults);
+            let wide = ppsfp_detect_wide::<[u64; 8]>(1, c, &vectors, &faults);
+            assert_eq!(narrow, mid, "{count} vectors, 64 vs 256");
+            assert_eq!(narrow, wide, "{count} vectors, 64 vs 512");
+            assert_eq!(
+                ppsfp_detect(c, &vectors, &faults),
+                narrow,
+                "{count} vectors, dispatched"
+            );
         }
     }
 
@@ -930,6 +1415,20 @@ mod tests {
             pi: vec![Zero],
             load: vec![],
         };
-        let _ = pack_vectors(&c, &vec![v; 65]);
+        let _ = pack_vectors::<u64>(&c, &vec![v; 65]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vectors per block")]
+    fn oversized_wide_block_panics() {
+        let mut c = Circuit::new("buf");
+        let a = c.input("a");
+        let y = c.net("y");
+        c.gate(GateKind::Buf, &[a], y);
+        let v = ScanVector {
+            pi: vec![Zero],
+            load: vec![],
+        };
+        let _ = pack_vectors::<[u64; 4]>(&c, &vec![v; 257]);
     }
 }

@@ -1,11 +1,20 @@
 //! Gate-level circuits with sequential elements.
 //!
 //! A [`Circuit`] is a flat netlist of primitive gates and scannable D
-//! flip-flops, built through a small builder API. Evaluation is a bounded
-//! fixpoint relaxation over three-valued logic (ample for the paper's
-//! "logically simple" control blocks), and a single stuck-at fault can be
-//! overlaid on any net without rebuilding the circuit — the mechanism the
-//! stuck-at campaign in [`crate::stuck_at`] uses.
+//! flip-flops, built through a small builder API. Evaluation reaches a
+//! three-valued fixpoint through a **levelized, event-driven** walk: the
+//! circuit lazily caches a topological gate order plus per-net fanout
+//! lists (the crate-internal `EvalPlan`), and [`Circuit::eval`] only re-evaluates
+//! gates whose fan-in actually changed since the previous call. Circuits
+//! with combinational feedback loops or multiply-driven nets fall back to
+//! the retained bounded Gauss–Seidel sweep ([`Circuit::eval_sweep`]), so
+//! oscillating-loop X-closure semantics are preserved bit-exactly — on
+//! acyclic single-driver netlists the fixpoint is unique and the two
+//! evaluators provably agree.
+//!
+//! A single stuck-at fault can be overlaid on any net without rebuilding
+//! the circuit — the mechanism the stuck-at campaign in
+//! [`crate::stuck_at`] uses.
 //!
 //! # Examples
 //!
@@ -79,20 +88,6 @@ impl GateKind {
             GateKind::Mux => n == 3,
         }
     }
-
-    fn eval(self, ins: &[Logic]) -> Logic {
-        match self {
-            GateKind::Buf => ins[0],
-            GateKind::Not => ins[0].not(),
-            GateKind::And => ins.iter().copied().fold(Logic::One, Logic::and),
-            GateKind::Nand => ins.iter().copied().fold(Logic::One, Logic::and).not(),
-            GateKind::Or => ins.iter().copied().fold(Logic::Zero, Logic::or),
-            GateKind::Nor => ins.iter().copied().fold(Logic::Zero, Logic::or).not(),
-            GateKind::Xor => ins[0].xor(ins[1]),
-            GateKind::Xnor => ins[0].xor(ins[1]).not(),
-            GateKind::Mux => Logic::mux(ins[0], ins[1], ins[2]),
-        }
-    }
 }
 
 /// A primitive gate instance.
@@ -134,8 +129,31 @@ pub struct Dff {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DffId(pub usize);
 
+/// The precomputed evaluation schedule of a circuit: a topological gate
+/// order, per-net fanout lists and per-net driving gates. Built lazily by
+/// [`Circuit::eval_plan`] and cached until the next structural mutation.
+///
+/// `event_ready` is `true` exactly when the combinational graph is
+/// acyclic and every net has a single writer (at most one driving gate,
+/// and no gate drives a primary input or a flip-flop `q` net). Only then
+/// is the event-driven fast path bit-exact against the bounded sweep:
+/// the fixpoint of an acyclic single-driver netlist is unique, while the
+/// sweep's cut-off state on an oscillating loop is trajectory-dependent.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EvalPlan {
+    /// Gate indices in topological (levelized) order; only meaningful
+    /// when `event_ready`.
+    pub(crate) order: Vec<u32>,
+    /// Per net, the gates reading it (each consumer listed once).
+    pub(crate) fanouts: Vec<Vec<u32>>,
+    /// Per net, the gate driving it, if any.
+    pub(crate) driver: Vec<Option<u32>>,
+    /// Whether the event-driven fast path is safe (see type docs).
+    pub(crate) event_ready: bool,
+}
+
 /// A gate-level circuit.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Circuit {
     name: String,
     net_names: Vec<String>,
@@ -143,6 +161,21 @@ pub struct Circuit {
     outputs: Vec<NetId>,
     gates: Vec<Gate>,
     dffs: Vec<Dff>,
+    /// Lazily built evaluation schedule; reset by every structural
+    /// mutation, excluded from equality (it is derived state).
+    plan: std::sync::OnceLock<EvalPlan>,
+}
+
+impl PartialEq for Circuit {
+    fn eq(&self, other: &Circuit) -> bool {
+        // The cached plan is derived state and never participates.
+        self.name == other.name
+            && self.net_names == other.net_names
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.gates == other.gates
+            && self.dffs == other.dffs
+    }
 }
 
 impl Circuit {
@@ -161,6 +194,7 @@ impl Circuit {
 
     /// Creates a named internal net.
     pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        self.plan = std::sync::OnceLock::new();
         self.net_names.push(name.into());
         NetId(self.net_names.len() - 1)
     }
@@ -192,6 +226,7 @@ impl Circuit {
         for &n in inputs.iter().chain(std::iter::once(&output)) {
             assert!(n.0 < self.net_names.len(), "net {n} out of range");
         }
+        self.plan = std::sync::OnceLock::new();
         self.gates.push(Gate {
             kind,
             inputs: inputs.to_vec(),
@@ -209,6 +244,7 @@ impl Circuit {
             d.0 < self.net_names.len() && q.0 < self.net_names.len(),
             "net out of range"
         );
+        self.plan = std::sync::OnceLock::new();
         self.dffs.push(Dff { d, q });
         DffId(self.dffs.len() - 1)
     }
@@ -257,13 +293,192 @@ impl Circuit {
         &self.net_names[net.0]
     }
 
+    /// The cached evaluation schedule, building it on first use.
+    pub(crate) fn eval_plan(&self) -> &EvalPlan {
+        self.plan.get_or_init(|| self.build_plan())
+    }
+
+    /// Builds the levelized schedule (Kahn's algorithm over gate→gate
+    /// edges through driven nets). Any structure the event-driven path
+    /// cannot schedule safely — a combinational cycle, a multiply-driven
+    /// net, a gate driving a primary input or flip-flop `q` net, or two
+    /// flip-flops sharing a `q` net — clears `event_ready` and leaves the
+    /// bounded sweep as the evaluator.
+    fn build_plan(&self) -> EvalPlan {
+        let nets = self.net_names.len();
+        let mut fanouts: Vec<Vec<u32>> = vec![Vec::new(); nets];
+        let mut driver: Vec<Option<u32>> = vec![None; nets];
+        let mut conflict = false;
+        for (gi, g) in self.gates.iter().enumerate() {
+            let gi = gi as u32;
+            for &n in &g.inputs {
+                let fo = &mut fanouts[n.0];
+                // Within one gate, every push to a fanout list carries the
+                // same index, so a tail check dedups repeated inputs.
+                if fo.last() != Some(&gi) {
+                    fo.push(gi);
+                }
+            }
+            if driver[g.output.0].is_some() {
+                conflict = true;
+            }
+            driver[g.output.0] = Some(gi);
+        }
+        // Nets written externally between evals (PIs, flip-flop outputs)
+        // must not also be gate-driven, and no two flip-flops may share a
+        // `q` net, or re-seeding order would matter.
+        let mut external = vec![false; nets];
+        for &pi in &self.inputs {
+            external[pi.0] = true;
+        }
+        for ff in &self.dffs {
+            if external[ff.q.0] {
+                conflict = true;
+            }
+            external[ff.q.0] = true;
+        }
+        if driver
+            .iter()
+            .enumerate()
+            .any(|(n, d)| d.is_some() && external[n])
+        {
+            conflict = true;
+        }
+        if conflict {
+            return EvalPlan {
+                order: Vec::new(),
+                fanouts,
+                driver,
+                event_ready: false,
+            };
+        }
+        let mut indeg = vec![0u32; self.gates.len()];
+        for (n, d) in driver.iter().enumerate() {
+            if d.is_some() {
+                for &c in &fanouts[n] {
+                    indeg[c as usize] += 1;
+                }
+            }
+        }
+        let mut queue: std::collections::VecDeque<u32> = (0..self.gates.len() as u32)
+            .filter(|&g| indeg[g as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(gi) = queue.pop_front() {
+            order.push(gi);
+            let out = self.gates[gi as usize].output;
+            for &c in &fanouts[out.0] {
+                indeg[c as usize] -= 1;
+                if indeg[c as usize] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        let event_ready = order.len() == self.gates.len();
+        EvalPlan {
+            order,
+            fanouts,
+            driver,
+            event_ready,
+        }
+    }
+
     /// Propagates combinational logic to a fixpoint.
     ///
     /// Flip-flop outputs are driven from the state's flip-flop values;
     /// primary inputs are taken from the state's net values (set them via
     /// [`SimState::set_input`] first). Any injected stuck-at fault in the
     /// state overrides its net throughout.
+    ///
+    /// On acyclic single-driver netlists this takes the levelized
+    /// event-driven fast path: one pass over the cached topological order
+    /// that only re-evaluates gates whose fan-in changed. The fixpoint of
+    /// such a netlist is unique, so the result is bit-identical to
+    /// [`Circuit::eval_sweep`]; circuits with combinational feedback or
+    /// multiply-driven nets fall back to the sweep so oscillating-loop
+    /// X-closure semantics are preserved exactly.
     pub fn eval(&self, state: &mut SimState) {
+        let plan = self.eval_plan();
+        if !plan.event_ready {
+            state.touched.clear();
+            self.eval_sweep(state);
+            return;
+        }
+        state.changed.fill(false);
+        state.pending.fill(false);
+        // Seed: drive FF outputs and re-assert primary inputs through the
+        // fault overlay (a fault on an input net must override the applied
+        // pattern), waking fanouts only where the value actually moved.
+        for (i, ff) in self.dffs.iter().enumerate() {
+            let old = state.nets[ff.q.0];
+            state.write(ff.q, state.ff[i]);
+            if state.nets[ff.q.0] != old {
+                state.changed[ff.q.0] = true;
+            }
+        }
+        for &pi in &self.inputs {
+            let old = state.nets[pi.0];
+            state.write(pi, state.nets[pi.0]);
+            if state.nets[pi.0] != old {
+                state.changed[pi.0] = true;
+            }
+        }
+        // Nets externally written since the previous eval (inputs, fault
+        // injection or removal) wake their cones even when the stored value
+        // is already final — removing a fault must re-derive the net from
+        // its driver, and injection must override it.
+        for &n in &state.touched {
+            state.changed[n.0] = true;
+            if let Some(d) = plan.driver[n.0] {
+                state.pending[d as usize] = true;
+            }
+        }
+        state.touched.clear();
+        for (n, &moved) in state.changed.iter().enumerate() {
+            if moved {
+                for &g in &plan.fanouts[n] {
+                    state.pending[g as usize] = true;
+                }
+            }
+        }
+        let mut skipped = 0u64;
+        let mut x_writes = 0u64;
+        for &gi in &plan.order {
+            if !state.pending[gi as usize] {
+                skipped += 1;
+                continue;
+            }
+            let g = &self.gates[gi as usize];
+            let v = eval_gate(g, &state.nets);
+            let out = g.output.0;
+            let old = state.nets[out];
+            state.write(g.output, v);
+            if state.nets[out] != old {
+                if state.nets[out] == Logic::X {
+                    x_writes += 1;
+                }
+                for &c in &plan.fanouts[out] {
+                    state.pending[c as usize] = true;
+                }
+            }
+        }
+        rt::obs::hot_add(rt::obs::Hot::ScalarEvalCalls, 1);
+        rt::obs::hot_add(rt::obs::Hot::ScalarEvalPasses, 1);
+        if skipped > 0 {
+            rt::obs::hot_add(rt::obs::Hot::ScalarEventsSkipped, skipped);
+        }
+        if x_writes > 0 {
+            rt::obs::hot_add(rt::obs::Hot::ScalarEvalXWrites, x_writes);
+        }
+    }
+
+    /// Propagates combinational logic with the bounded Gauss–Seidel sweep:
+    /// up to `gates + 1` full passes in gate insertion order with immediate
+    /// writes. This is the retained reference evaluator — [`Circuit::eval`]
+    /// must agree with it bit-for-bit wherever the event-driven path runs,
+    /// and falls back to it on feedback loops, where the cut-off state is
+    /// trajectory-dependent and only this pass order defines the answer.
+    pub fn eval_sweep(&self, state: &mut SimState) {
         // Drive FF outputs.
         for (i, ff) in self.dffs.iter().enumerate() {
             state.write(ff.q, state.ff[i]);
@@ -281,8 +496,7 @@ impl Circuit {
             passes += 1;
             let mut changed = false;
             for g in &self.gates {
-                let ins: Vec<Logic> = g.inputs.iter().map(|&n| state.net(n)).collect();
-                let v = g.kind.eval(&ins);
+                let v = eval_gate(g, &state.nets);
                 if state.net(g.output) != v {
                     state.write(g.output, v);
                     changed = true;
@@ -306,20 +520,58 @@ impl Circuit {
     /// captures every flip-flop's `d` into its state.
     pub fn tick(&self, state: &mut SimState) {
         self.eval(state);
-        let next: Vec<Logic> = self.dffs.iter().map(|ff| state.net(ff.d)).collect();
-        state.ff.copy_from_slice(&next);
+        let SimState { nets, ff, .. } = state;
+        for (slot, dff) in ff.iter_mut().zip(&self.dffs) {
+            *slot = nets[dff.d.0];
+        }
         // Propagate the new FF outputs.
         self.eval(state);
     }
 }
 
+/// Evaluates one gate straight off the net array — no per-gate scratch
+/// allocation (the former `Vec<Logic>` per gate per pass dominated the
+/// scalar reference's run time).
+fn eval_gate(g: &Gate, nets: &[Logic]) -> Logic {
+    let v = |n: &NetId| nets[n.0];
+    match g.kind {
+        GateKind::Buf => v(&g.inputs[0]),
+        GateKind::Not => v(&g.inputs[0]).not(),
+        GateKind::And => g.inputs.iter().map(v).fold(Logic::One, Logic::and),
+        GateKind::Nand => g.inputs.iter().map(v).fold(Logic::One, Logic::and).not(),
+        GateKind::Or => g.inputs.iter().map(v).fold(Logic::Zero, Logic::or),
+        GateKind::Nor => g.inputs.iter().map(v).fold(Logic::Zero, Logic::or).not(),
+        GateKind::Xor => v(&g.inputs[0]).xor(v(&g.inputs[1])),
+        GateKind::Xnor => v(&g.inputs[0]).xor(v(&g.inputs[1])).not(),
+        GateKind::Mux => Logic::mux(v(&g.inputs[0]), v(&g.inputs[1]), v(&g.inputs[2])),
+    }
+}
+
 /// Mutable simulation state of a circuit: net values, flip-flop contents
 /// and an optional stuck-at overlay.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares only the observable state (net values, flip-flop
+/// contents and the fault overlay) — the event-scheduling scratch the
+/// evaluator keeps here is excluded.
+#[derive(Debug, Clone)]
 pub struct SimState {
     nets: Vec<Logic>,
     ff: Vec<Logic>,
     fault: Option<(NetId, Logic)>,
+    /// Nets written from outside [`Circuit::eval`] since the last eval;
+    /// their fanout cones (and drivers) are re-evaluated unconditionally.
+    touched: Vec<NetId>,
+    /// Per-net "value moved this eval" scratch.
+    changed: Vec<bool>,
+    /// Per-gate "must re-evaluate" scratch.
+    pending: Vec<bool>,
+}
+
+impl PartialEq for SimState {
+    fn eq(&self, other: &SimState) -> bool {
+        // Scheduling scratch is derived state and never participates.
+        self.nets == other.nets && self.ff == other.ff && self.fault == other.fault
+    }
 }
 
 impl SimState {
@@ -329,18 +581,34 @@ impl SimState {
             nets: vec![Logic::X; circuit.net_count()],
             ff: vec![Logic::X; circuit.dff_count()],
             fault: None,
+            touched: Vec::new(),
+            changed: vec![false; circuit.net_count()],
+            pending: vec![false; circuit.gate_count()],
         }
     }
 
     /// Injects a stuck-at fault on `net`; it overrides every subsequent
     /// write of that net.
     pub fn inject(&mut self, net: NetId, value: Logic) {
+        if let Some((old, _)) = self.fault {
+            // A superseded pin site must be re-derived from its driver.
+            self.touched.push(old);
+        }
         self.fault = Some((net, value));
         self.nets[net.0] = value;
+        self.touched.push(net);
     }
 
     /// Removes any injected fault.
+    ///
+    /// The previously pinned net keeps its pinned value until the next
+    /// eval re-derives it from its driver (or, for a primary input, until
+    /// the next [`SimState::set_input`]) — the same semantics the bounded
+    /// sweep has always had.
     pub fn clear_fault(&mut self) {
+        if let Some((n, _)) = self.fault {
+            self.touched.push(n);
+        }
         self.fault = None;
     }
 
@@ -362,6 +630,7 @@ impl SimState {
             "{net} is not a primary input"
         );
         self.write(net, v);
+        self.touched.push(net);
     }
 
     /// Current value of a net.

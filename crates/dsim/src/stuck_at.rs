@@ -119,12 +119,15 @@ fn differs(golden: &ScanResponse, faulty: &ScanResponse) -> bool {
 /// reports coverage. Detection = any pattern whose faulty response differs
 /// from the golden response at a known-value position.
 ///
-/// Runs on the bit-parallel PPSFP kernel ([`crate::bitpar`]): 64 patterns
-/// per word, fault dropping across pattern blocks, and (for large
-/// fault × pattern products) the worker pool from [`rt::par`]. The result
-/// is bit-identical to [`scan_coverage_scalar`] — including the
-/// `undetected` fault order — at any thread count; the `conform` crate's
-/// packed-vs-scalar oracle enforces this.
+/// Runs on the bit-parallel PPSFP kernel ([`crate::bitpar`]): the plane
+/// width is picked from the pattern count (64 patterns per `u64` word,
+/// 256 or 512 per wide word for larger sets — see
+/// [`crate::bitpar::ppsfp_detect`]), with fault dropping across pattern
+/// blocks and (for large fault × pattern products) the worker pool from
+/// [`rt::par`]. The result is bit-identical to [`scan_coverage_scalar`] —
+/// including the `undetected` fault order — at any width, block
+/// partitioning and thread count; the `conform` crate's packed-vs-scalar
+/// oracle enforces this.
 pub fn scan_coverage(circuit: &Circuit, vectors: &[ScanVector]) -> StuckAtCoverage {
     let faults = enumerate_faults(circuit);
     // Gate-eval work estimate; tiny property-test circuits stay on one

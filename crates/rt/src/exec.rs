@@ -103,6 +103,11 @@ pub fn plan(total: usize, shard_size: usize, base_seed: u64) -> Vec<Shard> {
 /// maps to exactly one segment. `start` offsets are global (cumulative
 /// across segments), shard indices run plan-wide.
 ///
+/// Zero-length segments are inert: they emit no (empty) shard and — since
+/// every substream seed is keyed by the *emitted* shard index, not the
+/// segment position — they do not shift the seeds of any shard after
+/// them. `[0, n, 0, m]` plans identically to `[n, m]`.
+///
 /// # Panics
 ///
 /// Panics if `shard_size == 0`.
@@ -858,6 +863,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn zero_length_segments_are_inert() {
+        // Regression: empty segments must neither emit empty shards nor
+        // shift the RNG substream seeds of the segments after them.
+        for (padded, plain) in [
+            (vec![0, 10, 0, 7], vec![10, 7]),
+            (vec![0, 0, 10, 7, 0], vec![10, 7]),
+            (vec![0, 1, 0, 0, 64, 0], vec![1, 64]),
+        ] {
+            let with_zeros = plan_segmented(&padded, 4, 9);
+            let without = plan_segmented(&plain, 4, 9);
+            assert_eq!(with_zeros, without, "{padded:?} vs {plain:?}");
+            assert!(with_zeros.iter().all(|s| s.len > 0), "empty shard emitted");
+        }
+        assert_eq!(plan_segmented(&[0, 0, 0], 4, 9), Vec::new());
+        assert_eq!(plan_segmented(&[], 4, 9), Vec::new());
     }
 
     #[test]

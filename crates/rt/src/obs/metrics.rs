@@ -431,6 +431,92 @@ mod tests {
     }
 
     #[test]
+    fn edge_values_roundtrip_exactly_or_within_bucket() {
+        // 0 and 1 are singleton buckets; u64::MAX lands in the last
+        // bucket, whose hi edge is exactly u64::MAX.
+        for v in [0u64, 1] {
+            assert_eq!(bucket_bounds(bucket_index(v)), (v, v));
+        }
+        let (lo, hi) = bucket_bounds(bucket_index(u64::MAX));
+        assert!(lo > 0);
+        assert_eq!(hi, u64::MAX);
+        // Every bucket-boundary value maps into the bucket it bounds —
+        // lo and hi of one bucket never split across two indices.
+        for i in (0..4).chain(8..HISTOGRAM_BUCKETS) {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+            if hi != u64::MAX {
+                // The next value starts a strictly later (reachable)
+                // bucket — indices 4..8 are skipped, so only order, not
+                // adjacency, is guaranteed.
+                assert!(bucket_index(hi + 1) > i, "hi+1 of {i} fell back");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_at_extreme_values_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, u64::MAX] {
+            h.record(v);
+        }
+        // q = 0 targets the first observation, q = 1 the last; bounds are
+        // clipped to the exact observed min/max so the edges are tight.
+        let (lo, hi) = h.percentile_bounds(0.0).unwrap();
+        assert_eq!((lo, hi), (0, 0), "q=0 must pin the exact min");
+        let (lo, hi) = h.percentile_bounds(1.0).unwrap();
+        assert!(lo > 1, "q=1 bounds must sit above the smaller observations");
+        assert_eq!(hi, u64::MAX, "q=1 must reach the max");
+        let (lo, hi) = h.percentile_bounds(0.5).unwrap();
+        assert!(lo <= 1 && 1 <= hi, "median 1 outside [{lo}, {hi}]");
+        // A single extreme observation: every quantile is that value.
+        let mut solo = Histogram::new();
+        solo.record(u64::MAX);
+        for q in [0.0, 0.5, 1.0] {
+            let (lo, hi) = solo.percentile_bounds(q).unwrap();
+            assert_eq!((lo, hi), (u64::MAX, u64::MAX), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_associativity_holds_at_the_edges() {
+        // Deliberately edge-valued parts (0, 1, u64::MAX and bucket
+        // boundaries) rather than random draws: overflow or min/max
+        // mishandling would show up here first.
+        let mut a = Histogram::new();
+        a.record(0);
+        a.record(u64::MAX);
+        let mut b = Histogram::new();
+        b.record(1);
+        b.record(u64::MAX);
+        let mut c = Histogram::new();
+        for i in (0..4).chain(8..HISTOGRAM_BUCKETS).step_by(17) {
+            let (lo, hi) = bucket_bounds(i);
+            c.record(lo);
+            c.record(hi);
+        }
+        let empty = Histogram::new();
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        left.merge(&empty);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = empty.clone();
+        right.merge(&a);
+        right.merge(&bc);
+        assert_eq!(left, right, "edge-valued merge is not associative");
+        assert_eq!(left.min(), Some(0));
+        assert_eq!(left.max(), Some(u64::MAX));
+        assert_eq!(left.sum(), a.sum() + b.sum() + c.sum());
+        // Merging an empty histogram is the identity, including min/max.
+        let mut with_empty = left.clone();
+        with_empty.merge(&empty);
+        assert_eq!(with_empty, left, "empty merge must be the identity");
+    }
+
+    #[test]
     fn merge_is_commutative_and_associative() {
         check("histogram_merge_assoc_comm", |d| {
             let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];

@@ -80,9 +80,13 @@ pub enum Hot {
     PackedShiftWords = 6,
     /// Per-fault packed simulations inside the PPSFP kernel.
     PpsfpFaultSims = 7,
+    /// Gates the packed event-driven evaluator skipped (fan-in unchanged).
+    PackedEventsSkipped = 8,
+    /// Gates the scalar event-driven evaluator skipped (fan-in unchanged).
+    ScalarEventsSkipped = 9,
 }
 
-const HOT_SLOTS: usize = 8;
+const HOT_SLOTS: usize = 10;
 
 const HOT_NAMES: [&str; HOT_SLOTS] = [
     "dsim.eval.calls",
@@ -93,6 +97,8 @@ const HOT_NAMES: [&str; HOT_SLOTS] = [
     "dsim.scan.shift_bits",
     "dsim.packed.shift_words",
     "dsim.ppsfp.fault_sims",
+    "dsim.packed.events_skipped",
+    "dsim.eval.events_skipped",
 ];
 
 /// One thread's ambient observability state.

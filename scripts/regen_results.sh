@@ -26,4 +26,11 @@ for bin in "${bins[@]}"; do
     cargo run -q -p bench --release --offline --bin "$bin" > /dev/null
 done
 
+# Also refresh the *untracked* timing CSV so a local checkout always has
+# the current schema (chain,faults,patterns,width,... — one row per
+# chain × plane width). The diff gate ignores it; the numbers are
+# machine-dependent by design.
+echo "==> cargo run -p bench --release --offline --bin bitpar_speedup (untracked)"
+cargo run -q -p bench --release --offline --bin bitpar_speedup > /dev/null
+
 echo "regen_results: OK"

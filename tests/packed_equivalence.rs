@@ -2,10 +2,11 @@
 //! against the scalar reference (in-tree `rt::check` harness): random
 //! sequential circuits and X-injected vector sets, with the packed corner
 //! cases the conformance suite cannot sweep — partial final words (pattern
-//! counts that are not a multiple of 64), single-lane blocks and all-`X`
-//! planes.
+//! counts that are not a multiple of the plane width, at 64, 256 and 512
+//! lanes), single-lane blocks, all-`X` planes, and combinational feedback
+//! that forces both evaluators onto their bounded-sweep fallback.
 
-use dsim::bitpar::{self, PackedState, LANES};
+use dsim::bitpar::{self, PackedState, Word, LANES};
 use dsim::circuit::{Circuit, GateKind, NetId, SimState};
 use dsim::logic::Logic;
 use dsim::scan::{apply_vector, ScanVector};
@@ -85,6 +86,35 @@ fn random_x_vectors(rng: &mut Draws, circuit: &Circuit, count: usize) -> Vec<Sca
 /// and without a partial final word.
 const WORD_EDGE_COUNTS: [usize; 6] = [1, 63, 64, 65, 128, 130];
 
+/// The 1/63/64/65 analogues at a 256-lane plane, plus the limb boundaries
+/// inside one wide word (a partial first limb and a partial last limb).
+const WIDE_EDGE_COUNTS_256: [usize; 7] = [1, 63, 64, 65, 255, 256, 257];
+
+/// The 1/63/64/65 analogues at a 512-lane plane.
+const WIDE_EDGE_COUNTS_512: [usize; 7] = [1, 255, 256, 257, 511, 512, 513];
+
+/// Lane-for-lane response equivalence at one plane width: every packed
+/// block, sliced back into scalar lanes, reproduces the scalar
+/// `apply_vector` responses exactly, including `X` positions.
+fn assert_lane_equivalence<W: Word>(c: &Circuit, vectors: &[ScanVector]) {
+    for (bi, block) in vectors.chunks(W::BITS).enumerate() {
+        let mut packed = bitpar::WideState::<W>::for_circuit(c);
+        let resp = bitpar::apply_vectors(c, &mut packed, block);
+        assert_eq!(resp.lanes, block.len(), "block {bi} lane count");
+        for (lane, v) in block.iter().enumerate() {
+            let mut scalar = SimState::for_circuit(c);
+            let want = apply_vector(c, &mut scalar, v);
+            assert_eq!(
+                bitpar::response_lane(&resp, lane),
+                want,
+                "width {}: block {bi} lane {lane} of {} vectors diverged",
+                W::BITS,
+                vectors.len(),
+            );
+        }
+    }
+}
+
 /// Lane-for-lane response equivalence: every packed block, sliced back into
 /// scalar lanes, reproduces the scalar `apply_vector` responses exactly —
 /// including `X` positions — at every word-boundary pattern count.
@@ -94,21 +124,84 @@ fn packed_responses_match_scalar_lane_for_lane() {
         let c = random_sequential_circuit(rng);
         let count = WORD_EDGE_COUNTS[rng.below(WORD_EDGE_COUNTS.len())];
         let vectors = random_x_vectors(rng, &c, count);
-        for (bi, block) in vectors.chunks(LANES).enumerate() {
-            let mut packed = PackedState::for_circuit(&c);
-            let resp = bitpar::apply_vectors(&c, &mut packed, block);
-            assert_eq!(resp.lanes, block.len(), "block {bi} lane count");
-            for (lane, v) in block.iter().enumerate() {
-                let mut scalar = SimState::for_circuit(&c);
-                let want = apply_vector(&c, &mut scalar, v);
-                assert_eq!(
-                    bitpar::response_lane(&resp, lane),
-                    want,
-                    "block {bi} lane {lane} of {count} vectors diverged"
-                );
-            }
-        }
+        assert_lane_equivalence::<u64>(&c, &vectors);
     });
+}
+
+/// The same lane-for-lane equivalence at the wide plane widths, at their
+/// own word-boundary pattern counts — partial final words, partial final
+/// *limbs*, and single-lane wide blocks.
+#[test]
+fn wide_responses_match_scalar_lane_for_lane() {
+    check_cases("wide_responses_match_scalar_lane_for_lane", 12, |rng| {
+        let c = random_sequential_circuit(rng);
+        let n256 = WIDE_EDGE_COUNTS_256[rng.below(WIDE_EDGE_COUNTS_256.len())];
+        assert_lane_equivalence::<[u64; 4]>(&c, &random_x_vectors(rng, &c, n256));
+        let n512 = WIDE_EDGE_COUNTS_512[rng.below(WIDE_EDGE_COUNTS_512.len())];
+        assert_lane_equivalence::<[u64; 8]>(&c, &random_x_vectors(rng, &c, n512));
+    });
+}
+
+/// Draws a random circuit with genuine combinational feedback: a
+/// cross-coupled NAND latch wired into the random gate pool. Neither
+/// evaluator can levelize this — both the scalar and the packed engines
+/// must take their bounded-sweep fallback, and they must still agree
+/// lane for lane at every width.
+fn random_feedback_circuit(rng: &mut Draws) -> Circuit {
+    let n_pi = rng.range_usize(1, 4);
+    let mut c = Circuit::new("random-feedback");
+    let mut pool: Vec<NetId> = (0..n_pi).map(|i| c.input(format!("i{i}"))).collect();
+    let q = c.net("q");
+    let qb = c.net("qb");
+    let s = pool[rng.below(pool.len())];
+    let r = pool[rng.below(pool.len())];
+    c.gate(GateKind::Nand, &[s, qb], q);
+    c.gate(GateKind::Nand, &[r, q], qb);
+    pool.push(q);
+    pool.push(qb);
+    for gi in 0..rng.range_usize(2, 7) {
+        let a = pool[rng.below(pool.len())];
+        let b = pool[rng.below(pool.len())];
+        let y = c.net(format!("g{gi}"));
+        match rng.below(4) {
+            0 => c.gate(GateKind::And, &[a, b], y),
+            1 => c.gate(GateKind::Or, &[a, b], y),
+            2 => c.gate(GateKind::Xor, &[a, b], y),
+            _ => c.gate(GateKind::Not, &[a], y),
+        }
+        pool.push(y);
+    }
+    let ffq = c.net("ffq");
+    c.dff(pool[rng.below(pool.len())], ffq);
+    c.output(*pool.last().expect("at least one net"));
+    c.output(q);
+    c
+}
+
+/// Feedback fallback equivalence: on cyclic circuits the packed and
+/// scalar engines both drop to the bounded Gauss–Seidel sweep, whose
+/// trajectory (including the X-closure of oscillating lanes) must match
+/// lane for lane at 64, 256 and 512 lanes — and produce identical PPSFP
+/// coverage records.
+#[test]
+fn feedback_fallback_matches_scalar_at_every_width() {
+    check_cases(
+        "feedback_fallback_matches_scalar_at_every_width",
+        12,
+        |rng| {
+            let c = random_feedback_circuit(rng);
+            let count = rng.range_usize(1, 131);
+            let vectors = random_x_vectors(rng, &c, count);
+            assert_lane_equivalence::<u64>(&c, &vectors);
+            assert_lane_equivalence::<[u64; 4]>(&c, &vectors);
+            assert_lane_equivalence::<[u64; 8]>(&c, &vectors);
+            assert_eq!(
+                scan_coverage(&c, &vectors),
+                scan_coverage_scalar(&c, &vectors),
+                "packed and scalar coverage diverged on a feedback circuit"
+            );
+        },
+    );
 }
 
 /// The full PPSFP path (`scan_coverage`, with fault dropping) reports the
@@ -156,24 +249,51 @@ fn all_x_planes_match_scalar_and_detect_nothing() {
     });
 }
 
+/// Dead-lane X-closure at one width: no unused lane of a partial block may
+/// turn into a known value anywhere in the response.
+fn assert_dead_lanes_x<W: Word>(c: &Circuit, vectors: &[ScanVector]) {
+    let mut packed = bitpar::WideState::<W>::for_circuit(c);
+    let resp = bitpar::apply_vectors(c, &mut packed, vectors);
+    let live = W::mask(vectors.len());
+    for w in resp.po.iter().chain(&resp.capture) {
+        assert_eq!(
+            w.known_mask().and(live.not()),
+            W::ZERO,
+            "a dead lane became known: {w:?} with {} live lanes at width {}",
+            vectors.len(),
+            W::BITS,
+        );
+    }
+}
+
 /// The packed word for a partial block keeps its dead lanes at `X` from
-/// stimulus to response: packing `n < 64` vectors never lets an unused lane
-/// turn into a known value that could leak into coverage or detection.
+/// stimulus to response: packing `n < width` vectors never lets an unused
+/// lane turn into a known value that could leak into coverage or
+/// detection — through the event-driven skips as much as through actual
+/// gate evaluation, at every plane width.
 #[test]
 fn dead_lanes_stay_unknown_through_simulation() {
     check_cases("dead_lanes_stay_unknown_through_simulation", 24, |rng| {
         let c = random_sequential_circuit(rng);
         let count = rng.range_usize(1, LANES); // always a partial word
         let vectors = random_x_vectors(rng, &c, count);
-        let mut packed = PackedState::for_circuit(&c);
-        let resp = bitpar::apply_vectors(&c, &mut packed, &vectors);
-        let dead = !bitpar::lane_mask(count);
-        for w in resp.po.iter().chain(&resp.capture) {
-            assert_eq!(
-                w.known_mask() & dead,
-                0,
-                "a dead lane became known: {w:?} with {count} live lanes"
-            );
-        }
+        assert_dead_lanes_x::<u64>(&c, &vectors);
     });
+}
+
+/// Dead-lane X-closure at the wide widths, with the partial boundary
+/// landing both inside a limb and exactly on limb edges.
+#[test]
+fn wide_dead_lanes_stay_unknown_through_simulation() {
+    check_cases(
+        "wide_dead_lanes_stay_unknown_through_simulation",
+        12,
+        |rng| {
+            let c = random_sequential_circuit(rng);
+            let n256 = rng.range_usize(1, 4 * LANES);
+            assert_dead_lanes_x::<[u64; 4]>(&c, &random_x_vectors(rng, &c, n256));
+            let n512 = rng.range_usize(4 * LANES, 8 * LANES);
+            assert_dead_lanes_x::<[u64; 8]>(&c, &random_x_vectors(rng, &c, n512));
+        },
+    );
 }
