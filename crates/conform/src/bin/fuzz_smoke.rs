@@ -9,7 +9,9 @@
 //! (including the instrumented-vs-plain PPSFP oracle, so the tier-1 gate
 //! also pins "observability does not perturb results", and the
 //! checkpoint-resume oracle, so it also pins "a killed campaign resumes
-//! byte-identically at 1/2/4/7 threads").
+//! byte-identically at 1/2/4/7 threads", and the time-expansion oracle,
+//! so it also pins "transition ATPG on the two-timeframe model agrees
+//! with launch-on-capture replay").
 //!
 //! Silent on success by default; run with `OBS=1` for the structured
 //! summary line (`rt::obs::log`).
@@ -20,7 +22,7 @@ use conform::corpus;
 use conform::fuzz::{fuzz, FuzzConfig};
 use conform::oracle::{
     check_all, CheckpointResumeOracle, DiffOracle, InstrumentedPpsfpOracle,
-    LogicVsTransitionOracle, PackedVsScalarOracle, ScanVsFunctionalOracle,
+    LogicVsTransitionOracle, PackedVsScalarOracle, ScanVsFunctionalOracle, TimeExpansionOracle,
 };
 use dft::chain_b::ChainB;
 use dsim::atpg::random_vectors;
@@ -72,12 +74,19 @@ fn main() {
     // the campaign is behavioral (no per-pattern simulation), so the full
     // sweep stays well inside the smoke-gate time budget.
     let resume_oracle = CheckpointResumeOracle::new(&DesignParams::paper());
-    let oracles: [&dyn DiffOracle; 5] = [
+    // Transition ATPG vs sequential replay on a small divider — narrowed
+    // to two thread counts to stay inside the smoke-gate time budget (the
+    // conformance suite runs the full 1/2/4/7 sweep on all chains).
+    let expansion_oracle =
+        TimeExpansionOracle::new(dsim::blocks::divider::Divider::new(2).circuit().clone())
+            .with_threads(vec![1, 4]);
+    let oracles: [&dyn DiffOracle; 6] = [
         &scan_oracle,
         &transition_oracle,
         &packed_oracle,
         &obs_oracle,
         &resume_oracle,
+        &expansion_oracle,
     ];
     if let Err(divergence) = check_all(oracles) {
         panic!("{divergence}");

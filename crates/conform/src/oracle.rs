@@ -25,7 +25,14 @@
 //! * [`CheckpointResumeOracle`] — the fault campaign killed mid-run by a
 //!   seeded shard panic and resumed from its `rt::exec` checkpoint
 //!   against an uninterrupted run: records byte-identical at every
-//!   probed thread count.
+//!   probed thread count,
+//! * [`TimeExpansionOracle`] — broad-side transition ATPG
+//!   (`dsim::expand`): detection of every transition fault in the
+//!   two-timeframe gadget model (scalar simulation and the packed PPSFP
+//!   kernel at 64/256/512 lanes, across worker-thread counts) against
+//!   `launch_capture_response` replayed on the original sequential
+//!   circuit — per-test agreement, and every fault PODEM produced a test
+//!   for must actually be caught on replay.
 //!
 //! The behavioral-vs-gate oracle carries a [`SeededMutant`] hook so the
 //! oracle itself can be mutation-tested: a deliberately wrong wiring must
@@ -48,10 +55,13 @@ use dft::campaign::{CampaignExec, FaultCampaign};
 use dft::chain_b::ChainB;
 use dsim::bitpar;
 use dsim::circuit::{Circuit, SimState};
+use dsim::expand::TimeExpansion;
 use dsim::logic::Logic;
 use dsim::scan::{apply_vector, shift, ScanResponse, ScanVector};
 use dsim::stuck_at::{enumerate_faults, scan_coverage, scan_coverage_scalar, StuckAtFault};
-use dsim::transition::{launch_capture_response, TwoPatternTest};
+use dsim::transition::{
+    enumerate_transition_faults, launch_capture_response, responses_differ, TwoPatternTest,
+};
 use link::synchronizer::{decisions_from_trace, RunConfig, Synchronizer};
 use msim::effects::AnalogEffect;
 use msim::params::DesignParams;
@@ -884,6 +894,160 @@ impl DiffOracle for InstrumentedPpsfpOracle {
                         });
                     }
                 }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Time-expansion transition ATPG vs sequential replay: for every
+/// transition fault, detection computed on the two-timeframe gadget
+/// model (`dsim::expand`) must agree with
+/// [`launch_capture_response`] replayed on the original sequential
+/// circuit, **per test**, on three routes:
+///
+/// * scalar gadget simulation (`apply_vector`, fault-free vs the `sel`
+///   net forced high) against the replay's known-golden detection rule,
+/// * the packed PPSFP kernel on the gadget model at every plane width
+///   (64, 256 and 512 lanes) and every probed worker-thread count — its
+///   any-test flag must equal the replay's,
+/// * ATPG completeness: every fault PODEM produced a pattern for must
+///   actually be caught on replay by the generated test set (the
+///   expansion is not allowed to "prove" tests that do nothing on the
+///   real circuit).
+///
+/// The test set itself comes from [`TimeExpansion::generate_all`] —
+/// PODEM vectors are fully specified, which is exactly the regime where
+/// the gadget model and the replay semantics provably coincide.
+#[derive(Debug, Clone)]
+pub struct TimeExpansionOracle {
+    circuit: Circuit,
+    threads: Vec<usize>,
+}
+
+impl TimeExpansionOracle {
+    /// An oracle on `circuit`, probing 1/2/4/7 worker threads on the
+    /// packed route.
+    pub fn new(circuit: Circuit) -> TimeExpansionOracle {
+        TimeExpansionOracle {
+            circuit,
+            threads: vec![1, 2, 4, 7],
+        }
+    }
+
+    /// Overrides the probed worker-thread counts (the fuzz-smoke gate
+    /// narrows the sweep to stay within its time budget).
+    pub fn with_threads(mut self, threads: Vec<usize>) -> TimeExpansionOracle {
+        self.threads = threads;
+        self
+    }
+}
+
+impl DiffOracle for TimeExpansionOracle {
+    fn name(&self) -> &'static str {
+        "time-expansion"
+    }
+
+    fn check(&self) -> Result<(), Divergence> {
+        let seq = &self.circuit;
+        let te = TimeExpansion::new(seq).map_err(|e| Divergence {
+            oracle: self.name(),
+            detail: e.to_string(),
+        })?;
+        let (tests, untestable) = te.generate_all();
+        let faults = enumerate_transition_faults(seq);
+        if !faults.is_empty() && tests.is_empty() {
+            return Err(Divergence {
+                oracle: self.name(),
+                detail: format!(
+                    "{}: ATPG produced no tests for a {}-fault universe — vacuous",
+                    seq.name(),
+                    faults.len()
+                ),
+            });
+        }
+
+        // Route B reference: fault-free replay of every test, once.
+        let goldens: Vec<_> = tests
+            .iter()
+            .map(|t| launch_capture_response(seq, t, None))
+            .collect();
+        let vecs: Vec<ScanVector> = tests.iter().map(|t| te.gadget_vector(t)).collect();
+
+        for &fault in &faults {
+            // Route B: per-test replay detection on the sequential circuit.
+            let replay: Vec<bool> = tests
+                .iter()
+                .zip(&goldens)
+                .map(|(t, g)| responses_differ(g, &launch_capture_response(seq, t, Some(fault))))
+                .collect();
+            let replay_any = replay.iter().any(|&d| d);
+
+            // Route A (scalar): the gadget model with `sel` forced high.
+            let (model, sa) = te.faulted_model(fault);
+            for (i, v) in vecs.iter().enumerate() {
+                let good = apply_vector(&model, &mut SimState::for_circuit(&model), v);
+                let mut s = SimState::for_circuit(&model);
+                s.inject(sa.net, sa.value());
+                let bad = apply_vector(&model, &mut s, v);
+                let cmp = |g: &[Logic], f: &[Logic]| {
+                    g.iter().zip(f).any(|(gv, fv)| gv.is_known() && gv != fv)
+                };
+                let gadget = cmp(&good.po, &bad.po) || cmp(&good.capture, &bad.capture);
+                if gadget != replay[i] {
+                    return Err(Divergence {
+                        oracle: self.name(),
+                        detail: format!(
+                            "{}: {fault}: test {i}: gadget model says detected={gadget}, \
+                             sequential replay says detected={}",
+                            seq.name(),
+                            replay[i],
+                        ),
+                    });
+                }
+            }
+
+            // Route A (packed): PPSFP on the gadget model, every width and
+            // probed thread count; the any-test flag must match.
+            for &threads in &self.threads {
+                for (width, flag) in [
+                    (
+                        64,
+                        bitpar::ppsfp_detect_wide::<u64>(threads, &model, &vecs, &[sa])[0],
+                    ),
+                    (
+                        256,
+                        bitpar::ppsfp_detect_wide::<[u64; 4]>(threads, &model, &vecs, &[sa])[0],
+                    ),
+                    (
+                        512,
+                        bitpar::ppsfp_detect_wide::<[u64; 8]>(threads, &model, &vecs, &[sa])[0],
+                    ),
+                ] {
+                    if flag != replay_any {
+                        return Err(Divergence {
+                            oracle: self.name(),
+                            detail: format!(
+                                "{}: {fault}: width {width} at {threads} threads: \
+                                 packed gadget detection {flag} vs replay {replay_any}",
+                                seq.name(),
+                            ),
+                        });
+                    }
+                }
+            }
+
+            // ATPG completeness: a fault PODEM built a pattern for must be
+            // caught by the set on the real circuit.
+            if !untestable.contains(&fault) && !replay_any {
+                return Err(Divergence {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{}: {fault}: PODEM generated a test but the replayed set \
+                         never detects it",
+                        seq.name(),
+                    ),
+                });
             }
         }
         Ok(())

@@ -8,6 +8,7 @@ use conform::fuzz::{fuzz, FuzzConfig};
 use conform::oracle::{
     check_all, BehavioralVsGateOracle, CampaignSnapshotOracle, DiffOracle, InstrumentedPpsfpOracle,
     LogicVsTransitionOracle, PackedVsScalarOracle, ScanVsFunctionalOracle, SeededMutant,
+    TimeExpansionOracle,
 };
 use dft::chain_b::ChainB;
 use dsim::atpg::random_vectors;
@@ -161,6 +162,32 @@ fn packed_and_event_driven_agree_on_feedback_circuits() {
     let vectors = with_x_injection(random_vectors(&circuit, 70, 37));
     let oracle = PackedVsScalarOracle::new(circuit, vectors);
     assert!(oracle.check().is_ok(), "{:?}", oracle.check());
+}
+
+#[test]
+fn time_expansion_agrees_with_sequential_replay() {
+    // The acceptance contract for the transition ATPG: on all four
+    // hand-built chains AND the vendored ITC-style netlist, PODEM
+    // patterns from the time-expanded model — simulated scalar and
+    // packed at every width and 1/2/4/7 worker threads — detect exactly
+    // the transition-fault set that `launch_capture_response` detects on
+    // the original sequential circuit.
+    let b01 = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/b01_net.v"
+    ))
+    .expect("vendored benchmark netlist");
+    let blocks = [
+        ("chain-b", ChainB::new(4).circuit().clone()),
+        ("divider", Divider::new(3).circuit().clone()),
+        ("lock-counter", LockCounter::new(3).circuit().clone()),
+        ("control-fsm", ControlFsm::new().circuit().clone()),
+        ("b01", dsim::verilog::compile(&b01).expect("b01 lowers")),
+    ];
+    for (name, circuit) in blocks {
+        let oracle = TimeExpansionOracle::new(circuit);
+        assert!(oracle.check().is_ok(), "{name}: {:?}", oracle.check());
+    }
 }
 
 #[test]

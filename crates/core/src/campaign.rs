@@ -22,9 +22,16 @@
 
 use std::path::PathBuf;
 
+use dsim::atpg::random_vectors;
 use dsim::circuit::Circuit;
+use dsim::expand::{ExpandError, TimeExpansion};
 use dsim::scan::ScanVector;
 use dsim::stuck_at::{enumerate_faults, StuckAtFault};
+use dsim::transition::{
+    enumerate_transition_faults, launch_capture_response, responses_differ, TransitionFault,
+    TwoPatternResponse, TwoPatternTest,
+};
+use dsim::verilog::VerilogError;
 use link::netlists::functional_netlists;
 use msim::effects::{resolve_effect, AnalogEffect};
 use msim::fault::{Fault, FaultKind, FaultUniverse};
@@ -562,7 +569,6 @@ impl DigitalCampaign {
     /// sets: Scan chain A (data path) and Scan chain B (clock control,
     /// four ring phases as in the reproduction's block tests).
     pub fn paper() -> DigitalCampaign {
-        use dsim::atpg::random_vectors;
         let a = ChainA::new().circuit().clone();
         let b = ChainB::new(4).circuit().clone();
         let va = random_vectors(&a, 256, 37);
@@ -686,6 +692,423 @@ impl DigitalCampaign {
             return 0.0;
         }
         records.iter().filter(|r| r.detected).count() as f64 / records.len() as f64
+    }
+}
+
+/// Shard size for the netlist campaign. Matches the digital campaign's
+/// width: stuck-at shards run through the same PPSFP kernel, and the
+/// transition shards' per-fault replay is cheap enough that load balance
+/// does not suffer at this granularity.
+const NETLIST_SHARD_SIZE: usize = 128;
+
+/// Base seed for the netlist campaign's shard substreams.
+const NETLIST_SHARD_SEED: u64 = 0x2E76; // ".v"
+
+/// Seed for the netlist campaign's random stuck-at pattern set.
+const NETLIST_VECTOR_SEED: u64 = 41;
+
+/// Random stuck-at patterns per netlist campaign.
+const NETLIST_VECTOR_COUNT: usize = 256;
+
+/// Why a [`NetlistCampaign`] could not be built from its inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// The Verilog source failed to parse or lower.
+    Verilog(VerilogError),
+    /// The lowered circuit cannot be time-expanded (combinational
+    /// feedback — the broad-side model needs an acyclic netlist).
+    Expand(ExpandError),
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::Verilog(e) => write!(f, "{e}"),
+            NetlistError::Expand(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl From<VerilogError> for NetlistError {
+    fn from(e: VerilogError) -> NetlistError {
+        NetlistError::Verilog(e)
+    }
+}
+
+impl From<ExpandError> for NetlistError {
+    fn from(e: ExpandError) -> NetlistError {
+        NetlistError::Expand(e)
+    }
+}
+
+/// Per-fault record of a netlist campaign — one stuck-at or one
+/// transition fault with its detection verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistFaultRecord {
+    /// A stuck-at fault simulated against the random pattern set through
+    /// the PPSFP kernel.
+    StuckAt {
+        /// The stuck-at fault.
+        fault: StuckAtFault,
+        /// Detected by the random pattern set.
+        detected: bool,
+    },
+    /// A transition fault replayed launch-on-capture against the
+    /// time-expansion ATPG's two-pattern tests.
+    Transition {
+        /// The transition fault.
+        fault: TransitionFault,
+        /// Detected by the generated two-pattern test set.
+        detected: bool,
+    },
+}
+
+impl NetlistFaultRecord {
+    /// The detection verdict, whichever fault model the record carries.
+    pub fn detected(&self) -> bool {
+        match self {
+            NetlistFaultRecord::StuckAt { detected, .. }
+            | NetlistFaultRecord::Transition { detected, .. } => *detected,
+        }
+    }
+}
+
+/// Outcome of a resumable netlist campaign run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistCampaignResult {
+    /// Per-fault records over completed shards: the full stuck-at
+    /// universe first (enumeration order), then the full transition
+    /// universe (enumeration order).
+    pub records: Vec<NetlistFaultRecord>,
+    /// Transition faults the ATPG proved untestable (PODEM exhausted its
+    /// backtrack budget on the gadget model) — informational; they still
+    /// appear in `records`, almost always undetected.
+    pub untestable: Vec<TransitionFault>,
+    /// Shards that exhausted their retry budget.
+    pub incomplete: Vec<ShardFailure>,
+}
+
+impl NetlistCampaignResult {
+    /// `true` when every planned shard delivered its records.
+    pub fn is_complete(&self) -> bool {
+        self.incomplete.is_empty()
+    }
+
+    /// `(total, detected)` over the stuck-at universe.
+    pub fn stuck_at(&self) -> (usize, usize) {
+        self.count(|r| matches!(r, NetlistFaultRecord::StuckAt { .. }))
+    }
+
+    /// `(total, detected)` over the transition universe.
+    pub fn transition(&self) -> (usize, usize) {
+        self.count(|r| matches!(r, NetlistFaultRecord::Transition { .. }))
+    }
+
+    /// Stuck-at coverage in `[0, 1]` (`0.0` over an empty universe,
+    /// matching [`CampaignResult`]'s empty-campaign convention).
+    pub fn stuck_at_coverage(&self) -> f64 {
+        Self::ratio(self.stuck_at())
+    }
+
+    /// Transition coverage in `[0, 1]` over the *whole* enumerated
+    /// universe — untestable faults count against it, exactly as a tester
+    /// would score the pattern set (`0.0` over an empty universe).
+    pub fn transition_coverage(&self) -> f64 {
+        Self::ratio(self.transition())
+    }
+
+    fn count(&self, pred: impl Fn(&NetlistFaultRecord) -> bool) -> (usize, usize) {
+        self.records
+            .iter()
+            .filter(|r| pred(r))
+            .fold((0, 0), |(total, detected), r| {
+                (total + 1, detected + usize::from(r.detected()))
+            })
+    }
+
+    fn ratio((total, detected): (usize, usize)) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            detected as f64 / total as f64
+        }
+    }
+}
+
+/// The netlist campaign's shard job over a two-segment plan: segment 0 is
+/// the stuck-at universe (PPSFP against the random pattern set), segment
+/// 1 the transition universe (scalar launch-on-capture replay of the
+/// time-expansion ATPG's tests against precomputed fault-free goldens).
+/// Checkpoint payloads are one detected byte per record; the fault is
+/// reconstructed from the plan-global index.
+struct NetlistJob<'a> {
+    name: &'a str,
+    circuit: &'a Circuit,
+    vectors: &'a [ScanVector],
+    stuck: &'a [StuckAtFault],
+    transition: &'a [TransitionFault],
+    tests: &'a [TwoPatternTest],
+    goldens: &'a [TwoPatternResponse],
+    sabotage: Option<&'a Sabotage>,
+}
+
+impl NetlistJob<'_> {
+    /// Detection flags for one contiguous plan-global index range —
+    /// shared by `run` and `decode`'s record reconstruction.
+    fn record_at(&self, i: usize, detected: bool) -> NetlistFaultRecord {
+        if i < self.stuck.len() {
+            NetlistFaultRecord::StuckAt {
+                fault: self.stuck[i],
+                detected,
+            }
+        } else {
+            NetlistFaultRecord::Transition {
+                fault: self.transition[i - self.stuck.len()],
+                detected,
+            }
+        }
+    }
+}
+
+impl ShardJob for NetlistJob<'_> {
+    type Record = NetlistFaultRecord;
+
+    fn run(&self, shard: &Shard) -> Vec<NetlistFaultRecord> {
+        if let Some(s) = self.sabotage {
+            s.trip(shard.index);
+        }
+        let flags: Vec<bool> = if shard.start < self.stuck.len() {
+            // Stuck-at segment (plan_segmented never cuts across the
+            // segment boundary, so the whole shard is one fault model).
+            dsim::bitpar::ppsfp_detect_shard(
+                self.circuit,
+                self.vectors,
+                self.stuck,
+                shard.start..shard.start + shard.len,
+            )
+        } else {
+            let local = shard.start - self.stuck.len();
+            self.transition[local..local + shard.len]
+                .iter()
+                .map(|&fault| {
+                    self.tests.iter().zip(self.goldens).any(|(test, golden)| {
+                        let faulty = launch_capture_response(self.circuit, test, Some(fault));
+                        responses_differ(golden, &faulty)
+                    })
+                })
+                .collect()
+        };
+        let model = if shard.start < self.stuck.len() {
+            "stuck_at"
+        } else {
+            "transition"
+        };
+        // Shard-plan functions only, so the metric totals are
+        // thread-count invariant.
+        rt::obs::count(
+            &format!("campaign.netlist.{}.{model}.faults", self.name),
+            shard.len as u64,
+        );
+        rt::obs::count(
+            &format!("campaign.netlist.{}.{model}.detected", self.name),
+            flags.iter().filter(|&&d| d).count() as u64,
+        );
+        shard
+            .range()
+            .zip(flags)
+            .map(|(i, detected)| self.record_at(i, detected))
+            .collect()
+    }
+
+    fn encode(&self, _shard: &Shard, records: &[NetlistFaultRecord], out: &mut Vec<u8>) {
+        for r in records {
+            out.push(u8::from(r.detected()));
+        }
+    }
+
+    fn decode(&self, shard: &Shard, payload: &[u8]) -> Option<Vec<NetlistFaultRecord>> {
+        if payload.len() != shard.len || payload.iter().any(|&b| b > 1) {
+            return None;
+        }
+        Some(
+            shard
+                .range()
+                .zip(payload)
+                .map(|(i, &b)| self.record_at(i, b == 1))
+                .collect(),
+        )
+    }
+}
+
+/// A full digital test campaign over one parsed (or hand-built) netlist:
+/// the stuck-at universe fault-simulated against a seeded random pattern
+/// set through the PPSFP kernel, plus the transition universe targeted by
+/// the time-expansion ATPG ([`dsim::expand::TimeExpansion`]) and scored
+/// by launch-on-capture replay on the original sequential circuit.
+///
+/// This is the scenario the Verilog frontend unlocks: point the pipeline
+/// at an arbitrary `.v` netlist ([`NetlistCampaign::from_verilog`]) and
+/// get the paper's coverage tables for it, resumable and thread-count
+/// invariant like every other campaign in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistCampaign {
+    name: String,
+    circuit: Circuit,
+    vectors: Vec<ScanVector>,
+    tests: Vec<TwoPatternTest>,
+    untestable: Vec<TransitionFault>,
+}
+
+impl NetlistCampaign {
+    /// Builds a campaign from structural Verilog source: parse, lower,
+    /// time-expand, and run PODEM over the expanded model for every
+    /// transition fault. The campaign is named after the module.
+    pub fn from_verilog(src: &str) -> Result<NetlistCampaign, NetlistError> {
+        let circuit = dsim::verilog::compile(src)?;
+        NetlistCampaign::over(circuit.name().to_string(), circuit)
+    }
+
+    /// Builds a campaign over an already-constructed circuit. Fails only
+    /// when the circuit cannot be time-expanded (combinational feedback).
+    ///
+    /// Construction is where the ATPG runs: the stuck-at pattern set is
+    /// drawn (256 seeded random vectors) and PODEM
+    /// generates the launch-on-capture test set, so [`NetlistCampaign::run`]
+    /// itself is pure fault simulation.
+    pub fn over(
+        name: impl Into<String>,
+        circuit: Circuit,
+    ) -> Result<NetlistCampaign, NetlistError> {
+        let expansion = TimeExpansion::new(&circuit)?;
+        let (tests, untestable) = expansion.generate_all();
+        let vectors = random_vectors(&circuit, NETLIST_VECTOR_COUNT, NETLIST_VECTOR_SEED);
+        Ok(NetlistCampaign {
+            name: name.into(),
+            circuit,
+            vectors,
+            tests,
+            untestable,
+        })
+    }
+
+    /// The campaign's display name (the Verilog module name when built
+    /// through [`NetlistCampaign::from_verilog`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The circuit under test.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The generated launch-on-capture two-pattern test set.
+    pub fn tests(&self) -> &[TwoPatternTest] {
+        &self.tests
+    }
+
+    /// Transition faults PODEM proved out of reach on the expanded model.
+    pub fn untestable(&self) -> &[TransitionFault] {
+        &self.untestable
+    }
+
+    /// Runs the campaign across all available cores. Records come back
+    /// in (stuck-at universe, transition universe) enumeration order,
+    /// byte-identical at any thread count.
+    pub fn run(&self) -> NetlistCampaignResult {
+        self.run_on(rt::par::threads())
+    }
+
+    /// Runs the campaign on exactly `threads` worker threads under a
+    /// plain policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or any shard fails (a plain policy has
+    /// no retry budget to degrade into).
+    pub fn run_on(&self, threads: usize) -> NetlistCampaignResult {
+        let result = self.run_with(&CampaignExec::threads(threads));
+        assert!(
+            result.is_complete(),
+            "netlist campaign lost shards: {:?}",
+            result.incomplete
+        );
+        result
+    }
+
+    /// The checkpoint fingerprint over both fault universes, the pattern
+    /// and test set sizes and the shard plan.
+    fn fingerprint(&self, n_stuck: usize, n_transition: usize) -> u64 {
+        exec::fingerprint(&[
+            u64::from(exec::CHECKPOINT_VERSION),
+            NETLIST_SHARD_SIZE as u64,
+            NETLIST_SHARD_SEED,
+            u64::from(exec::crc32(self.name.as_bytes())),
+            n_stuck as u64,
+            n_transition as u64,
+            self.vectors.len() as u64,
+            self.tests.len() as u64,
+        ])
+    }
+
+    /// Runs the campaign under an explicit execution policy. The plan has
+    /// two segments — the stuck-at universe, then the transition universe
+    /// — and shards never straddle the boundary, so each shard runs
+    /// exactly one fault model. Records come back in plan order,
+    /// byte-identical across thread counts, retries and kill-and-resume
+    /// schedules; shards that exhaust the retry budget end up in the
+    /// result's `incomplete` manifest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.threads == 0` or the checkpoint file cannot be
+    /// opened.
+    pub fn run_with(&self, policy: &CampaignExec) -> NetlistCampaignResult {
+        let _span = rt::obs::span("campaign.netlist");
+        let stuck = enumerate_faults(&self.circuit);
+        let transition = enumerate_transition_faults(&self.circuit);
+        let goldens: Vec<TwoPatternResponse> = self
+            .tests
+            .iter()
+            .map(|t| launch_capture_response(&self.circuit, t, None))
+            .collect();
+        let job = NetlistJob {
+            name: &self.name,
+            circuit: &self.circuit,
+            vectors: &self.vectors,
+            stuck: &stuck,
+            transition: &transition,
+            tests: &self.tests,
+            goldens: &goldens,
+            sabotage: policy.sabotage.as_ref(),
+        };
+        let segments = [stuck.len(), transition.len()];
+        let shards = exec::plan_segmented(&segments, NETLIST_SHARD_SIZE, NETLIST_SHARD_SEED);
+        let mut ck = policy.checkpoint.as_ref().map(|path| {
+            exec::Checkpoint::open(path, self.fingerprint(stuck.len(), transition.len()))
+                .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()))
+        });
+        let report = exec::run_shards(policy.threads, &policy.retry, ck.as_mut(), &shards, &job);
+        let result = NetlistCampaignResult {
+            records: report.records,
+            untestable: self.untestable.clone(),
+            incomplete: report.incomplete,
+        };
+        let (sa_total, sa_detected) = result.stuck_at();
+        let (tr_total, tr_detected) = result.transition();
+        rt::obs::log::info(
+            "campaign",
+            format!(
+                "netlist {} stuck_at={sa_detected}/{sa_total} transition={tr_detected}/{tr_total} \
+                 untestable={} failed_shards={}",
+                self.name,
+                result.untestable.len(),
+                result.incomplete.len(),
+            ),
+        );
+        result
     }
 }
 
@@ -953,5 +1376,83 @@ mod tests {
         let c = FaultCampaign::new(&DesignParams::paper());
         assert_eq!(c.universe().len(), result().total());
         assert_eq!(result().total(), 99 * 6 + 9);
+    }
+
+    #[test]
+    fn netlist_campaign_scores_both_fault_models() {
+        let divider = dsim::blocks::divider::Divider::new(2).circuit().clone();
+        let campaign = NetlistCampaign::over("divider", divider.clone()).expect("acyclic");
+        let result = campaign.run_on(2);
+        assert!(result.is_complete());
+        let (sa_total, _) = result.stuck_at();
+        let (tr_total, tr_detected) = result.transition();
+        assert_eq!(sa_total, enumerate_faults(&divider).len());
+        assert_eq!(tr_total, 2 * divider.net_count());
+        // The ATPG completeness property as a campaign-level fact: every
+        // fault PODEM did not prove untestable is detected by replay.
+        assert_eq!(tr_detected, tr_total - result.untestable.len());
+        assert!(result.stuck_at_coverage() > 0.0);
+        assert!(result.transition_coverage() > 0.0);
+    }
+
+    #[test]
+    fn netlist_campaign_is_thread_count_invariant() {
+        let campaign = NetlistCampaign::over(
+            "divider",
+            dsim::blocks::divider::Divider::new(2).circuit().clone(),
+        )
+        .expect("acyclic");
+        let seq = campaign.run_on(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(campaign.run_on(threads), seq, "diverged at {threads}");
+        }
+    }
+
+    #[test]
+    fn netlist_campaign_recovers_and_resumes() {
+        let campaign = NetlistCampaign::over(
+            "divider",
+            dsim::blocks::divider::Divider::new(2).circuit().clone(),
+        )
+        .expect("acyclic");
+        let straight = campaign.run_on(2);
+        let recovered = rt::check::quiet(|| {
+            campaign.run_with(
+                &CampaignExec::threads(2)
+                    .with_retry(RetryPolicy::retries(1))
+                    .with_sabotage(Sabotage::once(0)),
+            )
+        });
+        assert!(recovered.is_complete());
+        assert_eq!(recovered, straight);
+        let path = temp_ck("netlist-resume");
+        let partial = rt::check::quiet(|| {
+            campaign.run_with(
+                &CampaignExec::threads(2)
+                    .with_checkpoint(&path)
+                    .with_sabotage(Sabotage::times(0, u32::MAX)),
+            )
+        });
+        assert!(!partial.is_complete());
+        let resumed = campaign.run_with(&CampaignExec::threads(2).with_checkpoint(&path));
+        assert!(resumed.is_complete());
+        assert_eq!(resumed, straight, "resume not byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn netlist_campaign_surfaces_frontend_errors() {
+        let parse = NetlistCampaign::from_verilog("module m (a; endmodule").unwrap_err();
+        assert!(matches!(parse, NetlistError::Verilog(_)), "{parse}");
+        // A combinational loop lowers fine but cannot be time-expanded.
+        let mut latch = Circuit::new("latch");
+        let s = latch.input("s");
+        let q = latch.net("q");
+        let qb = latch.net("qb");
+        latch.gate(dsim::circuit::GateKind::Nand, &[s, qb], q);
+        latch.gate(dsim::circuit::GateKind::Not, &[q], qb);
+        latch.output(q);
+        let expand = NetlistCampaign::over("latch", latch).unwrap_err();
+        assert!(matches!(expand, NetlistError::Expand(_)), "{expand}");
     }
 }

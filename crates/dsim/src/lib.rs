@@ -20,6 +20,12 @@
 //! * [`collapse`] — structural stuck-at fault collapsing,
 //! * [`transition`] — the launch-on-capture transition (delay) fault
 //!   model behind the paper's coarse-path delay-coverage claim,
+//! * [`verilog`] — a structural gate-level Verilog frontend (tokenizer,
+//!   parser, serializer, lowering into [`circuit::Circuit`]) so external
+//!   netlists become campaign targets,
+//! * [`expand`] — broad-side time expansion: the two-timeframe
+//!   combinational model that turns [`podem`] into a transition ATPG
+//!   for arbitrary netlists,
 //! * [`waves`] — digital waveform recording and VCD export,
 //! * [`blocks`] — the paper's digital blocks as gate netlists (ring
 //!   counter, switch matrix, divider, lock detector, control FSM,
@@ -49,9 +55,11 @@ pub mod bitpar;
 pub mod blocks;
 pub mod circuit;
 pub mod collapse;
+pub mod expand;
 pub mod logic;
 pub mod podem;
 pub mod scan;
 pub mod stuck_at;
 pub mod transition;
+pub mod verilog;
 pub mod waves;

@@ -187,6 +187,14 @@ impl TransitionCoverage {
 }
 
 fn differs(golden: &TwoPatternResponse, faulty: &TwoPatternResponse) -> bool {
+    responses_differ(golden, faulty)
+}
+
+/// The launch-on-capture detection rule: the faulty response disagrees
+/// with the golden one at a position where the golden value is known.
+/// Public so differential oracles apply the exact same rule the fault
+/// simulator uses.
+pub fn responses_differ(golden: &TwoPatternResponse, faulty: &TwoPatternResponse) -> bool {
     let cmp = |g: &[Logic], f: &[Logic]| g.iter().zip(f).any(|(gv, fv)| gv.is_known() && gv != fv);
     cmp(&golden.po, &faulty.po) || cmp(&golden.capture, &faulty.capture)
 }

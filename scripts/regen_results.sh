@@ -16,6 +16,7 @@ bins=(
     bathtub
     mismatch_monte_carlo
     fuzz_coverage
+    netlist_campaign
     test_program_listing
     reproduction_report
     obs_campaign

@@ -1,0 +1,74 @@
+// b01-scale ITC-style benchmark: a serial adder FSM in the shape of the
+// ITC'99 b01 circuit — two serial input lines, a carry flip-flop, a
+// 3-bit ones counter and a sticky overflow flag, all on one implicit
+// clock with a synchronous active-high reset. Structural gate level,
+// XORs NAND-decomposed the way a technology mapper leaves them.
+module b01 (line1, line2, reset, outp, overflw);
+  input line1, line2, reset;
+  output outp, overflw;
+  wire nreset;
+  wire carry_q, carry_d;
+  wire x1_n1, x1_n2, x1_n3, x1;
+  wire sm_n1, sm_n2, sm_n3, sum;
+  wire mj_a, mj_b, mj_c, maj;
+  wire s1, s2, s3;
+  wire cx1_n1, cx1_n2, cx1_n3, cx1;
+  wire cx2_n1, cx2_n2, cx2_n3, cx2;
+  wire cx3_n1, cx3_n2, cx3_n3, cx3;
+  wire c1, c2, wrap;
+  wire next1, next2, next3;
+  wire ovf_q, ovf_d, ovf_or;
+
+  not  U01 (nreset, reset);
+
+  // sum = line1 ^ line2 ^ carry_q
+  nand U02 (x1_n1, line1, line2);
+  nand U03 (x1_n2, line1, x1_n1);
+  nand U04 (x1_n3, line2, x1_n1);
+  nand U05 (x1, x1_n2, x1_n3);
+  nand U06 (sm_n1, x1, carry_q);
+  nand U07 (sm_n2, x1, sm_n1);
+  nand U08 (sm_n3, carry_q, sm_n1);
+  nand U09 (sum, sm_n2, sm_n3);
+
+  // carry_d = majority(line1, line2, carry_q), cleared by reset
+  and  U10 (mj_a, line1, line2);
+  and  U11 (mj_b, line1, carry_q);
+  and  U12 (mj_c, line2, carry_q);
+  or   U13 (maj, mj_a, mj_b, mj_c);
+  and  U14 (carry_d, maj, nreset);
+  dff  FF0 (carry_q, carry_d);
+
+  // 3-bit ones counter stepping whenever sum is high
+  nand U15 (cx1_n1, s1, sum);
+  nand U16 (cx1_n2, s1, cx1_n1);
+  nand U17 (cx1_n3, sum, cx1_n1);
+  nand U18 (cx1, cx1_n2, cx1_n3);
+  and  U19 (next1, cx1, nreset);
+  and  U20 (c1, s1, sum);
+  dff  FF1 (s1, next1);
+
+  nand U21 (cx2_n1, s2, c1);
+  nand U22 (cx2_n2, s2, cx2_n1);
+  nand U23 (cx2_n3, c1, cx2_n1);
+  nand U24 (cx2, cx2_n2, cx2_n3);
+  and  U25 (next2, cx2, nreset);
+  and  U26 (c2, s2, c1);
+  dff  FF2 (s2, next2);
+
+  nand U27 (cx3_n1, s3, c2);
+  nand U28 (cx3_n2, s3, cx3_n1);
+  nand U29 (cx3_n3, c2, cx3_n1);
+  nand U30 (cx3, cx3_n2, cx3_n3);
+  and  U31 (next3, cx3, nreset);
+  and  U32 (wrap, s3, c2);
+  dff  FF3 (s3, next3);
+
+  // sticky overflow: set on counter wrap, cleared by reset
+  or   U33 (ovf_or, ovf_q, wrap);
+  and  U34 (ovf_d, ovf_or, nreset);
+  dff  FF4 (ovf_q, ovf_d);
+
+  buf  U35 (outp, sum);
+  buf  U36 (overflw, ovf_q);
+endmodule
