@@ -1,0 +1,175 @@
+//! Load test for the campaign job server: thousands of synthetic
+//! clients over loopback against an in-process server, reporting
+//! p50/p99 end-to-end latency and the cache hit rate to
+//! `results/serve_load.csv` (untracked — wall-clock numbers are
+//! machine-dependent).
+//!
+//! Traffic shape: a small pool of distinct job specs requested over
+//! and over — the "millions of users" pattern the content-addressed
+//! cache exists for. The first request for each spec simulates; every
+//! repeat must be answered from cache.
+//!
+//! Environment knobs: `SERVE_LOAD_REQUESTS` (default 1000),
+//! `SERVE_LOAD_CLIENTS` (default 32).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::Csv;
+use serve::client;
+use serve::json::{self, Value};
+use serve::{ServeConfig, Server};
+
+/// The recurring request pool: five campaign shapes plus three BER
+/// sweeps, all cheap enough to simulate once and cache forever.
+const SPECS: &[&str] = &[
+    r#"{"kind":"stuck_at","circuit":"chain_a","vectors":32,"seed":1}"#,
+    r#"{"kind":"stuck_at","circuit":"chain_a","vectors":64,"seed":2}"#,
+    r#"{"kind":"stuck_at","circuit":"chain_b","vectors":32,"seed":3}"#,
+    r#"{"kind":"netlist","circuit":"chain_a","vectors":32,"seed":4}"#,
+    r#"{"kind":"transition","circuit":"chain_a"}"#,
+    r#"{"kind":"ber_sweep","center_ui":0.5,"half_width_ui":0.35,"sigma_ui":0.06,"points":256}"#,
+    r#"{"kind":"ber_sweep","center_ui":0.5,"half_width_ui":0.3,"sigma_ui":0.08,"points":128}"#,
+    r#"{"kind":"ber_sweep","center_ui":0.45,"half_width_ui":0.35,"sigma_ui":0.05,"points":512}"#,
+];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One full client interaction: submit, poll to completion if fresh,
+/// fetch the result. Returns the end-to-end latency.
+fn one_request(addr: SocketAddr, spec: &str) -> Duration {
+    let started = Instant::now();
+    let posted = client::request(addr, "POST", "/jobs", Some(spec)).expect("POST /jobs");
+    assert!(
+        posted.status == 200 || posted.status == 202,
+        "unexpected POST status {}",
+        posted.status
+    );
+    let body = String::from_utf8_lossy(&posted.body).into_owned();
+    let id = json::parse(&body)
+        .expect("POST reply parses")
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("POST reply names a job")
+        .to_string();
+    loop {
+        let result =
+            client::request(addr, "GET", &format!("/results/{id}"), None).expect("GET /results");
+        if result.status == 200 {
+            assert!(!result.body.is_empty());
+            return started.elapsed();
+        }
+        let progress =
+            client::request(addr, "GET", &format!("/jobs/{id}"), None).expect("GET /jobs");
+        let p = json::parse(&String::from_utf8_lossy(&progress.body)).expect("progress parses");
+        assert_ne!(
+            p.get("status").and_then(Value::as_str),
+            Some("failed"),
+            "job failed under load"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn main() {
+    let requests = env_usize("SERVE_LOAD_REQUESTS", 1000);
+    let clients = env_usize("SERVE_LOAD_CLIENTS", 32);
+    let server = Server::start(ServeConfig {
+        queue_limit: SPECS.len() + 8,
+        // One acceptor per client thread up to 16: each connection is
+        // one blocking request, so acceptor count bounds concurrency.
+        acceptors: clients.min(16),
+        ..ServeConfig::default()
+    })
+    .expect("ephemeral bind");
+    let addr = server.addr();
+
+    let started = Instant::now();
+    let next = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let next = Arc::clone(&next);
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests {
+                    return latencies;
+                }
+                // Round-robin over the spec pool so every spec is hot
+                // after the first lap.
+                latencies.push(one_request(addr, SPECS[i % SPECS.len()]));
+            }
+        }));
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(requests);
+    for handle in handles {
+        latencies.extend(handle.join().expect("client thread"));
+    }
+    let wall = started.elapsed();
+    assert_eq!(latencies.len(), requests);
+    latencies.sort();
+    let quantile = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    let p50 = quantile(0.50);
+    let p99 = quantile(0.99);
+
+    let stats = client::request(addr, "GET", "/stats", None).expect("GET /stats");
+    let stats = json::parse(&String::from_utf8_lossy(&stats.body)).expect("stats parse");
+    let serving = |key: &str| {
+        stats
+            .get("serving")
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let (hits, coalesced, admitted) = (
+        serving("cache_hits"),
+        serving("coalesced"),
+        serving("admitted"),
+    );
+    let hit_rate = 100.0 * (hits + coalesced) as f64 / requests as f64;
+
+    let mut csv = Csv::new(&[
+        "requests",
+        "clients",
+        "distinct_specs",
+        "p50_us",
+        "p99_us",
+        "cache_hits",
+        "coalesced",
+        "admitted",
+        "cache_hit_rate_pct",
+        "throughput_rps",
+    ]);
+    csv.row(&[
+        requests.to_string(),
+        clients.to_string(),
+        SPECS.len().to_string(),
+        p50.as_micros().to_string(),
+        p99.as_micros().to_string(),
+        hits.to_string(),
+        coalesced.to_string(),
+        admitted.to_string(),
+        format!("{hit_rate:.1}"),
+        format!("{:.0}", requests as f64 / wall.as_secs_f64()),
+    ]);
+    bench::save_artifact("CSV", "serve_load.csv", csv.as_str());
+    println!(
+        "serve_load: {requests} requests / {clients} clients over {} specs",
+        SPECS.len()
+    );
+    println!(
+        "  p50 {} us, p99 {} us, cache hit rate {hit_rate:.1}%, {:.0} req/s",
+        p50.as_micros(),
+        p99.as_micros(),
+        requests as f64 / wall.as_secs_f64()
+    );
+    server.shutdown();
+}

@@ -837,26 +837,101 @@ impl NetlistCampaignResult {
     }
 }
 
-/// The netlist campaign's shard job over a two-segment plan: segment 0 is
-/// the stuck-at universe (PPSFP against the random pattern set), segment
-/// 1 the transition universe (scalar launch-on-capture replay of the
-/// time-expansion ATPG's tests against precomputed fault-free goldens).
-/// Checkpoint payloads are one detected byte per record; the fault is
-/// reconstructed from the plan-global index.
-struct NetlistJob<'a> {
-    name: &'a str,
-    circuit: &'a Circuit,
-    vectors: &'a [ScanVector],
-    stuck: &'a [StuckAtFault],
-    transition: &'a [TransitionFault],
-    tests: &'a [TwoPatternTest],
-    goldens: &'a [TwoPatternResponse],
-    sabotage: Option<&'a Sabotage>,
+/// Which fault universes a [`NetlistCampaign`] enumerates, plans and
+/// fingerprints. The serving layer maps its `stuck_at` / `transition` /
+/// `netlist` job kinds onto these selections; [`NetlistCampaign::over`]
+/// keeps the historical default of [`UniverseSel::Both`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UniverseSel {
+    /// The stuck-at universe only: PPSFP against the random pattern set.
+    /// No ATPG runs, so even a circuit that cannot be time-expanded
+    /// (combinational feedback) is accepted.
+    StuckAt,
+    /// The transition universe only: time-expansion ATPG plus
+    /// launch-on-capture replay.
+    Transition,
+    /// Both universes as a two-segment plan — the default.
+    Both,
 }
 
-impl NetlistJob<'_> {
-    /// Detection flags for one contiguous plan-global index range —
-    /// shared by `run` and `decode`'s record reconstruction.
+impl UniverseSel {
+    /// `true` when the selection includes the stuck-at universe.
+    pub fn stuck(self) -> bool {
+        matches!(self, UniverseSel::StuckAt | UniverseSel::Both)
+    }
+
+    /// `true` when the selection includes the transition universe.
+    pub fn transition(self) -> bool {
+        matches!(self, UniverseSel::Transition | UniverseSel::Both)
+    }
+}
+
+/// A netlist campaign prepared for shard-granular execution: owns the
+/// enumerated fault universes, the random pattern set, the generated
+/// tests and their fault-free goldens, and exposes the deterministic
+/// plan, the per-shard runner and the checkpoint payload codec.
+///
+/// [`NetlistCampaign::run_with`] drives one of these through the
+/// in-process [`rt::exec`] executor; the `serve` crate's job scheduler
+/// drives the same object shard by shard from its shared worker pool,
+/// which is what makes a served campaign byte-identical to a local run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedCampaign {
+    name: String,
+    circuit: Circuit,
+    vectors: Vec<ScanVector>,
+    tests: Vec<TwoPatternTest>,
+    untestable: Vec<TransitionFault>,
+    stuck: Vec<StuckAtFault>,
+    transition: Vec<TransitionFault>,
+    goldens: Vec<TwoPatternResponse>,
+}
+
+impl PreparedCampaign {
+    /// The campaign's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `(stuck-at, transition)` universe sizes (zero for a universe the
+    /// selection excluded).
+    pub fn universe_sizes(&self) -> (usize, usize) {
+        (self.stuck.len(), self.transition.len())
+    }
+
+    /// Total planned fault records across both universes.
+    pub fn total(&self) -> usize {
+        self.stuck.len() + self.transition.len()
+    }
+
+    /// The deterministic shard plan: the stuck-at universe then the
+    /// transition universe as back-to-back segments (an excluded
+    /// universe is a zero-length segment, which is inert), so no shard
+    /// ever mixes fault models.
+    pub fn shards(&self) -> Vec<Shard> {
+        let segments = [self.stuck.len(), self.transition.len()];
+        exec::plan_segmented(&segments, NETLIST_SHARD_SIZE, NETLIST_SHARD_SEED)
+    }
+
+    /// The checkpoint/cache fingerprint over the circuit name, both
+    /// universe sizes, the pattern and test set sizes and the shard
+    /// plan — the identity a resumed run (or a content-addressed result
+    /// cache) must prove before trusting prior bytes.
+    pub fn fingerprint(&self) -> u64 {
+        exec::fingerprint(&[
+            u64::from(exec::CHECKPOINT_VERSION),
+            NETLIST_SHARD_SIZE as u64,
+            NETLIST_SHARD_SEED,
+            u64::from(exec::crc32(self.name.as_bytes())),
+            self.stuck.len() as u64,
+            self.transition.len() as u64,
+            self.vectors.len() as u64,
+            self.tests.len() as u64,
+        ])
+    }
+
+    /// Record reconstruction for one plan-global index — shared by
+    /// [`PreparedCampaign::run_shard`] and the payload decoder.
     fn record_at(&self, i: usize, detected: bool) -> NetlistFaultRecord {
         if i < self.stuck.len() {
             NetlistFaultRecord::StuckAt {
@@ -870,22 +945,24 @@ impl NetlistJob<'_> {
             }
         }
     }
-}
 
-impl ShardJob for NetlistJob<'_> {
-    type Record = NetlistFaultRecord;
-
-    fn run(&self, shard: &Shard) -> Vec<NetlistFaultRecord> {
-        if let Some(s) = self.sabotage {
-            s.trip(shard.index);
-        }
+    /// Runs one planned shard on the calling thread: PPSFP for a
+    /// stuck-at shard, launch-on-capture replay against the precomputed
+    /// goldens for a transition shard. A pure function of the shard and
+    /// the prepared state — any scheduler may run shards in any order on
+    /// any thread and concatenate results in plan order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not from this campaign's plan.
+    pub fn run_shard(&self, shard: &Shard) -> Vec<NetlistFaultRecord> {
         let flags: Vec<bool> = if shard.start < self.stuck.len() {
             // Stuck-at segment (plan_segmented never cuts across the
             // segment boundary, so the whole shard is one fault model).
             dsim::bitpar::ppsfp_detect_shard(
-                self.circuit,
-                self.vectors,
-                self.stuck,
+                &self.circuit,
+                &self.vectors,
+                &self.stuck,
                 shard.start..shard.start + shard.len,
             )
         } else {
@@ -893,8 +970,8 @@ impl ShardJob for NetlistJob<'_> {
             self.transition[local..local + shard.len]
                 .iter()
                 .map(|&fault| {
-                    self.tests.iter().zip(self.goldens).any(|(test, golden)| {
-                        let faulty = launch_capture_response(self.circuit, test, Some(fault));
+                    self.tests.iter().zip(&self.goldens).any(|(test, golden)| {
+                        let faulty = launch_capture_response(&self.circuit, test, Some(fault));
                         responses_differ(golden, &faulty)
                     })
                 })
@@ -922,13 +999,18 @@ impl ShardJob for NetlistJob<'_> {
             .collect()
     }
 
-    fn encode(&self, _shard: &Shard, records: &[NetlistFaultRecord], out: &mut Vec<u8>) {
+    /// Encodes a shard's records as checkpoint payload bytes (one
+    /// detected byte per record).
+    pub fn encode_shard(&self, records: &[NetlistFaultRecord], out: &mut Vec<u8>) {
         for r in records {
             out.push(u8::from(r.detected()));
         }
     }
 
-    fn decode(&self, shard: &Shard, payload: &[u8]) -> Option<Vec<NetlistFaultRecord>> {
+    /// Decodes a checkpoint payload back into records, or `None` when
+    /// the payload does not match the shard (wrong length, non-flag
+    /// bytes) — the shard is then recomputed.
+    pub fn decode_shard(&self, shard: &Shard, payload: &[u8]) -> Option<Vec<NetlistFaultRecord>> {
         if payload.len() != shard.len || payload.iter().any(|&b| b > 1) {
             return None;
         }
@@ -939,6 +1021,46 @@ impl ShardJob for NetlistJob<'_> {
                 .map(|(i, &b)| self.record_at(i, b == 1))
                 .collect(),
         )
+    }
+
+    /// Assembles a [`NetlistCampaignResult`] from records concatenated
+    /// in plan order plus a failed-shard manifest.
+    pub fn result(
+        &self,
+        records: Vec<NetlistFaultRecord>,
+        incomplete: Vec<ShardFailure>,
+    ) -> NetlistCampaignResult {
+        NetlistCampaignResult {
+            records,
+            untestable: self.untestable.clone(),
+            incomplete,
+        }
+    }
+}
+
+/// The netlist campaign's in-process shard job: a thin [`ShardJob`]
+/// adapter over [`PreparedCampaign`] adding the seeded sabotage hook.
+struct NetlistJob<'a> {
+    prep: &'a PreparedCampaign,
+    sabotage: Option<&'a Sabotage>,
+}
+
+impl ShardJob for NetlistJob<'_> {
+    type Record = NetlistFaultRecord;
+
+    fn run(&self, shard: &Shard) -> Vec<NetlistFaultRecord> {
+        if let Some(s) = self.sabotage {
+            s.trip(shard.index);
+        }
+        self.prep.run_shard(shard)
+    }
+
+    fn encode(&self, _shard: &Shard, records: &[NetlistFaultRecord], out: &mut Vec<u8>) {
+        self.prep.encode_shard(records, out);
+    }
+
+    fn decode(&self, shard: &Shard, payload: &[u8]) -> Option<Vec<NetlistFaultRecord>> {
+        self.prep.decode_shard(shard, payload)
     }
 }
 
@@ -956,6 +1078,7 @@ impl ShardJob for NetlistJob<'_> {
 pub struct NetlistCampaign {
     name: String,
     circuit: Circuit,
+    sel: UniverseSel,
     vectors: Vec<ScanVector>,
     tests: Vec<TwoPatternTest>,
     untestable: Vec<TransitionFault>,
@@ -970,7 +1093,8 @@ impl NetlistCampaign {
         NetlistCampaign::over(circuit.name().to_string(), circuit)
     }
 
-    /// Builds a campaign over an already-constructed circuit. Fails only
+    /// Builds a campaign over an already-constructed circuit covering
+    /// both fault universes with the default pattern budget. Fails only
     /// when the circuit cannot be time-expanded (combinational feedback).
     ///
     /// Construction is where the ATPG runs: the stuck-at pattern set is
@@ -981,12 +1105,42 @@ impl NetlistCampaign {
         name: impl Into<String>,
         circuit: Circuit,
     ) -> Result<NetlistCampaign, NetlistError> {
-        let expansion = TimeExpansion::new(&circuit)?;
-        let (tests, untestable) = expansion.generate_all();
-        let vectors = random_vectors(&circuit, NETLIST_VECTOR_COUNT, NETLIST_VECTOR_SEED);
+        NetlistCampaign::configured(
+            name,
+            circuit,
+            UniverseSel::Both,
+            NETLIST_VECTOR_COUNT,
+            NETLIST_VECTOR_SEED,
+        )
+    }
+
+    /// Builds a campaign with an explicit universe selection and
+    /// stuck-at pattern budget — the entry point the `serve` crate's job
+    /// kinds map onto. The time-expansion ATPG only runs when `sel`
+    /// includes the transition universe, so a stuck-at-only campaign is
+    /// cheap to construct and accepts circuits with combinational
+    /// feedback that [`NetlistCampaign::over`] would reject.
+    pub fn configured(
+        name: impl Into<String>,
+        circuit: Circuit,
+        sel: UniverseSel,
+        vector_count: usize,
+        vector_seed: u64,
+    ) -> Result<NetlistCampaign, NetlistError> {
+        let (tests, untestable) = if sel.transition() {
+            TimeExpansion::new(&circuit)?.generate_all()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let vectors = if sel.stuck() {
+            random_vectors(&circuit, vector_count, vector_seed)
+        } else {
+            Vec::new()
+        };
         Ok(NetlistCampaign {
             name: name.into(),
             circuit,
+            sel,
             vectors,
             tests,
             untestable,
@@ -1038,19 +1192,39 @@ impl NetlistCampaign {
         result
     }
 
-    /// The checkpoint fingerprint over both fault universes, the pattern
-    /// and test set sizes and the shard plan.
-    fn fingerprint(&self, n_stuck: usize, n_transition: usize) -> u64 {
-        exec::fingerprint(&[
-            u64::from(exec::CHECKPOINT_VERSION),
-            NETLIST_SHARD_SIZE as u64,
-            NETLIST_SHARD_SEED,
-            u64::from(exec::crc32(self.name.as_bytes())),
-            n_stuck as u64,
-            n_transition as u64,
-            self.vectors.len() as u64,
-            self.tests.len() as u64,
-        ])
+    /// Enumerates the selected fault universes and precomputes the
+    /// fault-free goldens, yielding a [`PreparedCampaign`] an external
+    /// scheduler can drive shard by shard. [`NetlistCampaign::run_with`]
+    /// is exactly `prepare()` driven through the in-process executor.
+    pub fn prepare(&self) -> PreparedCampaign {
+        let stuck = if self.sel.stuck() {
+            enumerate_faults(&self.circuit)
+        } else {
+            Vec::new()
+        };
+        let transition = if self.sel.transition() {
+            enumerate_transition_faults(&self.circuit)
+        } else {
+            Vec::new()
+        };
+        let goldens: Vec<TwoPatternResponse> = if transition.is_empty() {
+            Vec::new()
+        } else {
+            self.tests
+                .iter()
+                .map(|t| launch_capture_response(&self.circuit, t, None))
+                .collect()
+        };
+        PreparedCampaign {
+            name: self.name.clone(),
+            circuit: self.circuit.clone(),
+            vectors: self.vectors.clone(),
+            tests: self.tests.clone(),
+            untestable: self.untestable.clone(),
+            stuck,
+            transition,
+            goldens,
+        }
     }
 
     /// Runs the campaign under an explicit execution policy. The plan has
@@ -1067,35 +1241,18 @@ impl NetlistCampaign {
     /// opened.
     pub fn run_with(&self, policy: &CampaignExec) -> NetlistCampaignResult {
         let _span = rt::obs::span("campaign.netlist");
-        let stuck = enumerate_faults(&self.circuit);
-        let transition = enumerate_transition_faults(&self.circuit);
-        let goldens: Vec<TwoPatternResponse> = self
-            .tests
-            .iter()
-            .map(|t| launch_capture_response(&self.circuit, t, None))
-            .collect();
+        let prep = self.prepare();
         let job = NetlistJob {
-            name: &self.name,
-            circuit: &self.circuit,
-            vectors: &self.vectors,
-            stuck: &stuck,
-            transition: &transition,
-            tests: &self.tests,
-            goldens: &goldens,
+            prep: &prep,
             sabotage: policy.sabotage.as_ref(),
         };
-        let segments = [stuck.len(), transition.len()];
-        let shards = exec::plan_segmented(&segments, NETLIST_SHARD_SIZE, NETLIST_SHARD_SEED);
+        let shards = prep.shards();
         let mut ck = policy.checkpoint.as_ref().map(|path| {
-            exec::Checkpoint::open(path, self.fingerprint(stuck.len(), transition.len()))
+            exec::Checkpoint::open(path, prep.fingerprint())
                 .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()))
         });
         let report = exec::run_shards(policy.threads, &policy.retry, ck.as_mut(), &shards, &job);
-        let result = NetlistCampaignResult {
-            records: report.records,
-            untestable: self.untestable.clone(),
-            incomplete: report.incomplete,
-        };
+        let result = prep.result(report.records, report.incomplete);
         let (sa_total, sa_detected) = result.stuck_at();
         let (tr_total, tr_detected) = result.transition();
         rt::obs::log::info(

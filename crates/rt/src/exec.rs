@@ -136,8 +136,16 @@ pub fn plan_segmented(segments: &[usize], shard_size: usize, base_seed: u64) -> 
 /// Mixes an arbitrary list of identity words (universe size, seeds,
 /// schema versions, …) into a single checkpoint fingerprint. Same parts,
 /// same fingerprint — a resumed run must prove it is the same campaign.
+///
+/// The element count is folded into the accumulator before any part:
+/// without it, a prefix-extended list `[a, b]` would collide with `[a]`
+/// whenever `b` happens to map the running state back onto itself, and
+/// two campaigns differing only in trailing identity words could then
+/// trust each other's checkpoints. Seeding with the length makes the
+/// whole chain differ between a list and any extension of it.
 pub fn fingerprint(parts: &[u64]) -> u64 {
-    let mut acc = 0x243F_6A88_85A3_08D3u64; // pi, nothing up the sleeve
+    // pi, nothing up the sleeve
+    let mut acc = Rng::seed_from_stream(0x243F_6A88_85A3_08D3, parts.len() as u64).next_u64();
     for &p in parts {
         let mut rng = Rng::seed_from_stream(acc, p);
         acc = rng.next_u64();
@@ -187,6 +195,51 @@ pub const HEADER_LEN: usize = 4 + 4 + 8;
 /// Per-frame overhead in bytes: length prefix + shard index + record
 /// count + trailing CRC32.
 pub const FRAME_OVERHEAD: usize = 4 + 4 + 4 + 4;
+/// Largest encodable frame payload, in bytes.
+///
+/// The frame-size contract: a frame body is `8 + payload.len()` bytes
+/// and its length prefix is a little-endian `u32`, so the payload must
+/// not exceed `u32::MAX - 8` bytes. Encoding a larger payload is a
+/// typed [`OversizedFrame`] error — never a silent `as u32` truncation,
+/// which would write a self-consistent frame describing only a prefix
+/// of the payload and let the CRC bless the corruption.
+pub const MAX_FRAME_PAYLOAD: usize = u32::MAX as usize - 8;
+
+/// Typed encoding error: a frame payload larger than
+/// [`MAX_FRAME_PAYLOAD`] cannot be described by the `u32` length prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OversizedFrame {
+    /// The offending payload length, in bytes.
+    pub payload_len: usize,
+}
+
+impl std::fmt::Display for OversizedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame payload of {} bytes exceeds the {} byte frame-size limit",
+            self.payload_len, MAX_FRAME_PAYLOAD
+        )
+    }
+}
+
+impl std::error::Error for OversizedFrame {}
+
+/// Checks `payload_len` against the frame-size contract
+/// ([`MAX_FRAME_PAYLOAD`]) — the guard every encoding path runs before
+/// writing a length prefix.
+///
+/// # Errors
+///
+/// Returns [`OversizedFrame`] when the payload cannot be described by
+/// the `u32` length prefix.
+pub fn check_frame_payload(payload_len: usize) -> Result<(), OversizedFrame> {
+    if payload_len > MAX_FRAME_PAYLOAD {
+        Err(OversizedFrame { payload_len })
+    } else {
+        Ok(())
+    }
+}
 
 /// One checkpointed shard: the shard's plan index, how many records the
 /// payload encodes, and the caller-defined payload bytes.
@@ -205,13 +258,15 @@ fn push_u32(out: &mut Vec<u8>, v: u32) {
 }
 
 fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
-    Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
+    let end = at.checked_add(4)?;
+    Some(u32::from_le_bytes(bytes.get(at..end)?.try_into().ok()?))
 }
 
-fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> Result<(), OversizedFrame> {
     // Body = shard index + record count + payload; the length prefix
     // covers the body, the CRC covers the body too (so a bit flip in
     // either the metadata or the payload invalidates the frame).
+    check_frame_payload(frame.payload.len())?;
     let body_len = 8 + frame.payload.len();
     push_u32(out, body_len as u32);
     let body_start = out.len();
@@ -220,19 +275,25 @@ fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
     out.extend_from_slice(&frame.payload);
     let crc = crc32(&out[body_start..]);
     push_u32(out, crc);
+    Ok(())
 }
 
 /// Serializes a whole checkpoint (header + frames) to bytes — the pure
 /// codec the file-backed [`Checkpoint`] writes incrementally.
-pub fn encode_checkpoint(fp: u64, frames: &[Frame]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns [`OversizedFrame`] if any frame's payload exceeds
+/// [`MAX_FRAME_PAYLOAD`] (the frame-size contract).
+pub fn encode_checkpoint(fp: u64, frames: &[Frame]) -> Result<Vec<u8>, OversizedFrame> {
     let mut out = Vec::with_capacity(HEADER_LEN);
     out.extend_from_slice(&CHECKPOINT_MAGIC);
     push_u32(&mut out, CHECKPOINT_VERSION);
     out.extend_from_slice(&fp.to_le_bytes());
     for frame in frames {
-        encode_frame(frame, &mut out);
+        encode_frame(frame, &mut out)?;
     }
-    out
+    Ok(out)
 }
 
 /// Result of decoding a checkpoint byte stream: the frames of the
@@ -256,8 +317,12 @@ pub struct Decoded {
 /// A missing/garbled header or a fingerprint mismatch yields zero frames
 /// with `valid_len == 0` (the file belongs to some other campaign and
 /// must be rewritten from scratch). After a valid header, frames are
-/// read until the first truncated or CRC-corrupted frame; everything
-/// before it is trusted, everything from it on is discarded.
+/// read until the first undecodable frame — truncated, CRC-corrupted,
+/// or carrying a body too short to hold its shard index and record
+/// count (a short body is rejected even when its CRC checks out: no
+/// writer of this format produces one, so it marks a corrupted or
+/// foreign tail, never a frame to panic over). Everything before the
+/// first bad frame is trusted, everything from it on is discarded.
 pub fn decode_checkpoint(bytes: &[u8], fp: u64) -> Decoded {
     let header_ok = bytes.len() >= HEADER_LEN
         && bytes[..4] == CHECKPOINT_MAGIC
@@ -280,34 +345,40 @@ pub fn decode_checkpoint(bytes: &[u8], fp: u64) -> Decoded {
                 clean: true,
             };
         }
-        let Some(body_len) = read_u32(bytes, at) else {
-            break; // truncated length prefix
+        let Some(frame) = decode_frame(bytes, at) else {
+            break; // truncated, short-body or CRC-corrupted tail
         };
-        let body_len = body_len as usize;
-        if body_len < 8 {
-            break; // a valid body holds at least shard + record count
-        }
-        let body_start = at + 4;
-        let crc_at = body_start + body_len;
-        if crc_at + 4 > bytes.len() {
-            break; // truncated body or CRC
-        }
-        let body = &bytes[body_start..crc_at];
-        if read_u32(bytes, crc_at) != Some(crc32(body)) {
-            break; // corrupted frame
-        }
-        frames.push(Frame {
-            shard: read_u32(bytes, body_start).expect("body holds >= 8 bytes"),
-            records: read_u32(bytes, body_start + 4).expect("body holds >= 8 bytes"),
-            payload: body[8..].to_vec(),
-        });
-        at = crc_at + 4;
+        at += FRAME_OVERHEAD + frame.payload.len();
+        frames.push(frame);
     }
     Decoded {
         frames,
         valid_len: at,
         clean: false,
     }
+}
+
+/// Decodes the frame starting at byte offset `at`, or `None` when the
+/// bytes there do not hold a complete, CRC-valid frame with a body of
+/// at least the 8 metadata bytes. Never panics: every field access is
+/// bounds-checked, so a hostile or damaged stream degrades to a
+/// rejected tail instead of a process abort.
+fn decode_frame(bytes: &[u8], at: usize) -> Option<Frame> {
+    let body_len = read_u32(bytes, at)? as usize;
+    if body_len < 8 {
+        return None; // a valid body holds at least shard + record count
+    }
+    let body_start = at + 4;
+    let crc_at = body_start.checked_add(body_len)?;
+    let body = bytes.get(body_start..crc_at)?;
+    if read_u32(bytes, crc_at)? != crc32(body) {
+        return None; // corrupted frame
+    }
+    Some(Frame {
+        shard: read_u32(body, 0)?,
+        records: read_u32(body, 4)?,
+        payload: body[8..].to_vec(),
+    })
 }
 
 /// A file-backed checkpoint: opened once per run, appended to after each
@@ -352,7 +423,8 @@ impl Checkpoint {
             // Foreign or damaged header: start the file over.
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
-            file.write_all(&encode_checkpoint(fp, &[]))?;
+            let header = encode_checkpoint(fp, &[]).expect("a frameless checkpoint always fits");
+            file.write_all(&header)?;
         } else if decoded.valid_len < bytes.len() {
             // Corrupted tail: drop it, keep the trusted prefix.
             file.set_len(decoded.valid_len as u64)?;
@@ -382,10 +454,13 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from the write or flush.
+    /// Returns an `InvalidInput` error wrapping [`OversizedFrame`] when
+    /// the frame payload exceeds [`MAX_FRAME_PAYLOAD`], and any I/O
+    /// error from the write or flush.
     pub fn append(&mut self, frame: &Frame) -> io::Result<()> {
         let mut bytes = Vec::with_capacity(FRAME_OVERHEAD + frame.payload.len());
-        encode_frame(frame, &mut bytes);
+        encode_frame(frame, &mut bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         self.file.write_all(&bytes)?;
         self.file.flush()
     }
@@ -893,6 +968,106 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_is_prefix_extension_safe() {
+        // Regression (length mixing): a part list and any extension of
+        // it must never share a fingerprint, even when the appended
+        // word would map the running accumulator onto itself. Pinned
+        // with a property sweep over random slices and random
+        // extension/truncation/mutation edits.
+        crate::check::check_cases("fingerprint prefix extension", 128, |d| {
+            let parts: Vec<u64> = (0..d.below(8)).map(|_| d.next_u64()).collect();
+            let base = fingerprint(&parts);
+            // Any single-word extension differs — including extending
+            // by a word equal to the current fingerprint or to zero,
+            // the two most plausible accidental fixed points.
+            for ext in [d.next_u64(), base, 0] {
+                let mut extended = parts.clone();
+                extended.push(ext);
+                assert_ne!(base, fingerprint(&extended), "{parts:?} + {ext}");
+            }
+            // Truncating differs (the empty list included).
+            if !parts.is_empty() {
+                assert_ne!(base, fingerprint(&parts[..parts.len() - 1]), "{parts:?}");
+            }
+            // Mutating any single element differs.
+            for i in 0..parts.len() {
+                let mut mutated = parts.clone();
+                mutated[i] ^= 1 << d.below(64);
+                assert_ne!(base, fingerprint(&mutated), "{parts:?} at {i}");
+            }
+        });
+        // Length-only differences are distinguished too.
+        assert_ne!(fingerprint(&[]), fingerprint(&[0]));
+        assert_ne!(fingerprint(&[0]), fingerprint(&[0, 0]));
+    }
+
+    #[test]
+    fn short_body_crc_valid_frame_is_rejected_not_panicking() {
+        // Regression: a hand-crafted frame whose CRC is valid but whose
+        // body is shorter than the 8 metadata bytes used to reach the
+        // `expect("body holds >= 8 bytes")` unwraps. It must be treated
+        // as a corrupt tail — zero frames, graceful rejection.
+        let fp = 0xDEAD_BEEFu64;
+        for body_len in [0usize, 1, 4, 7] {
+            let mut bytes = encode_checkpoint(fp, &[]).expect("header fits");
+            push_u32(&mut bytes, body_len as u32);
+            let body: Vec<u8> = (0..body_len).map(|i| i as u8).collect();
+            bytes.extend_from_slice(&body);
+            push_u32(&mut bytes, crc32(&body)); // CRC genuinely valid
+            let decoded = decode_checkpoint(&bytes, fp);
+            assert!(decoded.frames.is_empty(), "body_len {body_len}");
+            assert!(!decoded.clean, "body_len {body_len}");
+            assert_eq!(decoded.valid_len, HEADER_LEN, "body_len {body_len}");
+        }
+        // A short-body frame poisons the tail: a well-formed frame
+        // appended after it is never reached (prefix semantics), while
+        // the same frame before it survives.
+        let good = Frame {
+            shard: 3,
+            records: 1,
+            payload: vec![0xAB],
+        };
+        let mut bytes = encode_checkpoint(fp, std::slice::from_ref(&good)).expect("fits");
+        let prefix_len = bytes.len();
+        push_u32(&mut bytes, 4);
+        let body = 7u32.to_le_bytes();
+        bytes.extend_from_slice(&body);
+        push_u32(&mut bytes, crc32(&body));
+        encode_frame(&good, &mut bytes).expect("fits");
+        let decoded = decode_checkpoint(&bytes, fp);
+        assert_eq!(decoded.frames, vec![good]);
+        assert_eq!(decoded.valid_len, prefix_len);
+        assert!(!decoded.clean);
+    }
+
+    #[test]
+    fn oversized_payload_is_a_typed_error_not_a_truncation() {
+        // The frame-size contract: payloads above MAX_FRAME_PAYLOAD are
+        // rejected with OversizedFrame (formerly a silent `as u32`
+        // truncation at the 4 GiB boundary). The guard is exercised
+        // directly — materializing a >4 GiB payload in a test is not.
+        assert_eq!(MAX_FRAME_PAYLOAD, u32::MAX as usize - 8);
+        assert_eq!(check_frame_payload(0), Ok(()));
+        assert_eq!(check_frame_payload(MAX_FRAME_PAYLOAD), Ok(()));
+        let err = check_frame_payload(MAX_FRAME_PAYLOAD + 1).unwrap_err();
+        assert_eq!(
+            err,
+            OversizedFrame {
+                payload_len: MAX_FRAME_PAYLOAD + 1
+            }
+        );
+        assert!(err.to_string().contains("frame-size limit"), "{err}");
+        // In-range frames still round-trip through the fallible codec.
+        let frame = Frame {
+            shard: 1,
+            records: 2,
+            payload: vec![1, 2, 3],
+        };
+        let bytes = encode_checkpoint(9, std::slice::from_ref(&frame)).expect("fits");
+        assert_eq!(decode_checkpoint(&bytes, 9).frames, vec![frame]);
+    }
+
+    #[test]
     fn crc32_known_vectors() {
         // The standard IEEE test vector plus the empty string.
         assert_eq!(crc32(b""), 0);
@@ -910,7 +1085,7 @@ mod tests {
                     payload: (0..d.below(40)).map(|_| d.below(256) as u8).collect(),
                 })
                 .collect();
-            let bytes = encode_checkpoint(fp, &frames);
+            let bytes = encode_checkpoint(fp, &frames).expect("frames fit");
             let decoded = decode_checkpoint(&bytes, fp);
             assert!(decoded.clean);
             assert_eq!(decoded.frames, frames);
@@ -933,7 +1108,7 @@ mod tests {
                     payload: (0..1 + d.below(20)).map(|_| d.below(256) as u8).collect(),
                 })
                 .collect();
-            let bytes = encode_checkpoint(fp, &frames);
+            let bytes = encode_checkpoint(fp, &frames).expect("frames fit");
             let cut = d.below(bytes.len() + 1);
             let decoded = decode_checkpoint(&bytes[..cut], fp);
             // Whatever survives is an exact prefix of what was written.
@@ -965,7 +1140,7 @@ mod tests {
                     payload: (0..4 + d.below(16)).map(|_| d.below(256) as u8).collect(),
                 })
                 .collect();
-            let mut bytes = encode_checkpoint(fp, &frames);
+            let mut bytes = encode_checkpoint(fp, &frames).expect("frames fit");
             let at = d.below(bytes.len());
             let flip = 1u8 << d.below(8);
             bytes[at] ^= flip;

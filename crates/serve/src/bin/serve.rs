@@ -1,0 +1,51 @@
+//! The campaign job server binary.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7878] [--state DIR] [--workers N] [--queue N] [--acceptors N]
+//! ```
+//!
+//! Runs until killed. With `--state`, admitted jobs survive a kill:
+//! the next start re-admits anything unfinished and resumes from its
+//! checkpoint.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--state DIR] [--workers N] [--queue N] [--acceptors N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = value(),
+            "--state" => cfg.state_dir = Some(PathBuf::from(value())),
+            "--workers" => cfg.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => cfg.queue_limit = value().parse().unwrap_or_else(|_| usage()),
+            "--acceptors" => cfg.acceptors = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: could not start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("serve: listening on {}", server.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,90 @@
+//! CI smoke test for the job server (wired into `scripts/verify.sh`):
+//! start on an ephemeral port, submit one small chain-A stuck-at job,
+//! wait for completion, then prove the cache contract — an identical
+//! re-submission answers 200/cached with a byte-identical body while
+//! the deterministic simulation counters stay flat.
+
+use std::time::{Duration, Instant};
+
+use serve::client;
+use serve::json::{self, Value};
+use serve::{ServeConfig, Server};
+
+const SPEC: &str = r#"{"kind":"stuck_at","circuit":"chain_a","vectors":32,"seed":7}"#;
+
+fn body_str(r: &client::Response) -> String {
+    String::from_utf8_lossy(&r.body).into_owned()
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> client::Response {
+    client::request(addr, "GET", path, None).unwrap_or_else(|e| panic!("GET {path}: {e}"))
+}
+
+/// The `sim` counter object from `/stats` — the fault-simulation
+/// activity ledger a cache hit must not move.
+fn sim_counters(addr: std::net::SocketAddr) -> Value {
+    let stats = get(addr, "/stats");
+    assert_eq!(stats.status, 200, "stats: {}", body_str(&stats));
+    json::parse(&body_str(&stats))
+        .expect("stats body parses")
+        .get("sim")
+        .expect("stats has sim section")
+        .clone()
+}
+
+fn main() {
+    let server = Server::start(ServeConfig::default()).expect("ephemeral bind");
+    let addr = server.addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200, "healthz: {}", body_str(&health));
+
+    // Submit and wait for completion.
+    let posted = client::request(addr, "POST", "/jobs", Some(SPEC)).expect("POST /jobs");
+    assert_eq!(posted.status, 202, "first POST: {}", body_str(&posted));
+    let reply = json::parse(&body_str(&posted)).expect("POST reply parses");
+    let id = reply
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("POST reply names the job")
+        .to_string();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let progress = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(progress.status, 200, "progress: {}", body_str(&progress));
+        let p = json::parse(&body_str(&progress)).expect("progress parses");
+        match p.get("status").and_then(Value::as_str) {
+            Some("done") => break,
+            Some("failed") => panic!("job failed: {}", body_str(&progress)),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job did not finish in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let first = get(addr, &format!("/results/{id}"));
+    assert_eq!(first.status, 200, "results: {}", body_str(&first));
+    assert!(!first.body.is_empty(), "result body is non-empty");
+
+    // The cache contract: identical spec → 200 cached, byte-identical
+    // body, simulation counters flat.
+    let sim_before = sim_counters(addr);
+    let reposted = client::request(addr, "POST", "/jobs", Some(SPEC)).expect("second POST");
+    assert_eq!(reposted.status, 200, "re-POST: {}", body_str(&reposted));
+    let reply = json::parse(&body_str(&reposted)).expect("re-POST reply parses");
+    assert_eq!(
+        reply.get("status").and_then(Value::as_str),
+        Some("cached"),
+        "re-POST served from cache"
+    );
+    let second = get(addr, &format!("/results/{id}"));
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body, first.body, "cached body is byte-identical");
+    let sim_after = sim_counters(addr);
+    assert_eq!(
+        sim_before, sim_after,
+        "cache hit re-simulated: {sim_before:?} -> {sim_after:?}"
+    );
+
+    server.shutdown();
+    println!("serve smoke: OK");
+}

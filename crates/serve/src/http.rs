@@ -1,0 +1,243 @@
+//! A minimal HTTP/1.1 server-side codec over blocking streams.
+//!
+//! Just enough of the grammar for the job API: one request per
+//! connection (`Connection: close` on every response), request line +
+//! headers + optional `Content-Length` body, hard limits on header and
+//! body size so a hostile peer cannot balloon memory. No chunked
+//! encoding, no keep-alive, no TLS — the server runs on loopback or
+//! behind a real terminator.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted size of the request line + headers.
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// Maximum accepted request body (inline Verilog netlists fit well
+/// under this).
+pub const MAX_BODY: usize = 256 * 1024;
+
+/// A parsed request: method, path and raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target path (query strings are not split off; the
+    /// job API does not use them).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read; maps onto a 4xx response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes were not a parseable HTTP/1.1 request (400).
+    BadRequest(&'static str),
+    /// Head or body exceeded the hard limits (413).
+    TooLarge,
+    /// The underlying socket failed or timed out mid-request.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge => 413,
+            HttpError::Io(_) => 400,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge => write!(f, "request too large"),
+            HttpError::Io(e) => write!(f, "request i/o: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from the stream: head until the blank line, then
+/// exactly `Content-Length` body bytes.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: simple, and the head limit bounds
+    // the cost. The body below is read in bulk.
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-head"));
+        }
+        head.push(byte[0]);
+        if head.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge);
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| HttpError::BadRequest("head not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::BadRequest("missing method"))?;
+    let path = parts.next().ok_or(HttpError::BadRequest("missing path"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing version"))?;
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest("malformed header"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadRequest("bad content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        // Consume (and discard) the declared body before reporting the
+        // error: closing the socket with unread bytes in the receive
+        // buffer sends a TCP reset, which can destroy the 413 response
+        // before the client reads it. Bounded so a hostile peer cannot
+        // pin the connection; past the cap the reset is acceptable.
+        drain(stream, content_length.min(DRAIN_CAP));
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// How much of an oversized body is drained before the 413 goes out.
+const DRAIN_CAP: usize = 4 * 1024 * 1024;
+
+/// Best-effort bounded discard of request bytes still in flight.
+fn drain(stream: &mut impl Read, mut remaining: usize) {
+    let mut scratch = [0u8; 8192];
+    while remaining > 0 {
+        let want = remaining.min(scratch.len());
+        match stream.read(&mut scratch[..want]) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => remaining -= n,
+        }
+    }
+}
+
+/// The canonical reason phrase for the statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response and flushes; every response closes the
+/// connection.
+///
+/// # Errors
+///
+/// Returns any I/O error from the write (a vanished client is normal
+/// and the caller just drops the stream).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut io::Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /jobs HTTP/1.1\r\nHost: x\r\ncontent-length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse(b"get /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, b"");
+    }
+
+    #[test]
+    fn garbage_and_oversize_are_typed_errors() {
+        assert_eq!(parse(b"NOT HTTP\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(parse(b"\r\n\r\n").unwrap_err().status(), 400);
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse(huge.as_bytes()).unwrap_err().status(), 413);
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD));
+        assert_eq!(parse(long_head.as_bytes()).unwrap_err().status(), 413);
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

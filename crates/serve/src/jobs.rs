@@ -1,0 +1,569 @@
+//! Job specs: what a client asks for, how it canonicalizes into a
+//! cache fingerprint, and how it plans into [`rt::exec`] shards.
+//!
+//! A [`JobSpec`] is the parsed, validated form of a `POST /jobs` body.
+//! Its [`JobSpec::fingerprint`] is computed from the **canonical** spec
+//! JSON (sorted keys, defaults spelled out, irrelevant parameters
+//! normalized away), so two requests that mean the same campaign hash
+//! to the same content address no matter how they were spelled — that
+//! fingerprint keys the result cache, the checkpoint file, and the
+//! public job id. [`JobSpec::prepare`] then does the expensive part
+//! (Verilog compile, ATPG, golden responses) exactly once per job, and
+//! the resulting [`PreparedJob`] exposes the shard plan plus a pure
+//! per-shard runner the scheduler interleaves across campaigns.
+
+use std::collections::BTreeMap;
+
+use dft::campaign::{NetlistCampaign, PreparedCampaign, UniverseSel};
+use link::ber::BerModel;
+use rt::exec::{self, Frame, Shard};
+
+use crate::json::Value;
+
+/// Version stamp mixed into every fingerprint; bump when the spec
+/// grammar or result body format changes meaning.
+pub const SPEC_VERSION: u64 = 1;
+
+/// Upper bound on the stuck-at random pattern budget per job.
+pub const MAX_VECTORS: u64 = 4096;
+
+/// Upper bound on BER sweep points per job (bounds the result body).
+pub const MAX_POINTS: u64 = 4096;
+
+/// Sweep points per BER shard.
+const BER_SHARD_SIZE: usize = 256;
+
+/// Base seed for BER sweep shard substreams.
+const BER_SHARD_SEED: u64 = 0xBE11;
+
+/// The circuit a campaign job runs over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitSpec {
+    /// The built-in chain A reference netlist.
+    ChainA,
+    /// The built-in chain B reference netlist (4 phases).
+    ChainB,
+    /// An inline structural Verilog module.
+    Verilog(String),
+}
+
+/// A validated job request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// A fault campaign over one netlist: the stuck-at universe, the
+    /// transition universe, or both, per [`UniverseSel`].
+    Campaign {
+        /// Which fault universes to enumerate and simulate.
+        sel: UniverseSel,
+        /// The circuit under test.
+        circuit: CircuitSpec,
+        /// Random stuck-at pattern budget (normalized to 0 when the
+        /// selection has no stuck-at universe).
+        vectors: u64,
+        /// Seed for the random pattern set (normalized to 0 likewise).
+        seed: u64,
+    },
+    /// A closed-form BER bathtub sweep over sampling phase.
+    BerSweep {
+        /// Eye center position in UI.
+        center_ui: f64,
+        /// Half-width of the open eye in UI.
+        half_width_ui: f64,
+        /// RMS jitter in UI.
+        sigma_ui: f64,
+        /// Number of sweep points.
+        points: u64,
+    },
+}
+
+fn kind_str(sel: UniverseSel) -> &'static str {
+    match sel {
+        UniverseSel::StuckAt => "stuck_at",
+        UniverseSel::Transition => "transition",
+        UniverseSel::Both => "netlist",
+    }
+}
+
+fn finite_in(v: &Value, key: &str, lo: f64, hi: f64) -> Result<f64, String> {
+    let x = v
+        .get(key)
+        .ok_or_else(|| format!("missing \"{key}\""))?
+        .as_f64()
+        .ok_or_else(|| format!("\"{key}\" must be a number"))?;
+    if !x.is_finite() || !(lo..=hi).contains(&x) {
+        return Err(format!("\"{key}\" must be in [{lo}, {hi}]"));
+    }
+    Ok(x)
+}
+
+impl JobSpec {
+    /// Parses and validates a spec from a decoded request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message (the 400 response body) when a
+    /// field is missing, mistyped, out of range, or the kind is
+    /// unknown.
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("missing \"kind\"")?;
+        match kind {
+            "stuck_at" | "transition" | "netlist" => {
+                let sel = match kind {
+                    "stuck_at" => UniverseSel::StuckAt,
+                    "transition" => UniverseSel::Transition,
+                    _ => UniverseSel::Both,
+                };
+                let circuit = match (v.get("circuit"), v.get("verilog")) {
+                    (Some(c), None) => match c.as_str() {
+                        Some("chain_a") => CircuitSpec::ChainA,
+                        Some("chain_b") => CircuitSpec::ChainB,
+                        _ => return Err("\"circuit\" must be \"chain_a\" or \"chain_b\"".into()),
+                    },
+                    (None, Some(src)) => CircuitSpec::Verilog(
+                        src.as_str()
+                            .ok_or("\"verilog\" must be a string")?
+                            .to_string(),
+                    ),
+                    _ => return Err("exactly one of \"circuit\" or \"verilog\" required".into()),
+                };
+                // Pattern budget only exists for a stuck-at universe;
+                // normalizing it away otherwise keeps the fingerprint
+                // insensitive to parameters the job never reads.
+                let (vectors, seed) = if sel.stuck() {
+                    let vectors = match v.get("vectors") {
+                        None => 256,
+                        Some(n) => n.as_u64().ok_or("\"vectors\" must be an integer")?,
+                    };
+                    if vectors == 0 || vectors > MAX_VECTORS {
+                        return Err(format!("\"vectors\" must be in [1, {MAX_VECTORS}]"));
+                    }
+                    let seed = match v.get("seed") {
+                        None => 41,
+                        Some(n) => n.as_u64().ok_or("\"seed\" must be an integer")?,
+                    };
+                    (vectors, seed)
+                } else {
+                    (0, 0)
+                };
+                Ok(JobSpec::Campaign {
+                    sel,
+                    circuit,
+                    vectors,
+                    seed,
+                })
+            }
+            "ber_sweep" => {
+                let center_ui = finite_in(v, "center_ui", -10.0, 10.0)?;
+                let half_width_ui = finite_in(v, "half_width_ui", 0.0, 10.0)?;
+                let sigma_ui = finite_in(v, "sigma_ui", 1e-9, 10.0)?;
+                let points = v
+                    .get("points")
+                    .map_or(Some(64), Value::as_u64)
+                    .ok_or("\"points\" must be an integer")?;
+                if !(2..=MAX_POINTS).contains(&points) {
+                    return Err(format!("\"points\" must be in [2, {MAX_POINTS}]"));
+                }
+                Ok(JobSpec::BerSweep {
+                    center_ui,
+                    half_width_ui,
+                    sigma_ui,
+                    points,
+                })
+            }
+            _ => Err(format!("unknown kind {kind:?}")),
+        }
+    }
+
+    /// Rebuilds the canonical JSON value: every field present, defaults
+    /// spelled out, irrelevant parameters normalized. Parsing the
+    /// canonical form yields an identical spec, so persisted `.req`
+    /// files resume exactly.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        match self {
+            JobSpec::Campaign {
+                sel,
+                circuit,
+                vectors,
+                seed,
+            } => {
+                m.insert("kind".into(), Value::Str(kind_str(*sel).into()));
+                match circuit {
+                    CircuitSpec::ChainA => {
+                        m.insert("circuit".into(), Value::Str("chain_a".into()));
+                    }
+                    CircuitSpec::ChainB => {
+                        m.insert("circuit".into(), Value::Str("chain_b".into()));
+                    }
+                    CircuitSpec::Verilog(src) => {
+                        m.insert("verilog".into(), Value::Str(src.clone()));
+                    }
+                }
+                m.insert("vectors".into(), Value::Num(*vectors as f64));
+                m.insert("seed".into(), Value::Num(*seed as f64));
+            }
+            JobSpec::BerSweep {
+                center_ui,
+                half_width_ui,
+                sigma_ui,
+                points,
+            } => {
+                m.insert("kind".into(), Value::Str("ber_sweep".into()));
+                m.insert("center_ui".into(), Value::Num(*center_ui));
+                m.insert("half_width_ui".into(), Value::Num(*half_width_ui));
+                m.insert("sigma_ui".into(), Value::Num(*sigma_ui));
+                m.insert("points".into(), Value::Num(*points as f64));
+            }
+        }
+        Value::Obj(m)
+    }
+
+    /// The canonical spec JSON — the `.req` persistence format and the
+    /// fingerprint input.
+    pub fn canonical(&self) -> String {
+        self.to_value().canonical()
+    }
+
+    /// The content address of this job: [`rt::exec::fingerprint`] over
+    /// the schema version and the canonical spec bytes. Identical
+    /// requests — under any spelling — share this address, which keys
+    /// the result cache, the checkpoint file and the public job id.
+    pub fn fingerprint(&self) -> u64 {
+        let canon = self.canonical();
+        exec::fingerprint(&[
+            SPEC_VERSION,
+            u64::from(exec::crc32(canon.as_bytes())),
+            canon.len() as u64,
+        ])
+    }
+
+    /// Runs the expensive, once-per-job setup: Verilog compile, fault
+    /// universe enumeration, ATPG and fault-free goldens for campaign
+    /// kinds; model construction for BER sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the inline Verilog fails
+    /// to compile or the circuit cannot be time-expanded.
+    pub fn prepare(&self) -> Result<PreparedJob, String> {
+        match self {
+            JobSpec::Campaign {
+                sel,
+                circuit,
+                vectors,
+                seed,
+            } => {
+                let (name, circuit) = match circuit {
+                    CircuitSpec::ChainA => (
+                        "chain_a".to_string(),
+                        dft::chain_a::ChainA::new().circuit().clone(),
+                    ),
+                    CircuitSpec::ChainB => (
+                        "chain_b".to_string(),
+                        dft::chain_b::ChainB::new(4).circuit().clone(),
+                    ),
+                    CircuitSpec::Verilog(src) => {
+                        let c = dsim::verilog::compile(src).map_err(|e| e.to_string())?;
+                        (c.name().to_string(), c)
+                    }
+                };
+                let vectors = if sel.stuck() { *vectors as usize } else { 1 };
+                let campaign = NetlistCampaign::configured(name, circuit, *sel, vectors, *seed)
+                    .map_err(|e| e.to_string())?;
+                Ok(PreparedJob::Campaign {
+                    sel: *sel,
+                    prep: Box::new(campaign.prepare()),
+                })
+            }
+            JobSpec::BerSweep {
+                center_ui,
+                half_width_ui,
+                sigma_ui,
+                points,
+            } => Ok(PreparedJob::Ber {
+                model: BerModel::new(*center_ui, *half_width_ui, *sigma_ui),
+                points: *points as usize,
+            }),
+        }
+    }
+}
+
+/// A job after its once-per-job setup: owns everything a worker needs
+/// to run any shard of it, in any order, on any thread.
+#[derive(Debug, Clone)]
+pub enum PreparedJob {
+    /// A fault campaign delegating to [`dft::campaign::PreparedCampaign`].
+    Campaign {
+        /// The universe selection (names the result body's kind).
+        sel: UniverseSel,
+        /// The prepared campaign state (boxed: it dwarfs the BER
+        /// variant).
+        prep: Box<PreparedCampaign>,
+    },
+    /// A BER bathtub sweep evaluated point-by-point.
+    Ber {
+        /// The closed-form eye model.
+        model: BerModel,
+        /// Total sweep points.
+        points: usize,
+    },
+}
+
+impl PreparedJob {
+    /// The deterministic shard plan for this job.
+    pub fn shards(&self) -> Vec<Shard> {
+        match self {
+            PreparedJob::Campaign { prep, .. } => prep.shards(),
+            PreparedJob::Ber { points, .. } => exec::plan(*points, BER_SHARD_SIZE, BER_SHARD_SEED),
+        }
+    }
+
+    /// The sweep phase for one plan-global point index — the same
+    /// mapping [`BerModel::bathtub`] uses, so a served sweep matches
+    /// the library sweep bit for bit.
+    fn ber_phi(model: &BerModel, points: usize, i: usize) -> f64 {
+        model.center_ui() - 0.5 + i as f64 / (points - 1) as f64
+    }
+
+    /// Runs one planned shard to a checkpoint [`Frame`]: campaign
+    /// shards encode one detected byte per fault, BER shards eight
+    /// little-endian bytes per point. Pure — identical at any thread
+    /// count and shard interleaving.
+    pub fn run_shard(&self, shard: &Shard) -> Frame {
+        let payload = match self {
+            PreparedJob::Campaign { prep, .. } => {
+                let records = prep.run_shard(shard);
+                let mut out = Vec::with_capacity(records.len());
+                prep.encode_shard(&records, &mut out);
+                out
+            }
+            PreparedJob::Ber { model, points } => {
+                rt::obs::count("serve.ber.points", shard.len as u64);
+                let mut out = Vec::with_capacity(shard.len * 8);
+                for i in shard.range() {
+                    let ber = model.ber_at(Self::ber_phi(model, *points, i));
+                    out.extend_from_slice(&ber.to_le_bytes());
+                }
+                out
+            }
+        };
+        Frame {
+            shard: shard.index as u32,
+            records: shard.len as u32,
+            payload,
+        }
+    }
+
+    /// Validates a (possibly resumed) shard payload and counts its
+    /// detections, or `None` when the payload cannot belong to the
+    /// shard — the scheduler then recomputes the shard.
+    pub fn payload_detections(&self, shard: &Shard, payload: &[u8]) -> Option<u64> {
+        match self {
+            PreparedJob::Campaign { prep, .. } => {
+                let records = prep.decode_shard(shard, payload)?;
+                Some(records.iter().filter(|r| r.detected()).count() as u64)
+            }
+            PreparedJob::Ber { .. } => {
+                if payload.len() == shard.len * 8 {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Assembles the final result body from every shard's payload in
+    /// plan order. The body is canonical JSON (sorted keys), so a
+    /// cached body and a recomputed body are byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads` does not hold one valid payload per
+    /// planned shard (the scheduler only finalizes complete jobs).
+    pub fn finalize(&self, fp: u64, payloads: &[Vec<u8>]) -> String {
+        let shards = self.shards();
+        assert_eq!(payloads.len(), shards.len(), "finalize needs every shard");
+        let mut m = BTreeMap::new();
+        m.insert("id".to_string(), Value::Str(format!("{fp:016x}")));
+        match self {
+            PreparedJob::Campaign { sel, prep } => {
+                let mut records = Vec::with_capacity(prep.total());
+                for (shard, payload) in shards.iter().zip(payloads) {
+                    records.extend(
+                        prep.decode_shard(shard, payload)
+                            .expect("scheduler validated every payload"),
+                    );
+                }
+                let result = prep.result(records, Vec::new());
+                let (sa_total, sa_detected) = result.stuck_at();
+                let (tr_total, tr_detected) = result.transition();
+                m.insert("kind".into(), Value::Str(kind_str(*sel).into()));
+                m.insert("name".into(), Value::Str(prep.name().into()));
+                let pair = |t: usize, d: usize| {
+                    let mut p = BTreeMap::new();
+                    p.insert("detected".to_string(), Value::Num(d as f64));
+                    p.insert("total".to_string(), Value::Num(t as f64));
+                    Value::Obj(p)
+                };
+                m.insert("stuck_at".into(), pair(sa_total, sa_detected));
+                m.insert("transition".into(), pair(tr_total, tr_detected));
+                m.insert(
+                    "untestable".into(),
+                    Value::Num(result.untestable.len() as f64),
+                );
+            }
+            PreparedJob::Ber { model, points } => {
+                let mut curve = Vec::with_capacity(*points);
+                let mut flat = vec![0.0f64; *points];
+                for (shard, payload) in shards.iter().zip(payloads) {
+                    for (k, i) in shard.range().enumerate() {
+                        let bytes: [u8; 8] = payload[k * 8..k * 8 + 8]
+                            .try_into()
+                            .expect("scheduler validated every payload");
+                        flat[i] = f64::from_le_bytes(bytes);
+                    }
+                }
+                for (i, ber) in flat.iter().enumerate() {
+                    curve.push(Value::Arr(vec![
+                        Value::Num(Self::ber_phi(model, *points, i)),
+                        Value::Num(*ber),
+                    ]));
+                }
+                m.insert("kind".into(), Value::Str("ber_sweep".into()));
+                m.insert("points".into(), Value::Arr(curve));
+            }
+        }
+        Value::Obj(m).canonical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn spec(body: &str) -> JobSpec {
+        JobSpec::from_value(&json::parse(body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_spelling_invariant() {
+        let a = spec(r#"{"kind":"stuck_at","circuit":"chain_a","vectors":256,"seed":41}"#);
+        let b = spec(r#"{ "seed": 41.0, "circuit": "chain_a", "kind": "stuck_at" }"#);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Canonical form re-parses to the same spec (resume contract).
+        let c = JobSpec::from_value(&json::parse(&a.canonical()).unwrap()).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn irrelevant_parameters_do_not_split_the_cache() {
+        // A transition campaign never draws random vectors, so the
+        // pattern budget must not change the content address.
+        let a = spec(r#"{"kind":"transition","circuit":"chain_a","vectors":64,"seed":1}"#);
+        let b = spec(r#"{"kind":"transition","circuit":"chain_a","vectors":512,"seed":9}"#);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // While a real parameter does.
+        let c = spec(r#"{"kind":"stuck_at","circuit":"chain_a","vectors":64,"seed":1}"#);
+        let d = spec(r#"{"kind":"stuck_at","circuit":"chain_a","vectors":65,"seed":1}"#);
+        assert_ne!(c.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_messages() {
+        for body in [
+            r#"{"circuit":"chain_a"}"#,
+            r#"{"kind":"warp_drive"}"#,
+            r#"{"kind":"netlist"}"#,
+            r#"{"kind":"netlist","circuit":"chain_z"}"#,
+            r#"{"kind":"netlist","circuit":"chain_a","verilog":"module m; endmodule"}"#,
+            r#"{"kind":"stuck_at","circuit":"chain_a","vectors":0}"#,
+            r#"{"kind":"stuck_at","circuit":"chain_a","vectors":1e9}"#,
+            r#"{"kind":"ber_sweep","center_ui":0.5,"half_width_ui":0.35}"#,
+            r#"{"kind":"ber_sweep","center_ui":0.5,"half_width_ui":0.35,"sigma_ui":0}"#,
+            r#"{"kind":"ber_sweep","center_ui":0.5,"half_width_ui":0.35,"sigma_ui":0.05,"points":1}"#,
+        ] {
+            let v = json::parse(body).unwrap();
+            assert!(JobSpec::from_value(&v).is_err(), "accepted {body}");
+        }
+    }
+
+    #[test]
+    fn ber_job_matches_the_library_bathtub() {
+        let s = spec(
+            r#"{"kind":"ber_sweep","center_ui":0.5,"half_width_ui":0.35,"sigma_ui":0.06,"points":33}"#,
+        );
+        let job = s.prepare().unwrap();
+        let shards = job.shards();
+        let mut payloads = vec![Vec::new(); shards.len()];
+        for shard in &shards {
+            let frame = job.run_shard(shard);
+            assert_eq!(frame.records as usize, shard.len);
+            assert_eq!(
+                job.payload_detections(shard, &frame.payload),
+                Some(0),
+                "ber payload validates"
+            );
+            payloads[shard.index] = frame.payload;
+        }
+        let body = job.finalize(s.fingerprint(), &payloads);
+        let reference = BerModel::new(0.5, 0.35, 0.06).bathtub(33);
+        let parsed = json::parse(&body).unwrap();
+        let points = match parsed.get("points") {
+            Some(Value::Arr(p)) => p.clone(),
+            _ => panic!("body has points"),
+        };
+        assert_eq!(points.len(), reference.len());
+        for (pair, (phi, ber)) in points.iter().zip(reference) {
+            let Value::Arr(pv) = pair else { panic!("pair") };
+            assert_eq!(pv[0].as_f64().unwrap(), phi);
+            assert_eq!(pv[1].as_f64().unwrap(), ber);
+        }
+        // Byte-identical on recomputation.
+        let again: Vec<Vec<u8>> = shards.iter().map(|s| job.run_shard(s).payload).collect();
+        assert_eq!(job.finalize(s.fingerprint(), &again), body);
+    }
+
+    #[test]
+    fn campaign_job_shards_reproduce_the_local_run() {
+        let s = spec(r#"{"kind":"netlist","circuit":"chain_a","vectors":32,"seed":7}"#);
+        let job = s.prepare().unwrap();
+        let shards = job.shards();
+        // Two-segment plan: one stuck-at shard, one transition shard.
+        assert_eq!(shards.len(), 2, "chain_a plans both universes");
+        let mut payloads = vec![Vec::new(); shards.len()];
+        let mut detections = 0;
+        // Run shards in reverse to prove order independence.
+        for shard in shards.iter().rev() {
+            let frame = job.run_shard(shard);
+            detections += job
+                .payload_detections(shard, &frame.payload)
+                .expect("fresh payload validates");
+            payloads[shard.index] = frame.payload;
+        }
+        let body = job.finalize(s.fingerprint(), &payloads);
+        let parsed = json::parse(&body).unwrap();
+        let field = |model: &str, key: &str| {
+            parsed
+                .get(model)
+                .and_then(|p| p.get(key))
+                .and_then(Value::as_u64)
+                .unwrap()
+        };
+        assert_eq!(
+            field("stuck_at", "detected") + field("transition", "detected"),
+            detections
+        );
+        assert!(field("stuck_at", "total") > 0);
+        assert!(field("transition", "total") > 0);
+        assert_eq!(parsed.get("kind").and_then(Value::as_str), Some("netlist"));
+        // Corrupt payloads are rejected, not trusted.
+        assert_eq!(job.payload_detections(&shards[0], &[7u8; 3]), None);
+    }
+}

@@ -1,0 +1,643 @@
+//! The shared job scheduler: one worker pool multiplexing many
+//! concurrent campaigns, with admission control, fair-share
+//! round-robin shard interleaving, a content-addressed result cache,
+//! and checkpoint-backed restart.
+//!
+//! ## Scheduling contract
+//!
+//! Jobs are keyed by their content fingerprint. An admitted job enters
+//! a round-robin rotation; each worker takes **one shard** from the
+//! front job and rotates it to the back, so `k` active campaigns each
+//! get ~`1/k` of the pool regardless of size or arrival order. The
+//! expensive once-per-job setup (ATPG, Verilog compile) runs as the
+//! job's first unit of work on a worker, never on the acceptor.
+//!
+//! ## Cache contract
+//!
+//! A finished job's body is retained in memory (and as a `.res` file
+//! when a state directory is configured) keyed by fingerprint.
+//! Re-submitting an identical spec — under any spelling — returns the
+//! retained bytes without touching a simulator: the deterministic
+//! simulation counters (visible at `GET /stats`) stay flat.
+//!
+//! ## Restart contract
+//!
+//! With a state directory, each admitted job persists its canonical
+//! spec (`<fp>.req`) and streams completed shards into a CRC-framed
+//! [`rt::exec::Checkpoint`] (`<fp>.ck`). A restarted scheduler rescans
+//! the directory, re-admits every spec without a `.res`, and resumes
+//! from the checkpoint's valid prefix — re-running only what was in
+//! flight when the process died.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rt::exec::{Checkpoint, Shard};
+use rt::obs::Metrics;
+
+use crate::jobs::{JobSpec, PreparedJob};
+use crate::json;
+
+/// Scheduler configuration (embedded in [`crate::server::ServeConfig`]).
+#[derive(Debug, Clone, Default)]
+pub struct SchedConfig {
+    /// Worker threads in the shared pool (0 → one per core).
+    pub workers: usize,
+    /// Admission bound: unfinished jobs beyond this are rejected with
+    /// 429 (0 → 64).
+    pub queue_limit: usize,
+    /// Directory for `.req`/`.ck`/`.res` job state; `None` disables
+    /// persistence (pure in-memory cache).
+    pub state_dir: Option<PathBuf>,
+    /// Test hook: while `true`, workers park before starting any shard
+    /// — lets tests pin jobs in the queue to exercise admission
+    /// control deterministically.
+    pub shard_hold: Option<Arc<AtomicBool>>,
+    /// Test hook: artificial per-shard delay, for catching a job
+    /// mid-flight in kill/restart tests.
+    pub shard_delay: Duration,
+}
+
+/// Verdict of [`Scheduler::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// The result already exists; serve it from cache.
+    Cached {
+        /// The job fingerprint (public id).
+        fp: u64,
+    },
+    /// The job is queued or running (a duplicate in-flight submission
+    /// coalesces onto the existing job).
+    Accepted {
+        /// The job fingerprint (public id).
+        fp: u64,
+        /// `false` when this submission coalesced onto an in-flight
+        /// identical job instead of admitting new work.
+        fresh: bool,
+    },
+    /// The unfinished-job queue is full; the client gets 429.
+    Busy,
+}
+
+/// One job's externally visible progress snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Progress {
+    /// `"queued"`, `"running"`, `"done"` or `"failed"`.
+    pub status: &'static str,
+    /// Shards completed so far.
+    pub shards_done: usize,
+    /// Shards planned (0 until setup finishes).
+    pub shards_total: usize,
+    /// Detections accumulated over completed shards.
+    pub detections: u64,
+    /// The job's deterministic simulation counters as canonical JSON.
+    pub metrics: String,
+    /// The failure message, for failed jobs.
+    pub error: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+struct Job {
+    spec: JobSpec,
+    status: Status,
+    prep: Option<Arc<PreparedJob>>,
+    shards: Vec<Shard>,
+    pending: VecDeque<usize>,
+    payloads: Vec<Option<Vec<u8>>>,
+    done: usize,
+    detections: u64,
+    metrics: Metrics,
+    ck: Option<Checkpoint>,
+    result: Option<Arc<Vec<u8>>>,
+    error: Option<String>,
+    attempts: u32,
+}
+
+impl Job {
+    fn fresh(spec: JobSpec) -> Job {
+        Job {
+            spec,
+            status: Status::Queued,
+            prep: None,
+            shards: Vec::new(),
+            pending: VecDeque::new(),
+            payloads: Vec::new(),
+            done: 0,
+            detections: 0,
+            metrics: Metrics::new(),
+            ck: None,
+            result: None,
+            error: None,
+            attempts: 0,
+        }
+    }
+}
+
+/// Aggregate serving statistics (the per-request side; deterministic
+/// simulation counters live separately so cache hits provably leave
+/// them flat).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Jobs admitted as fresh work.
+    pub admitted: u64,
+    /// Submissions answered from the finished-result cache.
+    pub cache_hits: u64,
+    /// Submissions coalesced onto an identical in-flight job.
+    pub coalesced: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Jobs that reached `done`.
+    pub completed: u64,
+    /// Jobs that failed (bad netlist, repeated shard panic).
+    pub failed: u64,
+    /// Shards recovered from checkpoints instead of re-simulated.
+    pub resumed_shards: u64,
+}
+
+struct State {
+    jobs: BTreeMap<u64, Job>,
+    rotation: VecDeque<u64>,
+    unfinished: usize,
+    stats: Stats,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    sim: Mutex<Metrics>,
+    cfg: SchedConfig,
+}
+
+/// The scheduler handle: submit jobs, poll progress, fetch results,
+/// shut down. Cloning is not offered — the server owns it and shares
+/// `&Scheduler` across acceptor threads.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts the worker pool and, when a state directory is
+    /// configured, re-admits every persisted job that has not finished
+    /// (restart recovery bypasses the admission bound — a restart must
+    /// never drop accepted work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state directory cannot be created.
+    pub fn start(cfg: SchedConfig) -> Scheduler {
+        let workers = if cfg.workers == 0 {
+            rt::par::threads()
+        } else {
+            cfg.workers
+        };
+        if let Some(dir) = &cfg.state_dir {
+            fs::create_dir_all(dir).expect("state dir is creatable");
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                rotation: VecDeque::new(),
+                unfinished: 0,
+                stats: Stats::default(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            sim: Mutex::new(Metrics::new()),
+            cfg,
+        });
+        let mut sched = Scheduler {
+            shared: Arc::clone(&shared),
+            workers: Vec::new(),
+        };
+        sched.recover();
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            sched.workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns"),
+            );
+        }
+        sched
+    }
+
+    /// Re-admits persisted jobs whose result never landed.
+    fn recover(&self) {
+        let Some(dir) = self.shared.cfg.state_dir.clone() else {
+            return;
+        };
+        let Ok(entries) = fs::read_dir(&dir) else {
+            return;
+        };
+        let mut specs: Vec<(u64, JobSpec)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if path.extension().and_then(|e| e.to_str()) != Some("req") {
+                continue;
+            }
+            let Ok(fp) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            if dir.join(format!("{fp:016x}.res")).exists() {
+                continue;
+            }
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(value) = json::parse(&text) else {
+                continue;
+            };
+            let Ok(spec) = JobSpec::from_value(&value) else {
+                continue;
+            };
+            // A `.req` whose canonical spec no longer matches its
+            // filename (schema drift) is stale state, not a job.
+            if spec.fingerprint() != fp {
+                continue;
+            }
+            specs.push((fp, spec));
+        }
+        specs.sort_by_key(|(fp, _)| *fp);
+        let mut state = self.shared.state.lock().expect("scheduler lock");
+        for (fp, spec) in specs {
+            state.jobs.insert(fp, Job::fresh(spec));
+            state.rotation.push_back(fp);
+            state.unfinished += 1;
+            state.stats.admitted += 1;
+        }
+    }
+
+    /// Admission control: cache lookup, in-flight coalescing, bounded
+    /// queue. See [`Admission`].
+    pub fn submit(&self, spec: JobSpec) -> Admission {
+        let fp = spec.fingerprint();
+        let queue_limit = if self.shared.cfg.queue_limit == 0 {
+            64
+        } else {
+            self.shared.cfg.queue_limit
+        };
+        let mut state = self.shared.state.lock().expect("scheduler lock");
+        if let Some(job) = state.jobs.get(&fp) {
+            return match job.status {
+                Status::Done => {
+                    state.stats.cache_hits += 1;
+                    Admission::Cached { fp }
+                }
+                Status::Failed => {
+                    // A failed job is observable, not retried silently.
+                    Admission::Accepted { fp, fresh: false }
+                }
+                Status::Queued | Status::Running => {
+                    state.stats.coalesced += 1;
+                    Admission::Accepted { fp, fresh: false }
+                }
+            };
+        }
+        // Disk cache: a previous process may have finished this job.
+        if let Some(dir) = &self.shared.cfg.state_dir {
+            if let Ok(bytes) = fs::read(dir.join(format!("{fp:016x}.res"))) {
+                let mut job = Job::fresh(spec);
+                job.status = Status::Done;
+                job.result = Some(Arc::new(bytes));
+                state.jobs.insert(fp, job);
+                state.stats.cache_hits += 1;
+                return Admission::Cached { fp };
+            }
+        }
+        if state.unfinished >= queue_limit {
+            state.stats.rejected += 1;
+            return Admission::Busy;
+        }
+        if let Some(dir) = &self.shared.cfg.state_dir {
+            // Persist the canonical spec first, so a crash between
+            // admission and completion is recoverable.
+            let _ = fs::write(dir.join(format!("{fp:016x}.req")), spec.canonical());
+        }
+        state.jobs.insert(fp, Job::fresh(spec));
+        state.rotation.push_back(fp);
+        state.unfinished += 1;
+        state.stats.admitted += 1;
+        drop(state);
+        self.shared.work.notify_one();
+        Admission::Accepted { fp, fresh: true }
+    }
+
+    /// Progress snapshot for a job, or `None` for an unknown id.
+    pub fn progress(&self, fp: u64) -> Option<Progress> {
+        let state = self.shared.state.lock().expect("scheduler lock");
+        let job = state.jobs.get(&fp)?;
+        Some(Progress {
+            status: match job.status {
+                Status::Queued => "queued",
+                Status::Running => "running",
+                Status::Done => "done",
+                Status::Failed => "failed",
+            },
+            shards_done: job.done,
+            shards_total: job.shards.len(),
+            detections: job.detections,
+            metrics: job.metrics.to_json(),
+            error: job.error.clone(),
+        })
+    }
+
+    /// The finished result body, or `None` when unknown or not done.
+    pub fn result(&self, fp: u64) -> Option<Arc<Vec<u8>>> {
+        let state = self.shared.state.lock().expect("scheduler lock");
+        state.jobs.get(&fp)?.result.clone()
+    }
+
+    /// Current per-request statistics.
+    pub fn stats(&self) -> Stats {
+        self.shared.state.lock().expect("scheduler lock").stats
+    }
+
+    /// Unfinished (queued or running) job count.
+    pub fn unfinished(&self) -> usize {
+        self.shared.state.lock().expect("scheduler lock").unfinished
+    }
+
+    /// The global deterministic simulation counters, merged from every
+    /// shard ever run by this process, as canonical JSON. Cache hits
+    /// leave this unchanged — the acceptance proof that repeats are not
+    /// re-simulated.
+    pub fn sim_metrics_json(&self) -> String {
+        self.shared.sim.lock().expect("sim metrics lock").to_json()
+    }
+
+    /// Stops the pool: workers finish (and checkpoint) the shard they
+    /// are on, then exit; queued work stays on disk for the next
+    /// process. Idempotent via `Drop` — call explicitly to bound when
+    /// the threads are gone.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("scheduler lock");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One unit of work handed to a worker under the lock.
+enum Unit {
+    Setup(u64, JobSpec),
+    Shard(u64, Arc<PreparedJob>, Shard),
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let unit = {
+            let mut state = shared.state.lock().expect("scheduler lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(unit) = take_unit(&mut state) {
+                    break unit;
+                }
+                state = shared.work.wait(state).expect("scheduler lock");
+            }
+        };
+        if let Some(hold) = &shared.cfg.shard_hold {
+            while hold.load(Ordering::SeqCst) {
+                if shared.state.lock().expect("scheduler lock").shutdown {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        match unit {
+            Unit::Setup(fp, spec) => run_setup(shared, fp, &spec),
+            Unit::Shard(fp, prep, shard) => run_shard(shared, fp, &prep, &shard),
+        }
+    }
+}
+
+/// Pops the next unit under the fair-share rotation: front job, one
+/// unit, rotate to back if it still has pending work. Stale rotation
+/// entries (finished jobs, duplicate entries drained by another
+/// worker) are skipped, not trusted.
+fn take_unit(state: &mut State) -> Option<Unit> {
+    let state = &mut *state;
+    while let Some(fp) = state.rotation.pop_front() {
+        let Some(job) = state.jobs.get_mut(&fp) else {
+            continue;
+        };
+        match job.status {
+            Status::Queued => {
+                job.status = Status::Running;
+                // Setup is one unit; the job re-enters the rotation
+                // when its plan exists.
+                return Some(Unit::Setup(fp, job.spec.clone()));
+            }
+            Status::Running => {
+                let Some(index) = job.pending.pop_front() else {
+                    continue;
+                };
+                let prep = Arc::clone(job.prep.as_ref().expect("running jobs are prepared"));
+                let shard = job.shards[index];
+                if !job.pending.is_empty() {
+                    state.rotation.push_back(fp);
+                }
+                return Some(Unit::Shard(fp, prep, shard));
+            }
+            // Done/Failed entries never re-enter the rotation.
+            Status::Done | Status::Failed => continue,
+        }
+    }
+    None
+}
+
+/// Runs the once-per-job setup off-lock, then installs the plan and
+/// resumes any checkpointed shards.
+fn run_setup(shared: &Shared, fp: u64, spec: &JobSpec) {
+    let (outcome, metrics, _events) =
+        rt::obs::observe(|| rt::obs::quarantine(|| spec.prepare()).and_then(|r| r));
+    merge_sim(shared, &metrics);
+    match outcome {
+        Err(message) => fail_job(shared, fp, message),
+        Ok(prep) => {
+            let prep = Arc::new(prep);
+            let shards = prep.shards();
+            let mut resumed: Vec<(usize, Vec<u8>, u64)> = Vec::new();
+            let ck = shared
+                .cfg
+                .state_dir
+                .as_ref()
+                .and_then(|dir| Checkpoint::open(dir.join(format!("{fp:016x}.ck")), fp).ok());
+            if let Some(ck) = &ck {
+                for frame in ck.frames() {
+                    let index = frame.shard as usize;
+                    let Some(shard) = shards.get(index) else {
+                        continue;
+                    };
+                    let Some(detections) = prep.payload_detections(shard, &frame.payload) else {
+                        continue;
+                    };
+                    resumed.push((index, frame.payload.clone(), detections));
+                }
+            }
+            let mut state = shared.state.lock().expect("scheduler lock");
+            let recovered = {
+                let job = state.jobs.get_mut(&fp).expect("setup job exists");
+                job.prep = Some(Arc::clone(&prep));
+                job.shards = shards.clone();
+                job.payloads = vec![None; shards.len()];
+                job.metrics.merge(&metrics);
+                job.ck = ck;
+                let mut recovered = 0u64;
+                for (index, payload, detections) in resumed {
+                    if job.payloads[index].is_none() {
+                        job.payloads[index] = Some(payload);
+                        job.done += 1;
+                        job.detections += detections;
+                        recovered += 1;
+                    }
+                }
+                job.pending = (0..job.shards.len())
+                    .filter(|&i| job.payloads[i].is_none())
+                    .collect();
+                recovered
+            };
+            state.stats.resumed_shards += recovered;
+            let complete = state
+                .jobs
+                .get(&fp)
+                .expect("setup job exists")
+                .pending
+                .is_empty();
+            if complete {
+                finish_job(shared, &mut state, fp);
+            } else {
+                state.rotation.push_back(fp);
+                drop(state);
+                shared.work.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs one shard off-lock with panic isolation and a single retry,
+/// then records the frame (and checkpoint append) under the lock.
+fn run_shard(shared: &Shared, fp: u64, prep: &Arc<PreparedJob>, shard: &Shard) {
+    if !shared.cfg.shard_delay.is_zero() {
+        std::thread::sleep(shared.cfg.shard_delay);
+    }
+    let (outcome, metrics, _events) =
+        rt::obs::observe(|| rt::obs::quarantine(|| prep.run_shard(shard)));
+    merge_sim(shared, &metrics);
+    match outcome {
+        Err(panic_message) => {
+            let retry = {
+                let mut state = shared.state.lock().expect("scheduler lock");
+                let job = state.jobs.get_mut(&fp).expect("shard job exists");
+                job.attempts += 1;
+                if job.attempts <= 1 {
+                    job.pending.push_back(shard.index);
+                    state.rotation.push_back(fp);
+                    true
+                } else {
+                    false
+                }
+            };
+            if retry {
+                shared.work.notify_one();
+            } else {
+                fail_job(
+                    shared,
+                    fp,
+                    format!("shard {} panicked: {panic_message}", shard.index),
+                );
+            }
+        }
+        Ok(frame) => {
+            let detections = prep
+                .payload_detections(shard, &frame.payload)
+                .expect("a fresh frame validates against its own shard");
+            let mut state = shared.state.lock().expect("scheduler lock");
+            let job = state.jobs.get_mut(&fp).expect("shard job exists");
+            if job.payloads[shard.index].is_some() {
+                return; // Lost a race with a resumed frame; drop ours.
+            }
+            if let Some(ck) = &mut job.ck {
+                let _ = ck.append(&frame);
+            }
+            job.payloads[shard.index] = Some(frame.payload);
+            job.done += 1;
+            job.detections += detections;
+            job.metrics.merge(&metrics);
+            if job.done == job.shards.len() {
+                finish_job(shared, &mut state, fp);
+            }
+        }
+    }
+}
+
+/// Finalizes a complete job under the lock: body, cache entry, `.res`
+/// persistence, queue accounting.
+fn finish_job(shared: &Shared, state: &mut State, fp: u64) {
+    let job = state.jobs.get_mut(&fp).expect("finishing job exists");
+    let prep = job.prep.as_ref().expect("finished jobs are prepared");
+    let payloads: Vec<Vec<u8>> = job
+        .payloads
+        .iter()
+        .map(|p| p.clone().expect("finished jobs hold every payload"))
+        .collect();
+    let body = prep.finalize(fp, &payloads);
+    if let Some(dir) = &shared.cfg.state_dir {
+        let _ = fs::write(dir.join(format!("{fp:016x}.res")), &body);
+    }
+    job.result = Some(Arc::new(body.into_bytes()));
+    job.status = Status::Done;
+    job.ck = None;
+    job.payloads.clear();
+    state.unfinished -= 1;
+    state.stats.completed += 1;
+    shared.work.notify_all();
+}
+
+/// Marks a job failed and releases its queue slot.
+fn fail_job(shared: &Shared, fp: u64, message: String) {
+    let mut state = shared.state.lock().expect("scheduler lock");
+    let job = state.jobs.get_mut(&fp).expect("failing job exists");
+    job.status = Status::Failed;
+    job.error = Some(message);
+    job.ck = None;
+    state.unfinished -= 1;
+    state.stats.failed += 1;
+    drop(state);
+    shared.work.notify_all();
+}
+
+fn merge_sim(shared: &Shared, metrics: &Metrics) {
+    if !metrics.is_empty() {
+        shared.sim.lock().expect("sim metrics lock").merge(metrics);
+    }
+}

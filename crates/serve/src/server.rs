@@ -1,0 +1,318 @@
+//! The HTTP front end: a blocking thread-pool acceptor over
+//! [`std::net::TcpListener`] routing the job API onto the shared
+//! [`Scheduler`].
+//!
+//! ## Routes
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `POST /jobs` | Submit a job spec; 200 cached / 202 accepted / 429 over capacity |
+//! | `GET /jobs/<id>` | Progress: status, shards done/total, detections, per-job counters |
+//! | `GET /results/<id>` | The finished result body (404 until done) |
+//! | `GET /stats` | Serving stats + global deterministic sim counters |
+//! | `GET /healthz` | Liveness probe |
+//!
+//! Every connection carries one request and closes. Handler panics are
+//! quarantined per connection — a poisoned request can 500 its own
+//! connection but never takes an acceptor thread down.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{self, Request};
+use crate::jobs::JobSpec;
+use crate::json::{self, Value};
+use crate::sched::{Admission, SchedConfig, Scheduler};
+
+/// Per-connection socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Acceptor threads (each handles one connection at a time).
+    pub acceptors: usize,
+    /// Worker threads in the shared campaign pool (0 → one per core).
+    pub workers: usize,
+    /// Admission bound on unfinished jobs (0 → 64).
+    pub queue_limit: usize,
+    /// Job state directory for checkpointed restart; `None` keeps all
+    /// state in memory.
+    pub state_dir: Option<PathBuf>,
+    /// Test hook: park workers before each unit of work while `true`.
+    pub shard_hold: Option<Arc<AtomicBool>>,
+    /// Test hook: artificial per-shard delay.
+    pub shard_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            acceptors: 4,
+            workers: 0,
+            queue_limit: 0,
+            state_dir: None,
+            shard_hold: None,
+            shard_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A running server: bound address plus owned acceptor and worker
+/// threads. Dropping the handle shuts everything down.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptors: Vec<JoinHandle<()>>,
+    _sched: Arc<Scheduler>,
+}
+
+impl Server {
+    /// Binds the listener, starts the scheduler pool and the acceptor
+    /// threads, and (when a state directory is configured) resumes any
+    /// unfinished persisted jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let sched = Arc::new(Scheduler::start(SchedConfig {
+            workers: cfg.workers,
+            queue_limit: cfg.queue_limit,
+            state_dir: cfg.state_dir.clone(),
+            shard_hold: cfg.shard_hold.clone(),
+            shard_delay: cfg.shard_delay,
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut acceptors = Vec::new();
+        for i in 0..cfg.acceptors.max(1) {
+            let listener = listener.try_clone()?;
+            let sched = Arc::clone(&sched);
+            let stop = Arc::clone(&stop);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-accept-{i}"))
+                    .spawn(move || accept_loop(&listener, &sched, &stop))
+                    .expect("acceptor thread spawns"),
+            );
+        }
+        rt::obs::log::info("serve", format!("listening on {addr}"));
+        Ok(Server {
+            addr,
+            stop,
+            acceptors,
+            _sched: sched,
+        })
+    }
+
+    /// The bound address (the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful stop: acceptors drain, workers finish (and checkpoint)
+    /// their current shard, queued work stays on disk for the next
+    /// process.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock every acceptor parked in accept().
+        for _ in 0..self.acceptors.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+        // The scheduler's own Drop joins the workers once the last Arc
+        // goes away; nothing to do here beyond dropping our handle.
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, sched: &Scheduler, stop: &Arc<AtomicBool>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // A handler panic is a bug in one request's processing, not a
+        // reason to stop accepting traffic: quarantine it (which also
+        // keeps its half-recorded metrics out of the ambient collector)
+        // and answer 500 if the socket is still writable.
+        let mut stream = stream;
+        if rt::obs::quarantine(|| handle_connection(&mut stream, sched)).is_err() {
+            let _ = http::write_response(
+                &mut stream,
+                500,
+                "application/json",
+                b"{\"error\":\"internal error\"}",
+            );
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, sched: &Scheduler) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let request = match http::read_request(stream) {
+        Ok(request) => request,
+        Err(e) => {
+            let body = error_body(&e.to_string());
+            let _ = http::write_response(stream, e.status(), "application/json", body.as_bytes());
+            return;
+        }
+    };
+    let (status, body) = route(&request, sched);
+    let _ = http::write_response(stream, status, "application/json", body.as_bytes());
+}
+
+fn error_body(message: &str) -> String {
+    let mut m = BTreeMap::new();
+    m.insert("error".to_string(), Value::Str(message.to_string()));
+    Value::Obj(m).canonical()
+}
+
+fn route(request: &Request, sched: &Scheduler) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/jobs") => post_job(request, sched),
+        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/stats") => (200, stats_body(sched)),
+        ("GET", path) => {
+            if let Some(id) = path.strip_prefix("/jobs/") {
+                job_progress(id, sched)
+            } else if let Some(id) = path.strip_prefix("/results/") {
+                job_result(id, sched)
+            } else {
+                (404, error_body("no such route"))
+            }
+        }
+        ("POST", _) => (404, error_body("no such route")),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+fn post_job(request: &Request, sched: &Scheduler) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return (400, error_body("body is not UTF-8"));
+    };
+    let value = match json::parse(text) {
+        Ok(value) => value,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let spec = match JobSpec::from_value(&value) {
+        Ok(spec) => spec,
+        Err(message) => return (400, error_body(&message)),
+    };
+    rt::obs::count("serve.http.post_jobs", 1);
+    let (status, fp, disposition) = match sched.submit(spec) {
+        Admission::Cached { fp } => (200, fp, "cached"),
+        Admission::Accepted { fp, fresh: true } => (202, fp, "accepted"),
+        Admission::Accepted { fp, fresh: false } => (202, fp, "coalesced"),
+        Admission::Busy => {
+            return (429, error_body("admission queue full, retry later"));
+        }
+    };
+    let mut m = BTreeMap::new();
+    m.insert("id".to_string(), Value::Str(format!("{fp:016x}")));
+    m.insert("status".to_string(), Value::Str(disposition.to_string()));
+    (status, Value::Obj(m).canonical())
+}
+
+fn parse_id(id: &str) -> Option<u64> {
+    (id.len() == 16)
+        .then(|| u64::from_str_radix(id, 16).ok())
+        .flatten()
+}
+
+fn job_progress(id: &str, sched: &Scheduler) -> (u16, String) {
+    let Some(fp) = parse_id(id) else {
+        return (404, error_body("malformed job id"));
+    };
+    let Some(progress) = sched.progress(fp) else {
+        return (404, error_body("unknown job"));
+    };
+    let mut m = BTreeMap::new();
+    m.insert("id".to_string(), Value::Str(format!("{fp:016x}")));
+    m.insert(
+        "status".to_string(),
+        Value::Str(progress.status.to_string()),
+    );
+    m.insert(
+        "shards_done".to_string(),
+        Value::Num(progress.shards_done as f64),
+    );
+    m.insert(
+        "shards_total".to_string(),
+        Value::Num(progress.shards_total as f64),
+    );
+    m.insert(
+        "detections".to_string(),
+        Value::Num(progress.detections as f64),
+    );
+    if let Some(error) = &progress.error {
+        m.insert("error".to_string(), Value::Str(error.clone()));
+    }
+    // The per-job counters are already a JSON document; splice the
+    // parsed form in rather than double-encoding it.
+    let counters = json::parse(&progress.metrics).expect("Metrics::to_json emits valid JSON");
+    m.insert("counters".to_string(), counters);
+    (200, Value::Obj(m).canonical())
+}
+
+fn job_result(id: &str, sched: &Scheduler) -> (u16, String) {
+    let Some(fp) = parse_id(id) else {
+        return (404, error_body("malformed job id"));
+    };
+    match sched.result(fp) {
+        Some(body) => (200, String::from_utf8_lossy(&body).into_owned()),
+        None => (404, error_body("no result (unknown job or not done)")),
+    }
+}
+
+fn stats_body(sched: &Scheduler) -> String {
+    let stats = sched.stats();
+    let mut s = BTreeMap::new();
+    for (k, v) in [
+        ("admitted", stats.admitted),
+        ("cache_hits", stats.cache_hits),
+        ("coalesced", stats.coalesced),
+        ("rejected", stats.rejected),
+        ("completed", stats.completed),
+        ("failed", stats.failed),
+        ("resumed_shards", stats.resumed_shards),
+        ("unfinished", sched.unfinished() as u64),
+    ] {
+        s.insert(k.to_string(), Value::Num(v as f64));
+    }
+    let sim = json::parse(&sched.sim_metrics_json()).expect("Metrics::to_json emits valid JSON");
+    let mut m = BTreeMap::new();
+    m.insert("serving".to_string(), Value::Obj(s));
+    m.insert("sim".to_string(), sim);
+    Value::Obj(m).canonical()
+}

@@ -1,0 +1,342 @@
+//! End-to-end tests of the job server over real loopback sockets: the
+//! cache contract under concurrent clients, acceptor survival of
+//! malformed traffic, admission control, and kill/restart resume.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serve::client::{self, Response};
+use serve::json::{self, Value};
+use serve::{ServeConfig, Server};
+
+fn body_str(r: &Response) -> String {
+    String::from_utf8_lossy(&r.body).into_owned()
+}
+
+fn get(addr: SocketAddr, path: &str) -> Response {
+    client::request(addr, "GET", path, None).unwrap_or_else(|e| panic!("GET {path}: {e}"))
+}
+
+fn post_job(addr: SocketAddr, spec: &str) -> Response {
+    client::request(addr, "POST", "/jobs", Some(spec)).expect("POST /jobs")
+}
+
+fn job_id(reply: &Response) -> String {
+    json::parse(&body_str(reply))
+        .expect("reply parses")
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("reply names a job")
+        .to_string()
+}
+
+/// Polls `GET /jobs/<id>` until the job reports `done`.
+fn wait_done(addr: SocketAddr, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let progress = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(progress.status, 200, "progress: {}", body_str(&progress));
+        let p = json::parse(&body_str(&progress)).expect("progress parses");
+        match p.get("status").and_then(Value::as_str) {
+            Some("done") => return,
+            Some("failed") => panic!("job failed: {}", body_str(&progress)),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job did not finish in time");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn stats(addr: SocketAddr) -> Value {
+    let r = get(addr, "/stats");
+    assert_eq!(r.status, 200);
+    json::parse(&body_str(&r)).expect("stats parse")
+}
+
+fn serving_stat(stats: &Value, key: &str) -> u64 {
+    stats
+        .get("serving")
+        .and_then(|s| s.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn concurrent_identical_requests_are_cached_byte_identically() {
+    let server = Server::start(ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+    let spec = r#"{"kind":"netlist","circuit":"chain_a","vectors":32,"seed":3}"#;
+
+    let first = post_job(addr, spec);
+    assert_eq!(first.status, 202, "first POST: {}", body_str(&first));
+    let id = job_id(&first);
+    wait_done(addr, &id);
+    let reference = get(addr, &format!("/results/{id}"));
+    assert_eq!(reference.status, 200);
+
+    // Simulation counters now; they must not move below.
+    let sim_before = stats(addr).get("sim").cloned().expect("sim section");
+    assert!(
+        sim_before.get("dsim.ppsfp.faults").is_some(),
+        "the campaign recorded fault-sim work: {}",
+        sim_before.canonical()
+    );
+
+    // Hammer the same spec from many threads; every answer must be the
+    // cached bytes. Spellings differ (key order, float spelling) to
+    // prove canonicalization, not string equality, keys the cache.
+    let spellings = [
+        r#"{"kind":"netlist","circuit":"chain_a","vectors":32,"seed":3}"#,
+        r#"{"seed":3,"vectors":32.0,"circuit":"chain_a","kind":"netlist"}"#,
+        r#"{ "circuit" : "chain_a", "kind" : "netlist", "seed" : 3e0, "vectors" : 32 }"#,
+    ];
+    let mut handles = Vec::new();
+    for worker in 0..9 {
+        let spec = spellings[worker % spellings.len()].to_string();
+        handles.push(std::thread::spawn(move || {
+            let posted = post_job(addr, &spec);
+            assert_eq!(posted.status, 200, "cached POST: {}", body_str(&posted));
+            let reply = json::parse(&body_str(&posted)).expect("reply parses");
+            assert_eq!(reply.get("status").and_then(Value::as_str), Some("cached"));
+            let id = job_id(&posted);
+            let result = get(addr, &format!("/results/{id}"));
+            assert_eq!(result.status, 200);
+            result.body
+        }));
+    }
+    for handle in handles {
+        let body = handle.join().expect("client thread");
+        assert_eq!(body, reference.body, "cached bodies are byte-identical");
+    }
+
+    let after = stats(addr);
+    let sim_after = after.get("sim").cloned().expect("sim section");
+    assert_eq!(
+        sim_before.canonical(),
+        sim_after.canonical(),
+        "cache hits re-simulated"
+    );
+    assert!(serving_stat(&after, "cache_hits") >= 9);
+    assert_eq!(serving_stat(&after, "completed"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_traffic_gets_4xx_and_the_acceptor_survives() {
+    let server = Server::start(ServeConfig {
+        acceptors: 1, // one acceptor: any crash would be fatal to the next request
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Raw non-HTTP bytes straight onto the socket.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"%%% not http at all %%%\r\n\r\n")
+            .expect("write");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read");
+        let head = String::from_utf8_lossy(&raw);
+        assert!(head.starts_with("HTTP/1.1 400 "), "garbage reply: {head}");
+    }
+    // Valid HTTP, invalid JSON.
+    let r = post_job(addr, "{\"kind\": \"netlist\",");
+    assert_eq!(r.status, 400, "bad JSON: {}", body_str(&r));
+    assert!(body_str(&r).contains("invalid JSON"));
+    // Valid JSON, invalid spec.
+    let r = post_job(addr, r#"{"kind":"warp_drive"}"#);
+    assert_eq!(r.status, 400, "bad spec: {}", body_str(&r));
+    // Valid spec kind, uncompilable netlist: accepted, then fails as a
+    // job (visible in progress), not as a connection error.
+    let r = post_job(addr, r#"{"kind":"netlist","verilog":"module broken ("}"#);
+    assert_eq!(r.status, 202, "bad verilog is a job-level failure");
+    let id = job_id(&r);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let p = get(addr, &format!("/jobs/{id}"));
+        let v = json::parse(&body_str(&p)).expect("progress parses");
+        if v.get("status").and_then(Value::as_str) == Some("failed") {
+            assert!(v.get("error").is_some(), "failure carries a message");
+            break;
+        }
+        assert!(Instant::now() < deadline, "bad netlist never failed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Unknown routes and methods.
+    assert_eq!(get(addr, "/jobs/not-a-real-id").status, 404);
+    assert_eq!(get(addr, "/nope").status, 404);
+    let r = client::request(addr, "DELETE", "/jobs", None).expect("DELETE");
+    assert_eq!(r.status, 405);
+    // Oversized body.
+    let huge = format!(
+        r#"{{"kind":"netlist","verilog":"{}"}}"#,
+        "x".repeat(300 * 1024)
+    );
+    let r = post_job(addr, &huge);
+    assert_eq!(r.status, 413, "oversized: {}", body_str(&r));
+
+    // The single acceptor still serves real work.
+    let r = get(addr, "/healthz");
+    assert_eq!(r.status, 200);
+    let posted = post_job(
+        addr,
+        r#"{"kind":"stuck_at","circuit":"chain_a","vectors":16,"seed":1}"#,
+    );
+    assert_eq!(posted.status, 202);
+    wait_done(addr, &job_id(&posted));
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_overload_with_429_and_recovers() {
+    let hold = Arc::new(AtomicBool::new(true));
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_limit: 2,
+        shard_hold: Some(Arc::clone(&hold)),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let spec_for = |seed: u64| {
+        format!(r#"{{"kind":"stuck_at","circuit":"chain_a","vectors":16,"seed":{seed}}}"#)
+    };
+
+    // Two distinct jobs fill the queue while the worker is held.
+    let a = post_job(addr, &spec_for(1));
+    assert_eq!(a.status, 202, "A admitted: {}", body_str(&a));
+    let b = post_job(addr, &spec_for(2));
+    assert_eq!(b.status, 202, "B admitted: {}", body_str(&b));
+    // A duplicate of an in-flight job coalesces instead of rejecting.
+    let dup = post_job(addr, &spec_for(1));
+    assert_eq!(dup.status, 202, "duplicate coalesces: {}", body_str(&dup));
+    assert_eq!(
+        json::parse(&body_str(&dup))
+            .unwrap()
+            .get("status")
+            .and_then(Value::as_str),
+        Some("coalesced")
+    );
+    // A third distinct job is over capacity.
+    let c = post_job(addr, &spec_for(3));
+    assert_eq!(c.status, 429, "C rejected: {}", body_str(&c));
+    let s = stats(addr);
+    assert_eq!(serving_stat(&s, "rejected"), 1);
+    assert_eq!(serving_stat(&s, "unfinished"), 2);
+
+    // Release the pool; the queue drains and capacity returns.
+    hold.store(false, Ordering::SeqCst);
+    wait_done(addr, &job_id(&a));
+    wait_done(addr, &job_id(&b));
+    let c = post_job(addr, &spec_for(3));
+    assert_eq!(c.status, 202, "capacity recovered: {}", body_str(&c));
+    wait_done(addr, &job_id(&c));
+    server.shutdown();
+}
+
+#[test]
+fn kill_and_restart_resumes_to_the_same_result() {
+    // A 16-shard BER sweep: slow enough (with the delay hook) to kill
+    // mid-job, deterministic enough to compare byte-for-byte.
+    let spec = r#"{"kind":"ber_sweep","center_ui":0.5,"half_width_ui":0.35,"sigma_ui":0.06,"points":4096}"#;
+
+    // Reference: one uninterrupted run, no persistence.
+    let reference = {
+        let server = Server::start(ServeConfig::default()).expect("bind");
+        let addr = server.addr();
+        let posted = post_job(addr, spec);
+        assert_eq!(posted.status, 202);
+        let id = job_id(&posted);
+        wait_done(addr, &id);
+        let result = get(addr, &format!("/results/{id}"));
+        assert_eq!(result.status, 200);
+        server.shutdown();
+        (id, result.body)
+    };
+
+    // Interrupted run: persistence on, shards slowed, killed mid-job.
+    let dir = temp_dir("resume");
+    let id = {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            state_dir: Some(dir.clone()),
+            shard_delay: Duration::from_millis(40),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let posted = post_job(addr, spec);
+        assert_eq!(posted.status, 202);
+        let id = job_id(&posted);
+        assert_eq!(id, reference.0, "same spec, same content address");
+        // Wait until at least one shard checkpointed but the job is
+        // still in flight, then kill the server.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let p = get(addr, &format!("/jobs/{id}"));
+            let v = json::parse(&body_str(&p)).expect("progress parses");
+            let done = v.get("shards_done").and_then(Value::as_u64).unwrap_or(0);
+            let total = v.get("shards_total").and_then(Value::as_u64).unwrap_or(0);
+            if done >= 1 && done < total {
+                break;
+            }
+            assert!(
+                v.get("status").and_then(Value::as_str) != Some("done"),
+                "job finished before the kill; raise the shard delay"
+            );
+            assert!(Instant::now() < deadline, "job never reached mid-flight");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+        id
+    };
+
+    // Restart on the same state directory: the job is re-admitted from
+    // its .req, resumes from the checkpoint, and finishes identically.
+    let server = Server::start(ServeConfig {
+        state_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    wait_done(addr, &id);
+    let result = get(addr, &format!("/results/{id}"));
+    assert_eq!(result.status, 200);
+    assert_eq!(
+        result.body, reference.1,
+        "resumed result is byte-identical to the uninterrupted run"
+    );
+    let s = stats(addr);
+    assert!(
+        serving_stat(&s, "resumed_shards") >= 1,
+        "restart recovered checkpointed shards: {}",
+        s.canonical()
+    );
+    // And the finished result now also serves from the disk cache
+    // across yet another restart.
+    server.shutdown();
+    let server = Server::start(ServeConfig {
+        state_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let posted = post_job(addr, spec);
+    assert_eq!(posted.status, 200, "disk cache: {}", body_str(&posted));
+    let result = get(addr, &format!("/results/{id}"));
+    assert_eq!(result.body, reference.1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

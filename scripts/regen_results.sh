@@ -34,4 +34,10 @@ done
 echo "==> cargo run -p bench --release --offline --bin bitpar_speedup (untracked)"
 cargo run -q -p bench --release --offline --bin bitpar_speedup > /dev/null
 
+# Same contract for the job-server load test: latency percentiles are
+# wall-clock and machine-dependent, so results/serve_load.csv stays
+# untracked; regenerating it here keeps the schema current locally.
+echo "==> cargo run -p bench --release --offline --bin serve_load (untracked)"
+cargo run -q -p bench --release --offline --bin serve_load > /dev/null
+
 echo "regen_results: OK"

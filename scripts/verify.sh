@@ -20,6 +20,13 @@ cargo test -q --offline
 echo "==> fuzz smoke (conform)"
 OBS=1 cargo run -q -p conform --release --offline --bin fuzz_smoke
 
+# Job-server smoke: start on an ephemeral port, submit one small
+# chain-A campaign, then prove the cache contract (200 + "cached" on an
+# identical re-POST, byte-identical body, simulation counters flat).
+# The release binary is already built by the first step.
+echo "==> serve smoke (job server)"
+cargo run -q -p serve --release --offline --bin serve_smoke
+
 # Documentation gate: rustdoc must build without warnings (missing docs
 # are denied via #![warn(missing_docs)] + -D warnings) and every doctest
 # must pass. Both offline, like everything else.
