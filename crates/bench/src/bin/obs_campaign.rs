@@ -16,7 +16,7 @@
 //!   run's spans; open at `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use bench::{obs_pipeline, save_artifact};
-use rt::obs::chrome_trace_json;
+use rt::obs::{chrome_trace_json_named, trace::default_thread_names};
 
 fn main() {
     let run = obs_pipeline::instrumented_run(rt::par::threads());
@@ -42,9 +42,15 @@ fn main() {
     println!("metrics         : {counters} counters, {gauges} gauges, {histograms} histograms");
 
     save_artifact("metrics snapshot", "metrics.json", &run.metrics.to_json());
+    // Named lanes: perfetto shows "main" and "worker-N" instead of bare
+    // numeric tids.
     save_artifact(
         "Chrome trace",
         "obs_trace.json",
-        &chrome_trace_json(&run.events),
+        &chrome_trace_json_named(
+            &run.events,
+            "obs_campaign pipeline",
+            &default_thread_names(&run.events),
+        ),
     );
 }

@@ -171,5 +171,31 @@ fn main() {
         p99.as_micros(),
         requests as f64 / wall.as_secs_f64()
     );
+
+    // Scrape-and-report: pull /metrics once after the run, prove the
+    // exposition is well-formed, summarize it, and keep the snapshot
+    // (untracked — serving counters are run-dependent).
+    let scraped = client::request(addr, "GET", "/metrics", None).expect("GET /metrics");
+    assert_eq!(scraped.status, 200, "metrics scrape");
+    let text = String::from_utf8_lossy(&scraped.body).into_owned();
+    let families = rt::obs::export::parse(&text)
+        .unwrap_or_else(|e| panic!("malformed /metrics exposition: {e}"));
+    let count_of = |kind: &str| families.iter().filter(|f| f.kind == kind).count();
+    println!(
+        "  /metrics: {} families ({} counters, {} gauges, {} histograms), {} serve_ / {} sim_",
+        families.len(),
+        count_of("counter"),
+        count_of("gauge"),
+        count_of("histogram"),
+        families
+            .iter()
+            .filter(|f| f.name.starts_with("serve_"))
+            .count(),
+        families
+            .iter()
+            .filter(|f| f.name.starts_with("sim_"))
+            .count(),
+    );
+    bench::save_artifact("metrics", "serve_load_metrics.prom", &text);
     server.shutdown();
 }

@@ -956,6 +956,12 @@ impl PreparedCampaign {
     ///
     /// Panics if `shard` is not from this campaign's plan.
     pub fn run_shard(&self, shard: &Shard) -> Vec<NetlistFaultRecord> {
+        let model = if shard.start < self.stuck.len() {
+            "stuck_at"
+        } else {
+            "transition"
+        };
+        let _span = rt::obs::span(format!("shard.{model}.{}", shard.index));
         let flags: Vec<bool> = if shard.start < self.stuck.len() {
             // Stuck-at segment (plan_segmented never cuts across the
             // segment boundary, so the whole shard is one fault model).
@@ -976,11 +982,6 @@ impl PreparedCampaign {
                     })
                 })
                 .collect()
-        };
-        let model = if shard.start < self.stuck.len() {
-            "stuck_at"
-        } else {
-            "transition"
         };
         // Shard-plan functions only, so the metric totals are
         // thread-count invariant.

@@ -749,7 +749,10 @@ pub fn run_shards<J: ShardJob>(
             break;
         }
         let outcomes = crate::par::parallel_map_with(threads.min(pending.len()), &pending, |&i| {
-            crate::obs::quarantine(|| job.run(&plan[i]))
+            crate::obs::quarantine(|| {
+                let _span = crate::obs::span(format!("exec.shard.{}", plan[i].index));
+                job.run(&plan[i])
+            })
         });
         for (&i, outcome) in pending.iter().zip(outcomes) {
             let ShardState::Pending { attempts, .. } = &state[i] else {

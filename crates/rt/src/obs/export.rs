@@ -1,0 +1,532 @@
+//! Prometheus-style text exposition for a [`Metrics`] registry, plus a
+//! mini exposition parser used by tests to prove the output is
+//! well-formed.
+//!
+//! [`render`] turns a registry into the Prometheus text format
+//! (version 0.0.4): one `# TYPE` line per family followed by its
+//! samples, counters and gauges as single integer samples, histograms
+//! as cumulative `_bucket{le="…"}` samples plus `_sum`/`_count`. Every
+//! value is an integer over deterministic program state — the rendering
+//! is a pure function of the registry, so a registry that is
+//! byte-identical at any thread count (the [`super`] contract) exposes
+//! byte-identical text.
+//!
+//! Metric names pass through [`sanitize`]: Prometheus names admit only
+//! `[a-zA-Z0-9_:]`, so the registry's dotted names (`dsim.eval.calls`)
+//! become underscored (`dsim_eval_calls`). Callers prefix each section
+//! (`sim_`, `serve_`) to keep deterministic simulation counters clearly
+//! separated from serving stats in one scrape.
+//!
+//! [`parse`] is the deliberately strict inverse: it accepts exactly the
+//! grammar [`render`] emits (plus any conforming subset another tool
+//! might produce) and checks the structural invariants a scraper relies
+//! on — declared types, label syntax, cumulative bucket monotonicity,
+//! the `+Inf` bucket equalling `_count`. [`render_families`] closes the
+//! loop: re-rendering a parse of [`render`]'s output reproduces the
+//! input bytes, which is the round-trip property the test suite pins.
+//!
+//! # Examples
+//!
+//! ```
+//! use rt::obs::metrics::Metrics;
+//! use rt::obs::export;
+//!
+//! let mut m = Metrics::new();
+//! m.add("dsim.eval.calls", 3);
+//! let text = export::render(&m, "sim_");
+//! assert!(text.contains("# TYPE sim_dsim_eval_calls counter\n"));
+//! assert!(text.contains("sim_dsim_eval_calls 3\n"));
+//! let families = export::parse(&text).expect("well-formed exposition");
+//! assert_eq!(families.len(), 1);
+//! assert_eq!(export::render_families(&families), text);
+//! ```
+
+use std::fmt::Write as _;
+
+use super::metrics::{bucket_bounds, Metric, Metrics};
+
+/// Maps a registry name onto the Prometheus name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every disallowed character (the
+/// registry's dots, most prominently) becomes `_`, and a leading digit
+/// gets a `_` prefix. Empty input yields `"_"`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for c in name.chars() {
+        out.push(match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => c,
+            _ => '_',
+        });
+    }
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders `metrics` as Prometheus text exposition, every family name
+/// prefixed with `prefix` (itself assumed to already satisfy the name
+/// grammar — pass `"sim_"`, `"serve_"`, or `""`).
+///
+/// Families appear in the registry's sorted-name order, so the output
+/// is deterministic. Histograms use each non-empty bucket's inclusive
+/// upper bound as its `le` value (bucket semantics here are integer
+/// ranges, so `le="hi"` is exact), followed by the mandatory `+Inf`
+/// bucket, `_sum` and `_count`.
+pub fn render(metrics: &Metrics, prefix: &str) -> String {
+    let mut out = String::new();
+    for (name, metric) in metrics.iter() {
+        let name = format!("{prefix}{}", sanitize(name));
+        match metric {
+            Metric::Counter(c) => {
+                let _ = write!(out, "# TYPE {name} counter\n{name} {c}\n");
+            }
+            Metric::Gauge(g) => {
+                let _ = write!(out, "# TYPE {name} gauge\n{name} {g}\n");
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (bucket, count) in h.nonzero_buckets() {
+                    cumulative += count;
+                    let (_, hi) = bucket_bounds(bucket);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// One parsed metric family: its declared type and its samples in
+/// exposition order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Family {
+    /// The family name from the `# TYPE` line.
+    pub name: String,
+    /// The declared type: `"counter"`, `"gauge"` or `"histogram"`.
+    pub kind: String,
+    /// The family's samples, in the order they appeared.
+    pub samples: Vec<Sample>,
+}
+
+/// One sample line: a metric name, an optional single `le` label (the
+/// only label [`render`] emits), and an integer value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// The sample's full name (family name plus `_bucket`/`_sum`/
+    /// `_count` suffix for histograms).
+    pub name: String,
+    /// The `le` label value for histogram buckets (`"+Inf"` included).
+    pub le: Option<String>,
+    /// The sample value. Every exported value is an integer; gauges may
+    /// be negative.
+    pub value: i128,
+}
+
+impl Family {
+    /// The value of the single sample of a counter/gauge family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a histogram family ([`parse`] guarantees
+    /// counters and gauges hold exactly one sample).
+    pub fn value(&self) -> i128 {
+        assert_ne!(self.kind, "histogram", "histograms have many samples");
+        self.samples[0].value
+    }
+}
+
+/// Why an exposition failed to parse; carries the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The offending line (1-based; 0 for end-of-input errors).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.message)
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line into `(name, le label, value)`.
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, ParseError> {
+    let (name_part, value_part) = match line.find('{') {
+        None => {
+            let Some((name, value)) = line.split_once(' ') else {
+                return err(lineno, "sample has no value");
+            };
+            ((name, None), value)
+        }
+        Some(open) => {
+            let name = &line[..open];
+            let rest = &line[open + 1..];
+            let Some(close) = rest.find('}') else {
+                return err(lineno, "unterminated label set");
+            };
+            let labels = &rest[..close];
+            let value = rest[close + 1..]
+                .strip_prefix(' ')
+                .ok_or(())
+                .or_else(|()| err(lineno, "missing space after label set"))?;
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or(())
+                .or_else(|()| err(lineno, format!("unsupported label set {labels:?}")))?;
+            if le != "+Inf" && le.parse::<u64>().is_err() {
+                return err(lineno, format!("le bound {le:?} is not an integer or +Inf"));
+            }
+            ((name, Some(le.to_string())), value)
+        }
+    };
+    let (name, le) = name_part;
+    if !valid_name(name) {
+        return err(lineno, format!("invalid metric name {name:?}"));
+    }
+    let Ok(value) = value_part.parse::<i128>() else {
+        return err(lineno, format!("value {value_part:?} is not an integer"));
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        le,
+        value,
+    })
+}
+
+/// Checks a completed family's structural invariants.
+fn close_family(family: &Family, lineno: usize) -> Result<(), ParseError> {
+    match family.kind.as_str() {
+        "counter" | "gauge" => {
+            if family.samples.len() != 1 {
+                return err(
+                    lineno,
+                    format!(
+                        "{} family {:?} has {} samples, expected 1",
+                        family.kind,
+                        family.name,
+                        family.samples.len()
+                    ),
+                );
+            }
+            let s = &family.samples[0];
+            if s.name != family.name || s.le.is_some() {
+                return err(lineno, format!("stray sample {:?}", s.name));
+            }
+            if family.kind == "counter" && s.value < 0 {
+                return err(lineno, format!("negative counter {:?}", family.name));
+            }
+        }
+        "histogram" => {
+            let bucket_name = format!("{}_bucket", family.name);
+            let mut buckets: Vec<(&str, i128)> = Vec::new();
+            let mut sum = None;
+            let mut count = None;
+            for s in &family.samples {
+                if s.name == bucket_name {
+                    let Some(le) = &s.le else {
+                        return err(lineno, "bucket sample without le label");
+                    };
+                    if sum.is_some() || count.is_some() {
+                        return err(lineno, "bucket after _sum/_count");
+                    }
+                    buckets.push((le, s.value));
+                } else if s.name == format!("{}_sum", family.name) && s.le.is_none() {
+                    sum = Some(s.value);
+                } else if s.name == format!("{}_count", family.name) && s.le.is_none() {
+                    count = Some(s.value);
+                } else {
+                    return err(lineno, format!("stray sample {:?}", s.name));
+                }
+            }
+            let (Some(_), Some(count)) = (sum, count) else {
+                return err(
+                    lineno,
+                    format!("histogram {:?} missing _sum or _count", family.name),
+                );
+            };
+            match buckets.last() {
+                Some(&("+Inf", last)) if last == count => {}
+                Some(&("+Inf", last)) => {
+                    return err(
+                        lineno,
+                        format!("+Inf bucket {last} disagrees with _count {count}"),
+                    );
+                }
+                _ => return err(lineno, format!("histogram {:?} lacks +Inf", family.name)),
+            }
+            let mut prev_le: Option<u64> = None;
+            let mut prev_cum = -1i128;
+            for &(le, cum) in &buckets {
+                if cum < prev_cum {
+                    return err(lineno, format!("bucket counts not cumulative at le={le}"));
+                }
+                prev_cum = cum;
+                if le == "+Inf" {
+                    continue;
+                }
+                let bound: u64 = le.parse().expect("finite le bounds checked per sample");
+                if prev_le.is_some_and(|p| bound <= p) {
+                    return err(lineno, format!("le bounds not increasing at le={le}"));
+                }
+                prev_le = Some(bound);
+            }
+        }
+        other => return err(lineno, format!("unknown family type {other:?}")),
+    }
+    Ok(())
+}
+
+/// Parses a text exposition into families, validating everything a
+/// scraper relies on: every sample is covered by a preceding `# TYPE`
+/// declaration of its family, names satisfy the grammar, family names
+/// are unique, counters and gauges carry exactly one unlabeled integer
+/// sample, histogram buckets are cumulative with strictly increasing
+/// `le` bounds and a `+Inf` bucket equal to `_count`.
+///
+/// # Errors
+///
+/// Returns the first violation with its line number.
+pub fn parse(text: &str) -> Result<Vec<Family>, ParseError> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut open: Option<Family> = None;
+    let mut last_line = 0;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        last_line = lineno;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = decl.split_once(' ') else {
+                return err(lineno, "malformed # TYPE line");
+            };
+            if !valid_name(name) {
+                return err(lineno, format!("invalid family name {name:?}"));
+            }
+            if let Some(done) = open.take() {
+                close_family(&done, lineno)?;
+                families.push(done);
+            }
+            if families.iter().any(|f| f.name == name) {
+                return err(lineno, format!("duplicate family {name:?}"));
+            }
+            open = Some(Family {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and comment lines are legal noise.
+        }
+        let sample = parse_sample(line, lineno)?;
+        let Some(family) = open.as_mut() else {
+            return err(
+                lineno,
+                format!("sample {:?} precedes any # TYPE", sample.name),
+            );
+        };
+        let belongs = sample.name == family.name
+            || (family.kind == "histogram"
+                && [
+                    format!("{}_bucket", family.name),
+                    format!("{}_sum", family.name),
+                    format!("{}_count", family.name),
+                ]
+                .contains(&sample.name));
+        if !belongs {
+            return err(
+                lineno,
+                format!("sample {:?} outside family {:?}", sample.name, family.name),
+            );
+        }
+        family.samples.push(sample);
+    }
+    if let Some(done) = open.take() {
+        close_family(&done, last_line)?;
+        families.push(done);
+    }
+    Ok(families)
+}
+
+/// Re-renders parsed families in [`render`]'s exact format — the
+/// round-trip half of the exposition contract:
+/// `render_families(&parse(&render(m))?) == render(m)`.
+pub fn render_families(families: &[Family]) -> String {
+    let mut out = String::new();
+    for family in families {
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind);
+        for s in &family.samples {
+            match &s.le {
+                Some(le) => {
+                    let _ = writeln!(out, "{}{{le=\"{le}\"}} {}", s.name, s.value);
+                }
+                None => {
+                    let _ = writeln!(out, "{} {}", s.name, s.value);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+
+    #[test]
+    fn sanitize_maps_onto_the_name_grammar() {
+        assert_eq!(sanitize("dsim.eval.calls"), "dsim_eval_calls");
+        assert_eq!(sanitize("a-b c/d"), "a_b_c_d");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize(""), "_");
+        assert!(valid_name(&sanitize("campaign.netlist.b01.stuck_at")));
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_render_and_parse() {
+        let mut m = Metrics::new();
+        m.add("hits", 42);
+        m.set_gauge("depth", -7);
+        m.record("sizes", 0);
+        m.record("sizes", 3);
+        m.record("sizes", 1000);
+        let text = render(&m, "t_");
+        let families = parse(&text).expect("well-formed");
+        assert_eq!(families.len(), 3);
+        let by_name = |n: &str| families.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("t_hits").kind, "counter");
+        assert_eq!(by_name("t_hits").value(), 42);
+        assert_eq!(by_name("t_depth").kind, "gauge");
+        assert_eq!(by_name("t_depth").value(), -7);
+        let h = by_name("t_sizes");
+        assert_eq!(h.kind, "histogram");
+        let inf = h
+            .samples
+            .iter()
+            .find(|s| s.le.as_deref() == Some("+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 3);
+        let count = h
+            .samples
+            .iter()
+            .find(|s| s.name == "t_sizes_count")
+            .unwrap();
+        assert_eq!(count.value, 3);
+        let sum = h.samples.iter().find(|s| s.name == "t_sizes_sum").unwrap();
+        assert_eq!(sum.value, 1003);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_and_parses() {
+        let text = render(&Metrics::new(), "x_");
+        assert!(text.is_empty());
+        assert_eq!(parse(&text).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn concatenated_sections_parse_as_one_exposition() {
+        // The server serves serving stats and sim counters as two
+        // prefixed sections of one scrape body.
+        let mut serving = Metrics::new();
+        serving.add("admitted", 3);
+        serving.set_gauge("shards_stalled", 0);
+        let mut sim = Metrics::new();
+        sim.add("dsim.eval.calls", 512);
+        sim.record("dsim.ppsfp.dropped_per_block", 9);
+        let body = format!("{}{}", render(&serving, "serve_"), render(&sim, "sim_"));
+        let families = parse(&body).expect("two sections parse");
+        assert_eq!(families.len(), 4);
+        assert!(families.iter().any(|f| f.name == "serve_admitted"));
+        assert!(families
+            .iter()
+            .any(|f| f.name == "sim_dsim_ppsfp_dropped_per_block"));
+        assert_eq!(render_families(&families), body);
+    }
+
+    #[test]
+    fn malformed_expositions_are_rejected() {
+        for (text, why) in [
+            ("orphan 1\n", "sample precedes # TYPE"),
+            ("# TYPE a counter\na{le=\"2\"} 1\n", "labeled counter"),
+            ("# TYPE a counter\nb 1\n", "stray sample"),
+            ("# TYPE a counter\na 1\na 2\n", "two counter samples"),
+            ("# TYPE a counter\na -3\n", "negative counter"),
+            ("# TYPE a counter\na 1.5\n", "float value"),
+            ("# TYPE a counter\na 1\n# TYPE a counter\na 1\n", "dup family"),
+            ("# TYPE a widget\na 1\n", "unknown type"),
+            ("# TYPE a histogram\na_sum 1\na_count 1\n", "no +Inf"),
+            (
+                "# TYPE a histogram\na_bucket{le=\"+Inf\"} 2\na_sum 1\na_count 1\n",
+                "+Inf disagrees with count",
+            ),
+            (
+                "# TYPE a histogram\na_bucket{le=\"4\"} 3\na_bucket{le=\"2\"} 4\na_bucket{le=\"+Inf\"} 4\na_sum 9\na_count 4\n",
+                "le bounds decrease",
+            ),
+            (
+                "# TYPE a histogram\na_bucket{le=\"2\"} 3\na_bucket{le=\"4\"} 1\na_bucket{le=\"+Inf\"} 1\na_sum 9\na_count 1\n",
+                "bucket counts shrink",
+            ),
+            ("# TYPE a gauge\na{x=\"1\"} 2\n", "unsupported label"),
+            ("# TYPE a gauge\na{le=\"one\"} 2\n", "non-integer le"),
+            ("not an exposition", "free text"),
+        ] {
+            assert!(parse(text).is_err(), "accepted {why}: {text:?}");
+        }
+    }
+
+    #[test]
+    fn help_and_comment_lines_are_tolerated() {
+        let text = "# HELP a total widgets\n# TYPE a counter\n# a comment\na 5\n";
+        let families = parse(text).expect("comments are legal");
+        assert_eq!(families[0].value(), 5);
+    }
+
+    #[test]
+    fn roundtrip_holds_for_randomized_registries() {
+        // The property the serve tests lean on: parse ∘ render is
+        // faithful enough that re-rendering reproduces the exact bytes.
+        check("export_roundtrip", |d| {
+            let mut m = Metrics::new();
+            for i in 0..d.range_usize(0, 12) {
+                // Names drawn so that sanitization is injective across
+                // the registry (render does not dedupe collisions).
+                let name = format!("m{i}.f{}", d.range_usize(0, 5));
+                match d.range_usize(0, 3) {
+                    0 => m.add(&name, d.next_u64() >> 32),
+                    1 => m.set_gauge(&name, d.next_u64() as i64),
+                    _ => {
+                        for _ in 0..d.range_usize(1, 20) {
+                            m.record(&name, d.next_u64() >> d.range_usize(0, 63));
+                        }
+                    }
+                }
+            }
+            let text = render(&m, "p_");
+            let families = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(render_families(&families), text, "round-trip drifted");
+        });
+    }
+}

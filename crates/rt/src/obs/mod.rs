@@ -15,6 +15,9 @@
 //!   only to gitignored artifacts.
 //!
 //! [`log`] adds `OBS` env-var gated progress lines (silent by default).
+//! [`export`] renders a captured registry as Prometheus-style text (and
+//! parses it back, for tests); [`flight`] is a process-wide bounded ring
+//! of diagnostic events for service post-mortems.
 //!
 //! ## Ambient collection
 //!
@@ -47,6 +50,8 @@
 //! assert_eq!(metrics.histogram("demo.sizes").unwrap().count(), 1);
 //! ```
 
+pub mod export;
+pub mod flight;
 pub mod log;
 pub mod metrics;
 pub mod trace;
@@ -54,7 +59,7 @@ pub mod trace;
 use std::cell::RefCell;
 
 pub use metrics::{Histogram, Metric, Metrics};
-pub use trace::{chrome_trace_json, pin_epoch, Span, SpanEvent};
+pub use trace::{chrome_trace_json, chrome_trace_json_named, pin_epoch, Span, SpanEvent};
 
 /// Fixed-slot hot-path counters: one array slot per site, accumulated
 /// with plain additions in the simulation inner loops and flushed into

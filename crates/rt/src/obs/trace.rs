@@ -31,6 +31,12 @@ pub fn pin_epoch() {
     let _ = epoch();
 }
 
+/// Nanoseconds since the trace epoch right now — the shared clock for
+/// spans and [`super::flight`] events, so both land on one timeline.
+pub(crate) fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 /// One completed span: a named wall-clock interval on a virtual thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
@@ -46,6 +52,12 @@ pub struct SpanEvent {
     pub ts_ns: u64,
     /// Duration, in nanoseconds.
     pub dur_ns: u64,
+    /// Key/value tags rendered into the event's `args` object (shown in
+    /// the trace viewer's detail pane). Spans record with no args; a
+    /// collector that knows more context — the serve scheduler tagging
+    /// each shard span with its job fingerprint and shard index — adds
+    /// them before export.
+    pub args: Vec<(String, String)>,
 }
 
 /// An RAII wall-clock span; records a [`SpanEvent`] into the ambient
@@ -80,6 +92,7 @@ impl Drop for Span {
             tid: 0,
             ts_ns,
             dur_ns,
+            args: Vec::new(),
         });
     }
 }
@@ -87,14 +100,70 @@ impl Drop for Span {
 /// Renders `events` in the Chrome trace event format (a JSON object with
 /// a `traceEvents` array of complete `"ph": "X"` events), viewable at
 /// `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps and
-/// durations are microseconds with nanosecond precision.
+/// durations are microseconds with nanosecond precision. Lane names
+/// come from [`default_thread_names`]; use [`chrome_trace_json_named`]
+/// to label lanes by their actual role instead.
 pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    chrome_trace_json_named(events, "rt::obs capture", &default_thread_names(events))
+}
+
+/// The fallback lane naming for a captured event set: tid 0 (the
+/// collecting thread) is `"main"`, every absorbed worker tid `n` is
+/// `"worker-n"`, in first-appearance order.
+pub fn default_thread_names(events: &[SpanEvent]) -> Vec<(u32, String)> {
+    let mut names: Vec<(u32, String)> = Vec::new();
+    for e in events {
+        if names.iter().all(|&(tid, _)| tid != e.tid) {
+            let name = if e.tid == 0 {
+                "main".to_string()
+            } else {
+                format!("worker-{}", e.tid)
+            };
+            names.push((e.tid, name));
+        }
+    }
+    names
+}
+
+/// [`chrome_trace_json`] with explicit lane labels: emits
+/// `process_name`/`thread_name` metadata events (`"ph": "M"`) ahead of
+/// the span events, so perfetto shows `process_name` and one named lane
+/// per `(tid, name)` pair instead of bare numeric tids. Tids present in
+/// `events` but absent from `thread_names` simply keep their number.
+pub fn chrome_trace_json_named(
+    events: &[SpanEvent],
+    process_name: &str,
+    thread_names: &[(u32, String)],
+) -> String {
     let mut out = String::from("{\"traceEvents\": [\n");
-    let last = events.len().saturating_sub(1);
-    for (i, e) in events.iter().enumerate() {
-        let _ = write!(
-            out,
-            "  {{\"name\": {}, \"cat\": {}, \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {}.{:03}, \"dur\": {}.{:03}}}",
+    let mut first = true;
+    let mut push_line = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+    push_line(
+        format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"args\": {{\"name\": {}}}}}",
+            json_string(process_name)
+        ),
+        &mut out,
+    );
+    for (tid, name) in thread_names {
+        push_line(
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {tid}, \"args\": {{\"name\": {}}}}}",
+                json_string(name)
+            ),
+            &mut out,
+        );
+    }
+    for e in events {
+        let mut line = format!(
+            "{{\"name\": {}, \"cat\": {}, \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {}.{:03}, \"dur\": {}.{:03}",
             json_string(&e.name),
             json_string(&e.category),
             e.tid,
@@ -103,9 +172,20 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
             e.dur_ns / 1_000,
             e.dur_ns % 1_000,
         );
-        out.push_str(if i == last { "\n" } else { ",\n" });
+        if !e.args.is_empty() {
+            line.push_str(", \"args\": {");
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    line.push_str(", ");
+                }
+                let _ = write!(line, "{}: {}", json_string(k), json_string(v));
+            }
+            line.push('}');
+        }
+        line.push('}');
+        push_line(line, &mut out);
     }
-    out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
     out
 }
 
@@ -120,6 +200,7 @@ mod tests {
             tid,
             ts_ns: 1_234_567,
             dur_ns: 890,
+            args: Vec::new(),
         }
     }
 
@@ -133,13 +214,47 @@ mod tests {
         assert!(json.contains("\"dur\": 0.890"));
         assert!(json.contains("\"tid\": 3"));
         assert!(json.trim_end().ends_with("\"displayTimeUnit\": \"ms\"}"));
-        // Exactly one trailing comma between the two events.
-        assert_eq!(json.matches("},\n").count(), 1);
+        // Default lane naming: tid 0 is main, others worker-<tid>.
+        assert!(json.contains("{\"name\": \"main\"}"));
+        assert!(json.contains("{\"name\": \"worker-3\"}"));
+        // Metadata (1 process + 2 threads) plus 2 span events → 4 commas.
+        assert_eq!(json.matches("},\n").count(), 4);
     }
 
     #[test]
-    fn empty_trace_is_valid() {
+    fn empty_trace_still_names_the_process() {
         let json = chrome_trace_json(&[]);
-        assert!(json.contains("\"traceEvents\": [\n]"));
+        assert!(json.contains("\"ph\": \"M\""));
+        assert!(json.contains("\"rt::obs capture\""));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\": \"ms\"}"));
+    }
+
+    #[test]
+    fn named_export_emits_metadata_and_args() {
+        let mut tagged = event("shard.stuck_at.0", 2);
+        tagged.args = vec![
+            ("job".to_string(), "00ab".to_string()),
+            ("shard".to_string(), "0".to_string()),
+        ];
+        let json = chrome_trace_json_named(
+            &[tagged, event("plain", 2)],
+            "serve job 00ab",
+            &[(2, "worker-0".to_string())],
+        );
+        assert!(json.contains(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+             \"args\": {\"name\": \"serve job 00ab\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 2, \
+             \"args\": {\"name\": \"worker-0\"}}"
+        ));
+        assert!(json.contains("\"args\": {\"job\": \"00ab\", \"shard\": \"0\"}"));
+        // The untagged event carries no args object.
+        let plain_line = json
+            .lines()
+            .find(|l| l.contains("\"name\": \"plain\""))
+            .expect("plain event rendered");
+        assert!(!plain_line.contains("args"));
     }
 }

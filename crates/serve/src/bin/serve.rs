@@ -37,6 +37,15 @@ fn main() {
             _ => usage(),
         }
     }
+    // On panic, the flight recorder's ring lands next to the job state
+    // (or the working directory without --state) — the post-mortem is
+    // the recorded history, not stderr scrollback.
+    let dump = cfg
+        .state_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("."))
+        .join("flight_dump.json");
+    rt::obs::flight::install_panic_dump(dump);
     let server = match Server::start(cfg) {
         Ok(server) => server,
         Err(e) => {

@@ -1,8 +1,12 @@
 //! CI smoke test for the job server (wired into `scripts/verify.sh`):
-//! start on an ephemeral port, submit one small chain-A stuck-at job,
-//! wait for completion, then prove the cache contract — an identical
+//! start on an ephemeral port, check `/healthz` carries uptime and the
+//! build version, submit one small chain-A stuck-at job, wait for
+//! completion, then prove the cache contract — an identical
 //! re-submission answers 200/cached with a byte-identical body while
-//! the deterministic simulation counters stay flat.
+//! the deterministic simulation counters stay flat. Along the way the
+//! `/metrics` exposition is scraped (failing on malformed text) and the
+//! job's assembled Chrome trace is fetched; both are written under
+//! `results/` as untracked CI artifacts.
 
 use std::time::{Duration, Instant};
 
@@ -38,6 +42,17 @@ fn main() {
 
     let health = get(addr, "/healthz");
     assert_eq!(health.status, 200, "healthz: {}", body_str(&health));
+    let h = json::parse(&body_str(&health)).expect("healthz parses");
+    assert!(
+        h.get("uptime_seconds").and_then(Value::as_f64).is_some(),
+        "healthz reports uptime: {}",
+        body_str(&health)
+    );
+    assert_eq!(
+        h.get("version").and_then(Value::as_str),
+        Some(env!("CARGO_PKG_VERSION")),
+        "healthz reports the build version"
+    );
 
     // Submit and wait for completion.
     let posted = client::request(addr, "POST", "/jobs", Some(SPEC)).expect("POST /jobs");
@@ -84,6 +99,39 @@ fn main() {
         sim_before, sim_after,
         "cache hit re-simulated: {sim_before:?} -> {sim_after:?}"
     );
+
+    // Scrape /metrics once and prove the exposition is well-formed via
+    // the mini parser; keep the snapshot as an untracked CI artifact.
+    let scraped = get(addr, "/metrics");
+    assert_eq!(scraped.status, 200, "metrics: {}", body_str(&scraped));
+    let text = body_str(&scraped);
+    let families = rt::obs::export::parse(&text)
+        .unwrap_or_else(|e| panic!("malformed /metrics exposition: {e}\n{text}"));
+    assert!(
+        families.iter().any(|f| f.name == "serve_jobs_admitted"),
+        "metrics carry the serving section"
+    );
+    assert!(
+        families.iter().any(|f| f.name.starts_with("sim_")),
+        "metrics carry the sim section"
+    );
+
+    // The assembled per-job Chrome trace, likewise archived.
+    let trace = get(addr, &format!("/jobs/{id}/trace"));
+    assert_eq!(trace.status, 200, "trace: {}", body_str(&trace));
+    let trace_text = body_str(&trace);
+    assert!(
+        trace_text.contains("\"ph\": \"X\"") && trace_text.contains("\"ph\": \"M\""),
+        "trace carries span and metadata events"
+    );
+
+    // verify.sh runs from the repo root; results/ holds untracked
+    // artifacts (CI uploads them). Failure to write is not a test
+    // failure — the contract above already passed.
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/serve_metrics.prom", &text);
+        let _ = std::fs::write("results/serve_trace.json", &trace_text);
+    }
 
     server.shutdown();
     println!("serve smoke: OK");

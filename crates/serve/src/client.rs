@@ -6,13 +6,25 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A decoded response: status code plus body bytes.
+/// A decoded response: status code, headers and body bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// The HTTP status code.
     pub status: u16,
+    /// The response headers in wire order, names as received.
+    pub headers: Vec<(String, String)>,
     /// The response body.
     pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first header with this name (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Sends one request and reads the response to EOF.
@@ -67,14 +79,23 @@ fn parse_response(raw: &[u8]) -> io::Result<Response> {
         .position(|w| w == b"\r\n\r\n")
         .ok_or_else(|| bad("no header terminator"))?;
     let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("head not UTF-8"))?;
-    let status_line = head.split("\r\n").next().unwrap_or("");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
     let status: u16 = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
+    let headers = lines
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| {
+            l.split_once(':')
+                .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        })
+        .collect();
     Ok(Response {
         status,
+        headers,
         body: raw[head_end + 4..].to_vec(),
     })
 }
@@ -88,6 +109,8 @@ mod tests {
         let r = parse_response(b"HTTP/1.1 429 Too Many Requests\r\nX: y\r\n\r\n{\"a\":1}").unwrap();
         assert_eq!(r.status, 429);
         assert_eq!(r.body, b"{\"a\":1}");
+        assert_eq!(r.header("x"), Some("y"));
+        assert_eq!(r.header("absent"), None);
         assert!(parse_response(b"garbage").is_err());
     }
 }

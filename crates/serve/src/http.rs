@@ -177,11 +177,35 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (e.g. the `Allow`
+/// line a 405 must carry). Header names and values are written as
+/// given; callers pass only static, known-safe strings.
+///
+/// # Errors
+///
+/// Returns any I/O error from the write.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -239,5 +263,23 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_blank_line() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            405,
+            "application/json",
+            &[("Allow", "POST")],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Allow: POST\r\n"));
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("Allow:").unwrap() < head_end);
     }
 }

@@ -240,6 +240,16 @@ impl JobSpec {
         ])
     }
 
+    /// The spec's campaign kind as a short static label — the string
+    /// the request body's `"kind"` field carries. Used to bucket the
+    /// scheduler's per-kind shard duration estimates.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Campaign { sel, .. } => kind_str(*sel),
+            JobSpec::BerSweep { .. } => "ber_sweep",
+        }
+    }
+
     /// Runs the expensive, once-per-job setup: Verilog compile, fault
     /// universe enumeration, ATPG and fault-free goldens for campaign
     /// kinds; model construction for BER sweeps.
@@ -341,6 +351,7 @@ impl PreparedJob {
                 out
             }
             PreparedJob::Ber { model, points } => {
+                let _span = rt::obs::span(format!("shard.ber_sweep.{}", shard.index));
                 rt::obs::count("serve.ber.points", shard.len as u64);
                 let mut out = Vec::with_capacity(shard.len * 8);
                 for i in shard.range() {

@@ -32,13 +32,13 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fs;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rt::exec::{Checkpoint, Shard};
-use rt::obs::Metrics;
+use rt::obs::{flight, Metrics, SpanEvent};
 
 use crate::jobs::{JobSpec, PreparedJob};
 use crate::json;
@@ -54,6 +54,14 @@ pub struct SchedConfig {
     /// Directory for `.req`/`.ck`/`.res` job state; `None` disables
     /// persistence (pure in-memory cache).
     pub state_dir: Option<PathBuf>,
+    /// Watchdog: a shard is *slow* once its wall clock exceeds
+    /// `max(stall_floor, 4 × rolling per-kind average)` and *stalled*
+    /// at 4× the slow threshold (zero → 30 s). The floor keeps the
+    /// watchdog quiet while the first shards of a kind calibrate the
+    /// average.
+    pub stall_floor: Duration,
+    /// How often the watchdog rescans in-flight shards (zero → 250 ms).
+    pub watchdog_poll: Duration,
     /// Test hook: while `true`, workers park before starting any shard
     /// — lets tests pin jobs in the queue to exercise admission
     /// control deterministically.
@@ -119,6 +127,7 @@ struct Job {
     done: usize,
     detections: u64,
     metrics: Metrics,
+    trace: Vec<SpanEvent>,
     ck: Option<Checkpoint>,
     result: Option<Arc<Vec<u8>>>,
     error: Option<String>,
@@ -137,6 +146,7 @@ impl Job {
             done: 0,
             detections: 0,
             metrics: Metrics::new(),
+            trace: Vec::new(),
             ck: None,
             result: None,
             error: None,
@@ -166,18 +176,59 @@ pub struct Stats {
     pub resumed_shards: u64,
 }
 
+/// In-flight key for a job's setup unit (setup has no shard index).
+const SETUP_UNIT: u32 = u32::MAX;
+
+/// One unit of work a worker has taken but not finished, tracked for
+/// the stall watchdog. Registered inside [`take_unit`] (under the state
+/// lock, *before* any test hold), unregistered when the unit's
+/// wall-clock is known.
+struct InFlight {
+    started: Instant,
+    kind: &'static str,
+    /// Highest escalation already flight-logged: 0 = none, 1 = slow,
+    /// 2 = stalled. Keeps the recorder at one event per escalation.
+    level: u8,
+}
+
+/// Rolling wall-clock estimate for one campaign kind's shards.
+#[derive(Default, Clone, Copy)]
+struct Estimate {
+    total_ns: u128,
+    samples: u64,
+}
+
+impl Estimate {
+    fn avg_ns(&self) -> u128 {
+        if self.samples == 0 {
+            0
+        } else {
+            self.total_ns / u128::from(self.samples)
+        }
+    }
+}
+
 struct State {
     jobs: BTreeMap<u64, Job>,
     rotation: VecDeque<u64>,
     unfinished: usize,
     stats: Stats,
+    inflight: BTreeMap<(u64, u32), InFlight>,
+    estimates: BTreeMap<&'static str, Estimate>,
     shutdown: bool,
 }
 
 struct Shared {
     state: Mutex<State>,
     work: Condvar,
+    /// The watchdog's own wakeup — it must not wait on `work`, where it
+    /// would swallow `notify_one` wakeups meant for an idle worker.
+    tick: Condvar,
     sim: Mutex<Metrics>,
+    /// Watchdog gauges (`serve_shards_slow` / `serve_shards_stalled`):
+    /// in-flight units currently past their slow / stalled threshold.
+    slow: AtomicI64,
+    stalled: AtomicI64,
     cfg: SchedConfig,
 }
 
@@ -213,10 +264,15 @@ impl Scheduler {
                 rotation: VecDeque::new(),
                 unfinished: 0,
                 stats: Stats::default(),
+                inflight: BTreeMap::new(),
+                estimates: BTreeMap::new(),
                 shutdown: false,
             }),
             work: Condvar::new(),
+            tick: Condvar::new(),
             sim: Mutex::new(Metrics::new()),
+            slow: AtomicI64::new(0),
+            stalled: AtomicI64::new(0),
             cfg,
         });
         let mut sched = Scheduler {
@@ -229,8 +285,17 @@ impl Scheduler {
             sched.workers.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("worker thread spawns"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            sched.workers.push(
+                std::thread::Builder::new()
+                    .name("serve-watchdog".to_string())
+                    .spawn(move || watchdog_loop(&shared))
+                    .expect("watchdog thread spawns"),
             );
         }
         sched
@@ -299,6 +364,7 @@ impl Scheduler {
             return match job.status {
                 Status::Done => {
                     state.stats.cache_hits += 1;
+                    flight::record("cache_hit", format!("job {fp:016x} (memory)"));
                     Admission::Cached { fp }
                 }
                 Status::Failed => {
@@ -307,6 +373,7 @@ impl Scheduler {
                 }
                 Status::Queued | Status::Running => {
                     state.stats.coalesced += 1;
+                    flight::record("coalesce", format!("job {fp:016x}"));
                     Admission::Accepted { fp, fresh: false }
                 }
             };
@@ -319,11 +386,19 @@ impl Scheduler {
                 job.result = Some(Arc::new(bytes));
                 state.jobs.insert(fp, job);
                 state.stats.cache_hits += 1;
+                flight::record("cache_hit", format!("job {fp:016x} (disk)"));
                 return Admission::Cached { fp };
             }
         }
         if state.unfinished >= queue_limit {
             state.stats.rejected += 1;
+            flight::record(
+                "reject",
+                format!(
+                    "job {fp:016x}: {} unfinished >= limit {queue_limit}",
+                    state.unfinished
+                ),
+            );
             return Admission::Busy;
         }
         if let Some(dir) = &self.shared.cfg.state_dir {
@@ -331,6 +406,7 @@ impl Scheduler {
             // admission and completion is recoverable.
             let _ = fs::write(dir.join(format!("{fp:016x}.req")), spec.canonical());
         }
+        flight::record("admit", format!("job {fp:016x} kind {}", spec.kind()));
         state.jobs.insert(fp, Job::fresh(spec));
         state.rotation.push_back(fp);
         state.unfinished += 1;
@@ -383,6 +459,49 @@ impl Scheduler {
         self.shared.sim.lock().expect("sim metrics lock").to_json()
     }
 
+    /// A copy of the global deterministic simulation counters, for
+    /// rendering in alternative formats (`GET /metrics`).
+    pub fn sim_metrics(&self) -> Metrics {
+        self.shared.sim.lock().expect("sim metrics lock").clone()
+    }
+
+    /// The stall-watchdog gauges `(slow, stalled)`: in-flight units
+    /// currently past their slow / stalled wall-clock threshold. A
+    /// stalled unit counts only as stalled, not slow.
+    pub fn watchdog_gauges(&self) -> (i64, i64) {
+        (
+            self.shared.slow.load(Ordering::SeqCst),
+            self.shared.stalled.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Assembles the job's collected shard spans into one Chrome-trace
+    /// JSON document (`GET /jobs/<id>/trace`), or `None` for an unknown
+    /// id. Every span is tagged with the job fingerprint and shard
+    /// index in its `args`, lanes are named per worker, and the whole
+    /// file opens in <https://ui.perfetto.dev>. A job served purely
+    /// from cache has an empty (but valid) trace — nothing was
+    /// simulated.
+    pub fn trace_json(&self, fp: u64) -> Option<String> {
+        let state = self.shared.state.lock().expect("scheduler lock");
+        let job = state.jobs.get(&fp)?;
+        let mut events = job.trace.clone();
+        drop(state);
+        events.sort_by_key(|a| (a.ts_ns, a.tid));
+        let mut tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        let names: Vec<(u32, String)> = tids
+            .into_iter()
+            .map(|tid| (tid, format!("worker-{tid}")))
+            .collect();
+        Some(rt::obs::chrome_trace_json_named(
+            &events,
+            &format!("serve job {fp:016x}"),
+            &names,
+        ))
+    }
+
     /// Stops the pool: workers finish (and checkpoint) the shard they
     /// are on, then exit; queued work stays on disk for the next
     /// process. Idempotent via `Drop` — call explicitly to bound when
@@ -393,6 +512,7 @@ impl Scheduler {
             state.shutdown = true;
         }
         self.shared.work.notify_all();
+        self.shared.tick.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -411,7 +531,7 @@ enum Unit {
     Shard(u64, Arc<PreparedJob>, Shard),
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     loop {
         let unit = {
             let mut state = shared.state.lock().expect("scheduler lock");
@@ -434,8 +554,8 @@ fn worker_loop(shared: &Shared) {
             }
         }
         match unit {
-            Unit::Setup(fp, spec) => run_setup(shared, fp, &spec),
-            Unit::Shard(fp, prep, shard) => run_shard(shared, fp, &prep, &shard),
+            Unit::Setup(fp, spec) => run_setup(shared, worker, fp, &spec),
+            Unit::Shard(fp, prep, shard) => run_shard(shared, worker, fp, &prep, &shard),
         }
     }
 }
@@ -443,16 +563,27 @@ fn worker_loop(shared: &Shared) {
 /// Pops the next unit under the fair-share rotation: front job, one
 /// unit, rotate to back if it still has pending work. Stale rotation
 /// entries (finished jobs, duplicate entries drained by another
-/// worker) are skipped, not trusted.
+/// worker) are skipped, not trusted. The taken unit is registered as
+/// in-flight **here**, under the lock, so the watchdog sees it even
+/// while the `shard_hold` test hook parks the worker before the work.
 fn take_unit(state: &mut State) -> Option<Unit> {
     let state = &mut *state;
     while let Some(fp) = state.rotation.pop_front() {
         let Some(job) = state.jobs.get_mut(&fp) else {
             continue;
         };
+        let kind = job.spec.kind();
         match job.status {
             Status::Queued => {
                 job.status = Status::Running;
+                state.inflight.insert(
+                    (fp, SETUP_UNIT),
+                    InFlight {
+                        started: Instant::now(),
+                        kind,
+                        level: 0,
+                    },
+                );
                 // Setup is one unit; the job re-enters the rotation
                 // when its plan exists.
                 return Some(Unit::Setup(fp, job.spec.clone()));
@@ -466,6 +597,18 @@ fn take_unit(state: &mut State) -> Option<Unit> {
                 if !job.pending.is_empty() {
                     state.rotation.push_back(fp);
                 }
+                state.inflight.insert(
+                    (fp, shard.index as u32),
+                    InFlight {
+                        started: Instant::now(),
+                        kind,
+                        level: 0,
+                    },
+                );
+                flight::record(
+                    "shard_start",
+                    format!("job {fp:016x} shard {}", shard.index),
+                );
                 return Some(Unit::Shard(fp, prep, shard));
             }
             // Done/Failed entries never re-enter the rotation.
@@ -475,12 +618,123 @@ fn take_unit(state: &mut State) -> Option<Unit> {
     None
 }
 
+/// Unregisters a finished (or abandoned) in-flight unit and folds its
+/// wall clock into the per-kind rolling estimate (shards only — setup
+/// cost is not comparable to shard cost).
+fn finish_inflight(state: &mut State, fp: u64, unit: u32) {
+    if let Some(entry) = state.inflight.remove(&(fp, unit)) {
+        if unit != SETUP_UNIT {
+            let est = state.estimates.entry(entry.kind).or_default();
+            est.total_ns += entry.started.elapsed().as_nanos();
+            est.samples += 1;
+        }
+    }
+}
+
+/// Tags captured span events with their serving context: the worker's
+/// lane (tid) plus job/shard args for the trace viewer's detail pane.
+fn tag_events(events: &mut [SpanEvent], worker: usize, fp: u64, shard: Option<usize>) {
+    for e in events.iter_mut() {
+        e.tid = worker as u32;
+        e.args = vec![("job".to_string(), format!("{fp:016x}"))];
+        if let Some(index) = shard {
+            e.args.push(("shard".to_string(), index.to_string()));
+        }
+    }
+}
+
+/// Rescans in-flight units every `watchdog_poll`, escalating each past
+/// its slow / stalled threshold: the thresholds come from the rolling
+/// per-kind shard average (floored by `stall_floor` while the average
+/// calibrates), escalations are flight-logged once per unit, and the
+/// totals land in the `serve_shards_slow` / `serve_shards_stalled`
+/// gauges. Observation only — a stalled shard is never killed, because
+/// a slow shard and a hung shard are indistinguishable from outside.
+fn watchdog_loop(shared: &Shared) {
+    let poll = if shared.cfg.watchdog_poll.is_zero() {
+        Duration::from_millis(250)
+    } else {
+        shared.cfg.watchdog_poll
+    };
+    let floor = if shared.cfg.stall_floor.is_zero() {
+        Duration::from_secs(30)
+    } else {
+        shared.cfg.stall_floor
+    };
+    let mut state = shared.state.lock().expect("scheduler lock");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let State {
+            inflight,
+            estimates,
+            ..
+        } = &mut *state;
+        let mut slow = 0i64;
+        let mut stalled = 0i64;
+        for (&(fp, unit), entry) in inflight.iter_mut() {
+            let elapsed = entry.started.elapsed();
+            let avg_ns = estimates
+                .get(entry.kind)
+                .copied()
+                .unwrap_or_default()
+                .avg_ns();
+            let slow_at = floor.max(Duration::from_nanos(
+                avg_ns.saturating_mul(4).min(u128::from(u64::MAX)) as u64,
+            ));
+            let stall_at = slow_at.saturating_mul(4);
+            let describe = || {
+                let what = if unit == SETUP_UNIT {
+                    "setup".to_string()
+                } else {
+                    format!("shard {unit}")
+                };
+                format!(
+                    "job {fp:016x} {what}: {:.1}s elapsed (kind {}, slow at {:.1}s)",
+                    elapsed.as_secs_f64(),
+                    entry.kind,
+                    slow_at.as_secs_f64(),
+                )
+            };
+            if elapsed >= stall_at {
+                stalled += 1;
+                if entry.level < 2 {
+                    entry.level = 2;
+                    flight::record("shard_stalled", describe());
+                }
+            } else if elapsed >= slow_at {
+                slow += 1;
+                if entry.level < 1 {
+                    entry.level = 1;
+                    flight::record("shard_slow", describe());
+                }
+            }
+        }
+        shared.slow.store(slow, Ordering::SeqCst);
+        shared.stalled.store(stalled, Ordering::SeqCst);
+        let (next, _timeout) = shared
+            .tick
+            .wait_timeout(state, poll)
+            .expect("scheduler lock");
+        state = next;
+    }
+}
+
 /// Runs the once-per-job setup off-lock, then installs the plan and
 /// resumes any checkpointed shards.
-fn run_setup(shared: &Shared, fp: u64, spec: &JobSpec) {
-    let (outcome, metrics, _events) =
+fn run_setup(shared: &Shared, worker: usize, fp: u64, spec: &JobSpec) {
+    let (outcome, metrics, mut events) =
         rt::obs::observe(|| rt::obs::quarantine(|| spec.prepare()).and_then(|r| r));
     merge_sim(shared, &metrics);
+    tag_events(&mut events, worker, fp, None);
+    {
+        let mut state = shared.state.lock().expect("scheduler lock");
+        finish_inflight(&mut state, fp, SETUP_UNIT);
+        if let Some(job) = state.jobs.get_mut(&fp) {
+            job.trace.append(&mut events);
+        }
+    }
     match outcome {
         Err(message) => fail_job(shared, fp, message),
         Ok(prep) => {
@@ -546,17 +800,19 @@ fn run_setup(shared: &Shared, fp: u64, spec: &JobSpec) {
 
 /// Runs one shard off-lock with panic isolation and a single retry,
 /// then records the frame (and checkpoint append) under the lock.
-fn run_shard(shared: &Shared, fp: u64, prep: &Arc<PreparedJob>, shard: &Shard) {
+fn run_shard(shared: &Shared, worker: usize, fp: u64, prep: &Arc<PreparedJob>, shard: &Shard) {
     if !shared.cfg.shard_delay.is_zero() {
         std::thread::sleep(shared.cfg.shard_delay);
     }
-    let (outcome, metrics, _events) =
+    let (outcome, metrics, mut events) =
         rt::obs::observe(|| rt::obs::quarantine(|| prep.run_shard(shard)));
     merge_sim(shared, &metrics);
+    tag_events(&mut events, worker, fp, Some(shard.index));
     match outcome {
         Err(panic_message) => {
             let retry = {
                 let mut state = shared.state.lock().expect("scheduler lock");
+                finish_inflight(&mut state, fp, shard.index as u32);
                 let job = state.jobs.get_mut(&fp).expect("shard job exists");
                 job.attempts += 1;
                 if job.attempts <= 1 {
@@ -568,6 +824,10 @@ fn run_shard(shared: &Shared, fp: u64, prep: &Arc<PreparedJob>, shard: &Shard) {
                 }
             };
             if retry {
+                flight::record(
+                    "shard_retry",
+                    format!("job {fp:016x} shard {}: {panic_message}", shard.index),
+                );
                 shared.work.notify_one();
             } else {
                 fail_job(
@@ -581,18 +841,32 @@ fn run_shard(shared: &Shared, fp: u64, prep: &Arc<PreparedJob>, shard: &Shard) {
             let detections = prep
                 .payload_detections(shard, &frame.payload)
                 .expect("a fresh frame validates against its own shard");
+            flight::record(
+                "shard_finish",
+                format!(
+                    "job {fp:016x} shard {}: {detections} detections",
+                    shard.index
+                ),
+            );
             let mut state = shared.state.lock().expect("scheduler lock");
+            finish_inflight(&mut state, fp, shard.index as u32);
             let job = state.jobs.get_mut(&fp).expect("shard job exists");
             if job.payloads[shard.index].is_some() {
                 return; // Lost a race with a resumed frame; drop ours.
             }
             if let Some(ck) = &mut job.ck {
-                let _ = ck.append(&frame);
+                if ck.append(&frame).is_ok() {
+                    flight::record(
+                        "checkpoint_write",
+                        format!("job {fp:016x} shard {} frame appended", shard.index),
+                    );
+                }
             }
             job.payloads[shard.index] = Some(frame.payload);
             job.done += 1;
             job.detections += detections;
             job.metrics.merge(&metrics);
+            job.trace.append(&mut events);
             if job.done == job.shards.len() {
                 finish_job(shared, &mut state, fp);
             }
@@ -620,11 +894,13 @@ fn finish_job(shared: &Shared, state: &mut State, fp: u64) {
     job.payloads.clear();
     state.unfinished -= 1;
     state.stats.completed += 1;
+    flight::record("job_done", format!("job {fp:016x}"));
     shared.work.notify_all();
 }
 
 /// Marks a job failed and releases its queue slot.
 fn fail_job(shared: &Shared, fp: u64, message: String) {
+    flight::record("job_failed", format!("job {fp:016x}: {message}"));
     let mut state = shared.state.lock().expect("scheduler lock");
     let job = state.jobs.get_mut(&fp).expect("failing job exists");
     job.status = Status::Failed;

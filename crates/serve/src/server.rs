@@ -8,13 +8,20 @@
 //! |---|---|
 //! | `POST /jobs` | Submit a job spec; 200 cached / 202 accepted / 429 over capacity |
 //! | `GET /jobs/<id>` | Progress: status, shards done/total, detections, per-job counters |
+//! | `GET /jobs/<id>/trace` | The job's assembled Chrome-trace JSON (open in perfetto) |
 //! | `GET /results/<id>` | The finished result body (404 until done) |
 //! | `GET /stats` | Serving stats + global deterministic sim counters |
-//! | `GET /healthz` | Liveness probe |
+//! | `GET /metrics` | Prometheus-style text exposition (`serve_*` + `sim_*`) |
+//! | `GET /debug/flight` | The flight recorder's event ring, newest last |
+//! | `GET /healthz` | Liveness probe with uptime and version |
+//!
+//! A known path answered with the wrong method gets `405 Method Not
+//! Allowed` plus an `Allow` header; unknown paths get 404.
 //!
 //! Every connection carries one request and closes. Handler panics are
 //! quarantined per connection — a poisoned request can 500 its own
-//! connection but never takes an acceptor thread down.
+//! connection but never takes an acceptor thread down. Every 4xx/5xx
+//! response also lands in the [`rt::obs::flight`] recorder.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -23,7 +30,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use rt::obs::{export, flight, Metrics};
 
 use crate::http::{self, Request};
 use crate::jobs::JobSpec;
@@ -47,6 +56,11 @@ pub struct ServeConfig {
     /// Job state directory for checkpointed restart; `None` keeps all
     /// state in memory.
     pub state_dir: Option<PathBuf>,
+    /// Stall-watchdog floor: a shard is never flagged slow before this
+    /// much wall clock (0 → 30 s). See [`SchedConfig::stall_floor`].
+    pub stall_floor: Duration,
+    /// Stall-watchdog rescan period (0 → 250 ms).
+    pub watchdog_poll: Duration,
     /// Test hook: park workers before each unit of work while `true`.
     pub shard_hold: Option<Arc<AtomicBool>>,
     /// Test hook: artificial per-shard delay.
@@ -61,6 +75,8 @@ impl Default for ServeConfig {
             workers: 0,
             queue_limit: 0,
             state_dir: None,
+            stall_floor: Duration::ZERO,
+            watchdog_poll: Duration::ZERO,
             shard_hold: None,
             shard_delay: Duration::ZERO,
         }
@@ -87,10 +103,13 @@ impl Server {
     pub fn start(cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let started = Instant::now();
         let sched = Arc::new(Scheduler::start(SchedConfig {
             workers: cfg.workers,
             queue_limit: cfg.queue_limit,
             state_dir: cfg.state_dir.clone(),
+            stall_floor: cfg.stall_floor,
+            watchdog_poll: cfg.watchdog_poll,
             shard_hold: cfg.shard_hold.clone(),
             shard_delay: cfg.shard_delay,
         }));
@@ -103,7 +122,7 @@ impl Server {
             acceptors.push(
                 std::thread::Builder::new()
                     .name(format!("serve-accept-{i}"))
-                    .spawn(move || accept_loop(&listener, &sched, &stop))
+                    .spawn(move || accept_loop(&listener, &sched, &stop, started))
                     .expect("acceptor thread spawns"),
             );
         }
@@ -150,7 +169,12 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, sched: &Scheduler, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    sched: &Scheduler,
+    stop: &Arc<AtomicBool>,
+    started: Instant,
+) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
             if stop.load(Ordering::SeqCst) {
@@ -166,7 +190,8 @@ fn accept_loop(listener: &TcpListener, sched: &Scheduler, stop: &Arc<AtomicBool>
         // keeps its half-recorded metrics out of the ambient collector)
         // and answer 500 if the socket is still writable.
         let mut stream = stream;
-        if rt::obs::quarantine(|| handle_connection(&mut stream, sched)).is_err() {
+        if rt::obs::quarantine(|| handle_connection(&mut stream, sched, started)).is_err() {
+            flight::record("http_5xx", "500 handler panic");
             let _ = http::write_response(
                 &mut stream,
                 500,
@@ -177,19 +202,81 @@ fn accept_loop(listener: &TcpListener, sched: &Scheduler, stop: &Arc<AtomicBool>
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, sched: &Scheduler) {
+/// One HTTP response: status, content type, optional extra headers
+/// (the 405 `Allow` line), body.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    allow: Option<&'static str>,
+    body: String,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            allow: None,
+            body,
+        }
+    }
+
+    fn text(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            allow: None,
+            body,
+        }
+    }
+
+    fn method_not_allowed(allow: &'static str) -> Reply {
+        Reply {
+            allow: Some(allow),
+            ..Reply::json(405, error_body("method not allowed"))
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, sched: &Scheduler, started: Instant) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let request = match http::read_request(stream) {
         Ok(request) => request,
         Err(e) => {
+            let status = e.status();
+            flight::record(
+                if status >= 500 {
+                    "http_5xx"
+                } else {
+                    "http_4xx"
+                },
+                format!("{status} (malformed request: {e})"),
+            );
             let body = error_body(&e.to_string());
-            let _ = http::write_response(stream, e.status(), "application/json", body.as_bytes());
+            let _ = http::write_response(stream, status, "application/json", body.as_bytes());
             return;
         }
     };
-    let (status, body) = route(&request, sched);
-    let _ = http::write_response(stream, status, "application/json", body.as_bytes());
+    let reply = route(&request, sched, started);
+    if reply.status >= 400 {
+        flight::record(
+            if reply.status >= 500 {
+                "http_5xx"
+            } else {
+                "http_4xx"
+            },
+            format!("{} {} -> {}", request.method, request.path, reply.status),
+        );
+    }
+    let extra: Vec<(&str, &str)> = reply.allow.map(|a| ("Allow", a)).into_iter().collect();
+    let _ = http::write_response_with(
+        stream,
+        reply.status,
+        reply.content_type,
+        &extra,
+        reply.body.as_bytes(),
+    );
 }
 
 fn error_body(message: &str) -> String {
@@ -198,36 +285,58 @@ fn error_body(message: &str) -> String {
     Value::Obj(m).canonical()
 }
 
-fn route(request: &Request, sched: &Scheduler) -> (u16, String) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/jobs") => post_job(request, sched),
-        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
-        ("GET", "/stats") => (200, stats_body(sched)),
-        ("GET", path) => {
-            if let Some(id) = path.strip_prefix("/jobs/") {
-                job_progress(id, sched)
-            } else if let Some(id) = path.strip_prefix("/results/") {
-                job_result(id, sched)
+fn route(request: &Request, sched: &Scheduler, started: Instant) -> Reply {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    if path == "/jobs" {
+        return if method == "POST" {
+            post_job(request, sched)
+        } else {
+            Reply::method_not_allowed("POST")
+        };
+    }
+    let known_get = matches!(path, "/healthz" | "/stats" | "/metrics" | "/debug/flight")
+        || path.starts_with("/jobs/")
+        || path.starts_with("/results/");
+    if !known_get {
+        return Reply::json(404, error_body("no such route"));
+    }
+    if method != "GET" {
+        return Reply::method_not_allowed("GET");
+    }
+    match path {
+        "/healthz" => Reply::json(200, healthz_body(started)),
+        "/stats" => Reply::json(200, stats_body(sched)),
+        "/metrics" => Reply::text(200, metrics_text(sched, started)),
+        "/debug/flight" => Reply::json(200, flight::to_json(&flight::snapshot())),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/jobs/") {
+                if let Some(id) = rest.strip_suffix("/trace") {
+                    job_trace(id, sched)
+                } else {
+                    job_progress(rest, sched)
+                }
             } else {
-                (404, error_body("no such route"))
+                let id = path
+                    .strip_prefix("/results/")
+                    .expect("known_get covers this");
+                job_result(id, sched)
             }
         }
-        ("POST", _) => (404, error_body("no such route")),
-        _ => (405, error_body("method not allowed")),
     }
 }
 
-fn post_job(request: &Request, sched: &Scheduler) -> (u16, String) {
+fn post_job(request: &Request, sched: &Scheduler) -> Reply {
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return (400, error_body("body is not UTF-8"));
+        return Reply::json(400, error_body("body is not UTF-8"));
     };
     let value = match json::parse(text) {
         Ok(value) => value,
-        Err(e) => return (400, error_body(&e.to_string())),
+        Err(e) => return Reply::json(400, error_body(&e.to_string())),
     };
     let spec = match JobSpec::from_value(&value) {
         Ok(spec) => spec,
-        Err(message) => return (400, error_body(&message)),
+        Err(message) => return Reply::json(400, error_body(&message)),
     };
     rt::obs::count("serve.http.post_jobs", 1);
     let (status, fp, disposition) = match sched.submit(spec) {
@@ -235,13 +344,13 @@ fn post_job(request: &Request, sched: &Scheduler) -> (u16, String) {
         Admission::Accepted { fp, fresh: true } => (202, fp, "accepted"),
         Admission::Accepted { fp, fresh: false } => (202, fp, "coalesced"),
         Admission::Busy => {
-            return (429, error_body("admission queue full, retry later"));
+            return Reply::json(429, error_body("admission queue full, retry later"));
         }
     };
     let mut m = BTreeMap::new();
     m.insert("id".to_string(), Value::Str(format!("{fp:016x}")));
     m.insert("status".to_string(), Value::Str(disposition.to_string()));
-    (status, Value::Obj(m).canonical())
+    Reply::json(status, Value::Obj(m).canonical())
 }
 
 fn parse_id(id: &str) -> Option<u64> {
@@ -250,12 +359,12 @@ fn parse_id(id: &str) -> Option<u64> {
         .flatten()
 }
 
-fn job_progress(id: &str, sched: &Scheduler) -> (u16, String) {
+fn job_progress(id: &str, sched: &Scheduler) -> Reply {
     let Some(fp) = parse_id(id) else {
-        return (404, error_body("malformed job id"));
+        return Reply::json(404, error_body("malformed job id"));
     };
     let Some(progress) = sched.progress(fp) else {
-        return (404, error_body("unknown job"));
+        return Reply::json(404, error_body("unknown job"));
     };
     let mut m = BTreeMap::new();
     m.insert("id".to_string(), Value::Str(format!("{fp:016x}")));
@@ -282,17 +391,69 @@ fn job_progress(id: &str, sched: &Scheduler) -> (u16, String) {
     // parsed form in rather than double-encoding it.
     let counters = json::parse(&progress.metrics).expect("Metrics::to_json emits valid JSON");
     m.insert("counters".to_string(), counters);
-    (200, Value::Obj(m).canonical())
+    Reply::json(200, Value::Obj(m).canonical())
 }
 
-fn job_result(id: &str, sched: &Scheduler) -> (u16, String) {
+fn job_result(id: &str, sched: &Scheduler) -> Reply {
     let Some(fp) = parse_id(id) else {
-        return (404, error_body("malformed job id"));
+        return Reply::json(404, error_body("malformed job id"));
     };
     match sched.result(fp) {
-        Some(body) => (200, String::from_utf8_lossy(&body).into_owned()),
-        None => (404, error_body("no result (unknown job or not done)")),
+        Some(body) => Reply::json(200, String::from_utf8_lossy(&body).into_owned()),
+        None => Reply::json(404, error_body("no result (unknown job or not done)")),
     }
+}
+
+fn job_trace(id: &str, sched: &Scheduler) -> Reply {
+    let Some(fp) = parse_id(id) else {
+        return Reply::json(404, error_body("malformed job id"));
+    };
+    match sched.trace_json(fp) {
+        Some(body) => Reply::json(200, body),
+        None => Reply::json(404, error_body("unknown job")),
+    }
+}
+
+fn healthz_body(started: Instant) -> String {
+    let mut m = BTreeMap::new();
+    m.insert("status".to_string(), Value::Str("ok".to_string()));
+    m.insert(
+        "uptime_seconds".to_string(),
+        Value::Num(started.elapsed().as_secs() as f64),
+    );
+    m.insert(
+        "version".to_string(),
+        Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+    );
+    Value::Obj(m).canonical()
+}
+
+/// The `/metrics` exposition: a `serve_*` section (per-request stats,
+/// uptime, watchdog gauges — wall-clock state) followed by a `sim_*`
+/// section (the deterministic simulation counters, byte-identical at
+/// any worker count and flat across cache hits).
+fn metrics_text(sched: &Scheduler, started: Instant) -> String {
+    let stats = sched.stats();
+    let mut serving = Metrics::new();
+    for (name, v) in [
+        ("jobs.admitted", stats.admitted),
+        ("jobs.cache_hits", stats.cache_hits),
+        ("jobs.coalesced", stats.coalesced),
+        ("jobs.rejected", stats.rejected),
+        ("jobs.completed", stats.completed),
+        ("jobs.failed", stats.failed),
+        ("shards.resumed", stats.resumed_shards),
+    ] {
+        serving.add(name, v);
+    }
+    serving.set_gauge("jobs.unfinished", sched.unfinished() as i64);
+    let (slow, stalled) = sched.watchdog_gauges();
+    serving.set_gauge("shards.slow", slow);
+    serving.set_gauge("shards.stalled", stalled);
+    serving.set_gauge("uptime.seconds", started.elapsed().as_secs() as i64);
+    let mut out = export::render(&serving, "serve_");
+    out.push_str(&export::render(&sched.sim_metrics(), "sim_"));
+    out
 }
 
 fn stats_body(sched: &Scheduler) -> String {

@@ -64,6 +64,18 @@ fn serving_stat(stats: &Value, key: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// The `sim_`-prefixed lines of the `/metrics` exposition — the
+/// deterministic section, byte-comparable across runs.
+fn sim_metric_lines(addr: SocketAddr) -> String {
+    let r = get(addr, "/metrics");
+    assert_eq!(r.status, 200);
+    body_str(&r)
+        .lines()
+        .filter(|l| l.starts_with("sim_") || l.starts_with("# TYPE sim_"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("serve_test_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -83,12 +95,18 @@ fn concurrent_identical_requests_are_cached_byte_identically() {
     let reference = get(addr, &format!("/results/{id}"));
     assert_eq!(reference.status, 200);
 
-    // Simulation counters now; they must not move below.
+    // Simulation counters now; they must not move below. Capture both
+    // forms: the /stats JSON and the /metrics exposition's sim_ lines.
     let sim_before = stats(addr).get("sim").cloned().expect("sim section");
     assert!(
         sim_before.get("dsim.ppsfp.faults").is_some(),
         "the campaign recorded fault-sim work: {}",
         sim_before.canonical()
+    );
+    let metrics_sim_before = sim_metric_lines(addr);
+    assert!(
+        !metrics_sim_before.is_empty(),
+        "/metrics carries a sim_ section"
     );
 
     // Hammer the same spec from many threads; every answer must be the
@@ -124,6 +142,11 @@ fn concurrent_identical_requests_are_cached_byte_identically() {
         sim_before.canonical(),
         sim_after.canonical(),
         "cache hits re-simulated"
+    );
+    assert_eq!(
+        metrics_sim_before,
+        sim_metric_lines(addr),
+        "/metrics sim_ lines moved across a cache-hit replay"
     );
     assert!(serving_stat(&after, "cache_hits") >= 9);
     assert_eq!(serving_stat(&after, "completed"), 1);

@@ -20,12 +20,17 @@ cargo test -q --offline
 echo "==> fuzz smoke (conform)"
 OBS=1 cargo run -q -p conform --release --offline --bin fuzz_smoke
 
-# Job-server smoke: start on an ephemeral port, submit one small
-# chain-A campaign, then prove the cache contract (200 + "cached" on an
-# identical re-POST, byte-identical body, simulation counters flat).
+# Job-server smoke: start on an ephemeral port, check /healthz carries
+# uptime + version, submit one small chain-A campaign, then prove the
+# cache contract (200 + "cached" on an identical re-POST, byte-identical
+# body, simulation counters flat). It also scrapes /metrics (failing on
+# malformed exposition) and fetches the job's Chrome trace, leaving both
+# under results/ as untracked snapshots; CI uploads them as artifacts.
 # The release binary is already built by the first step.
 echo "==> serve smoke (job server)"
 cargo run -q -p serve --release --offline --bin serve_smoke
+test -s results/serve_metrics.prom || { echo "serve_smoke left no metrics snapshot" >&2; exit 1; }
+test -s results/serve_trace.json || { echo "serve_smoke left no job trace" >&2; exit 1; }
 
 # Documentation gate: rustdoc must build without warnings (missing docs
 # are denied via #![warn(missing_docs)] + -D warnings) and every doctest
