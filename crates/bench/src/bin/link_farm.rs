@@ -1,0 +1,90 @@
+//! Fabric-scale link-farm sweep: a ≥1000-cell `LinkConfig` grid — wire
+//! length × swing × segmentation × mismatch σ × data rate × lane count ×
+//! neighbor coupling — run as one sharded `rt::exec` job, with the
+//! aggregated eye/detection surface maps written to tracked CSVs and
+//! the sweep throughput reported (stdout only; wall-clock is
+//! machine-dependent and never committed).
+//!
+//! ```text
+//! cargo run -p bench --release --bin link_farm
+//! ```
+
+use std::time::Instant;
+
+use bench::save_artifact;
+use dft::report::render_table;
+use link::farm::{detect_surface_csv, eye_surface_csv, FarmAxes, FarmGrid, LinkFarm};
+use rt::exec::RetryPolicy;
+
+/// The sweep grid: 6 × 3 × 2 × 3 × 2 × 2 × 3 = 1296 configurations.
+fn axes() -> FarmAxes {
+    FarmAxes {
+        lengths_mm: vec![2.0, 5.0, 8.0, 10.0, 14.0, 18.0],
+        swings_mv: vec![40.0, 60.0, 80.0],
+        segments: vec![6, 10],
+        sigmas_mv: vec![0.0, 6.0, 12.0],
+        rates_gbps: vec![1.0, 2.5],
+        lanes: vec![1, 4],
+        couplings: vec![0.0, 0.04, 0.08],
+    }
+}
+
+fn main() {
+    let farm = LinkFarm::new(FarmGrid::new(axes(), 7).expect("axes validate"));
+    let total = farm.grid().total();
+    let shards = farm.plan().len();
+    println!("=== Link farm: {total} configurations, {shards} shards ===\n");
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let started = Instant::now();
+    let report = farm.run(threads, &RetryPolicy::retries(2), None);
+    let elapsed = started.elapsed();
+    assert!(report.is_complete(), "sweep left incomplete shards");
+
+    save_artifact(
+        "CSV",
+        "link_farm_eye.csv",
+        &eye_surface_csv(farm.grid(), &report.records),
+    );
+    save_artifact(
+        "CSV",
+        "link_farm_detect.csv",
+        &detect_surface_csv(farm.grid(), &report.records),
+    );
+
+    let mut rows = Vec::new();
+    let mut failing = 0u64;
+    let mut dc = 0u64;
+    let mut activated = 0u64;
+    let mut min_eye = f64::INFINITY;
+    for r in &report.records {
+        failing += u64::from(r.failing);
+        dc += u64::from(r.dc_detected);
+        activated += u64::from(r.xtalk_activated());
+        min_eye = min_eye.min(r.eye_coupled_mv);
+    }
+    rows.push(vec!["grid cells".into(), format!("{total}")]);
+    rows.push(vec![
+        "mismatch instances".into(),
+        format!("{}", report.records.len() * link::farm::MISMATCH_INSTANCES),
+    ]);
+    rows.push(vec!["at-speed failures".into(), format!("{failing}")]);
+    rows.push(vec!["caught by DC tier".into(), format!("{dc}")]);
+    rows.push(vec!["crosstalk-activated".into(), format!("{activated}")]);
+    rows.push(vec!["worst coupled eye".into(), format!("{min_eye:.2} mV")]);
+    print!("{}", render_table(&["Sweep", "Value"], &rows));
+
+    // Throughput is wall-clock: report it, never commit it.
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "\n{total} cells on {threads} threads in {:.2} s — {:.0} cells/s",
+        secs,
+        total as f64 / secs
+    );
+    println!(
+        "\nThe coupling axis turns lane-to-lane interference into a fault
+activation scenario: {activated} mismatch instances fail only when the
+neighbors switch — invisible to the paper's static DC tier and to any
+single-lane at-speed test."
+    );
+}

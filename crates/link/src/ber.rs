@@ -27,6 +27,16 @@
 //! ```
 
 /// Gaussian right-tail probability `Q(x) = 0.5 * erfc(x / sqrt(2))`.
+///
+/// # Examples
+///
+/// ```
+/// use link::ber::q_function;
+///
+/// assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+/// // Symmetry: Q(-x) = 1 - Q(x).
+/// assert!((q_function(-1.0) + q_function(1.0) - 1.0).abs() < 1e-7);
+/// ```
 pub fn q_function(x: f64) -> f64 {
     0.5 * erfc(x / std::f64::consts::SQRT_2)
 }
@@ -140,6 +150,18 @@ impl BerModel {
     /// The timing margin (total open span, in UI) at a target BER:
     /// `2 * (w - σ·Q⁻¹(target))`, clamped at zero. Uses bisection on the
     /// analytic single-edge expression.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use link::ber::BerModel;
+    ///
+    /// let m = BerModel::new(0.37, 0.30, 0.045);
+    /// // A looser target leaves more of the eye usable...
+    /// assert!(m.timing_margin(1e-3) > m.timing_margin(1e-9));
+    /// // ...and at 1e-12 the paper's jitter budget consumes it entirely.
+    /// assert_eq!(m.timing_margin(1e-12), 0.0);
+    /// ```
     pub fn timing_margin(&self, target_ber: f64) -> f64 {
         // Find x with Q(x) = target (single dominant edge) by bisection.
         let (mut lo, mut hi) = (0.0f64, 40.0f64);

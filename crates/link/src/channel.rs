@@ -176,6 +176,23 @@ impl RcLine {
     /// A victim of the paper's *differential* link sees the aggressor on
     /// both arms (common mode) and rejects it; a single-ended wire takes
     /// the full hit — see the crosstalk tests.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use link::channel::RcLine;
+    /// use msim::units::{Farad, Ohm, Sec, Volt};
+    ///
+    /// let mut line = RcLine::new(Ohm::from_kohm(2.0), Farad::from_pf(1.0), 10,
+    ///                            Ohm::from_kohm(2.0));
+    /// line.set_termination_bias(Volt(0.6));
+    /// let (dt, cc) = (Sec::from_ps(25.0), Farad::from_ff(100.0));
+    /// // A quiet aggressor injects nothing; an edge disturbs the victim.
+    /// let quiet = line.step_with_aggressor(Volt(0.6), dt, Volt(1.2), Volt(1.2), cc);
+    /// assert!((quiet.value() - 0.6).abs() < 1e-9);
+    /// let hit = line.step_with_aggressor(Volt(0.6), dt, Volt(1.2), Volt::ZERO, cc);
+    /// assert!((hit.value() - 0.6).abs() * 1e3 > 1.0, "edge couples in: {hit}");
+    /// ```
     pub fn step_with_aggressor(
         &mut self,
         vin: Volt,
@@ -268,6 +285,19 @@ impl RcLine {
     }
 
     /// The −3 dB bandwidth found by bisection on [`RcLine::magnitude_at`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use link::channel::RcLine;
+    /// use msim::units::{Farad, Ohm, Sec};
+    ///
+    /// let mut line = RcLine::new(Ohm::from_kohm(2.0), Farad::from_pf(1.0), 10,
+    ///                            Ohm::from_kohm(2.0));
+    /// let bw = line.bandwidth_3db(Sec::from_ps(25.0), 512);
+    /// // An RC-dominated 2 kΩ/1 pF wire rolls off in the hundreds of MHz.
+    /// assert!(bw.value() > 50e6 && bw.value() < 2e9, "got {bw}");
+    /// ```
     pub fn bandwidth_3db(&mut self, dt: Sec, n: usize) -> Hertz {
         let dc = self.magnitude_at(Hertz(0.0), dt, n);
         let target = dc / std::f64::consts::SQRT_2;

@@ -21,7 +21,9 @@
 //! * [`dll_bist`] — the stand-alone DLL phase-spacing BIST the paper
 //!   defers to its refs \[11\], \[12\],
 //! * [`netlists`] — the design's structural netlists (fault universe),
-//! * [`config`] — the link design point.
+//! * [`config`] — the link design point,
+//! * [`farm`] — fabric-scale sweep grids with crosstalk-coupled lanes,
+//!   run as sharded [`rt::exec`] jobs.
 //!
 //! [`LowSwingLink`] wires the transmitter to the differential channel for
 //! waveform-level studies (eye diagrams, equalization ablation); the
@@ -51,6 +53,7 @@ pub mod config;
 pub mod crossing;
 pub mod dll_bist;
 pub mod eye;
+pub mod farm;
 pub mod netlists;
 pub mod pd;
 pub mod power;

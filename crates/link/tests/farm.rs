@@ -1,0 +1,188 @@
+//! Acceptance tests for the link-farm sweep grid: determinism across
+//! thread counts, checkpoint kill/resume, and the pinned demonstration
+//! that the crosstalk coupling axis changes detection and BER records.
+
+use link::farm::{
+    grid_csv, CellRecord, FarmAxes, FarmGrid, LinkFarm, FARM_SHARD_SIZE, RECORD_BYTES,
+};
+use rt::exec::{Checkpoint, RetryPolicy, Sabotage, Shard, ShardJob};
+
+/// A ≥1000-cell grid kept cheap for debug-mode CI: few segments, short
+/// bit streams come from the farm itself.
+fn big_axes() -> FarmAxes {
+    FarmAxes {
+        lengths_mm: vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 22.0],
+        swings_mv: vec![40.0, 60.0, 80.0],
+        segments: vec![3],
+        sigmas_mv: vec![0.0, 6.0, 12.0],
+        rates_gbps: vec![1.0, 2.5],
+        lanes: vec![1, 4],
+        couplings: vec![0.0, 0.04, 0.08],
+    }
+}
+
+#[test]
+fn thousand_cell_sweep_is_byte_identical_at_any_thread_count() {
+    let grid = FarmGrid::new(big_axes(), 11).unwrap();
+    assert!(grid.total() >= 1000, "grid too small: {}", grid.total());
+    let farm = LinkFarm::new(grid);
+    assert!(farm.plan().len() > 1, "must actually shard");
+
+    let baseline = farm.run(1, &RetryPolicy::none(), None);
+    assert!(baseline.is_complete());
+    assert_eq!(baseline.records.len(), farm.grid().total());
+    let csv = grid_csv(farm.grid(), &baseline.records);
+    for threads in [2, 4, 7] {
+        let report = farm.run(threads, &RetryPolicy::none(), None);
+        assert!(report.is_complete());
+        assert_eq!(
+            report.records, baseline.records,
+            "records diverge at {threads} threads"
+        );
+        assert_eq!(
+            grid_csv(farm.grid(), &report.records),
+            csv,
+            "CSV bytes diverge at {threads} threads"
+        );
+    }
+}
+
+/// A farm whose shard runner trips a sabotage panic — the kill half of
+/// the kill/resume acceptance test.
+struct SabotagedFarm<'a> {
+    farm: &'a LinkFarm,
+    sabotage: Sabotage,
+}
+
+impl ShardJob for SabotagedFarm<'_> {
+    type Record = CellRecord;
+
+    fn run(&self, shard: &Shard) -> Vec<CellRecord> {
+        self.sabotage.trip(shard.index);
+        self.farm.run_shard(shard)
+    }
+
+    fn encode(&self, shard: &Shard, records: &[CellRecord], out: &mut Vec<u8>) {
+        self.farm.encode(shard, records, out);
+    }
+
+    fn decode(&self, shard: &Shard, payload: &[u8]) -> Option<Vec<CellRecord>> {
+        self.farm.decode(shard, payload)
+    }
+}
+
+#[test]
+fn interrupted_sweep_resumes_byte_identically_from_checkpoint() {
+    let mut axes = big_axes();
+    axes.swings_mv = vec![60.0]; // 360 cells: several shards, fast
+    let farm = LinkFarm::new(FarmGrid::new(axes, 11).unwrap());
+    let plan = farm.plan();
+    assert!(plan.len() >= 3);
+    let reference = farm.run(2, &RetryPolicy::none(), None);
+    assert!(reference.is_complete());
+
+    let dir = std::env::temp_dir().join(format!("farm_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("farm.ck");
+    let fp = farm.fingerprint();
+
+    // First run: the last shard's panic kills the sweep mid-flight.
+    let dead = plan.len() - 1;
+    {
+        let mut ck = Checkpoint::open(&path, fp).unwrap();
+        let sab = SabotagedFarm {
+            farm: &farm,
+            sabotage: Sabotage::times(dead, u32::MAX),
+        };
+        let report = rt::exec::run_shards(2, &RetryPolicy::none(), Some(&mut ck), &plan, &sab);
+        assert!(!report.is_complete());
+        assert_eq!(report.incomplete.len(), 1);
+        assert_eq!(report.incomplete[0].shard, dead);
+    }
+
+    // Second run: every surviving shard restores from the checkpoint,
+    // only the killed one recomputes — and the records match a clean
+    // run byte for byte.
+    let mut ck = Checkpoint::open(&path, fp).unwrap();
+    let report = farm.run(4, &RetryPolicy::none(), Some(&mut ck));
+    assert!(report.is_complete());
+    assert_eq!(report.summary.resumed, plan.len() - 1);
+    assert_eq!(report.records, reference.records);
+    assert_eq!(
+        grid_csv(farm.grid(), &report.records),
+        grid_csv(farm.grid(), &reference.records)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coupling_axis_changes_detection_and_ber_records() {
+    // One wire, one mismatch population, two coupling regimes: quiet
+    // neighbors vs 8% coupling from each of two aggressors.
+    let mut axes = FarmAxes::paper_point();
+    axes.lanes = vec![4];
+    axes.sigmas_mv = vec![8.0];
+    axes.couplings = vec![0.0, 0.08];
+    let farm = LinkFarm::new(FarmGrid::new(axes, 7).unwrap());
+    let report = farm.run(1, &RetryPolicy::none(), None);
+    assert!(report.is_complete());
+    let quiet = &report.records[0];
+    let noisy = &report.records[1];
+
+    // The coupled eye closes by several millivolts...
+    assert_eq!(quiet.eye_coupled_mv, quiet.eye_uncoupled_mv);
+    assert!(
+        noisy.eye_coupled_mv < noisy.eye_uncoupled_mv - 5.0,
+        "coupling must close the eye: {} vs {}",
+        noisy.eye_coupled_mv,
+        noisy.eye_uncoupled_mv
+    );
+    // ...the BER record degrades by orders of magnitude...
+    assert!(
+        noisy.ber > quiet.ber * 1e3,
+        "BER must degrade: {:.3e} vs {:.3e}",
+        noisy.ber,
+        quiet.ber
+    );
+    assert!(quiet.margin_ui > 0.0);
+    // ...and mismatch instances that pass with quiet neighbors fail
+    // when the aggressors switch: crosstalk-activated faults the DC
+    // tier cannot see.
+    assert_eq!(quiet.xtalk_activated(), 0);
+    assert!(
+        noisy.xtalk_activated() > 0,
+        "coupling must activate at-speed failures: {noisy:?}"
+    );
+    assert!(noisy.failing > quiet.failing);
+    assert!(
+        noisy.at_speed_only() > 0,
+        "some activated faults must escape the DC test: {noisy:?}"
+    );
+}
+
+#[test]
+fn plan_is_a_function_of_the_grid_only() {
+    let farm = LinkFarm::new(FarmGrid::new(big_axes(), 11).unwrap());
+    let a = farm.plan();
+    let b = farm.plan();
+    assert_eq!(a, b);
+    assert_eq!(a.len(), farm.grid().total().div_ceil(FARM_SHARD_SIZE));
+    // A different seed re-keys every shard without changing the cuts.
+    let other = LinkFarm::new(FarmGrid::new(big_axes(), 12).unwrap());
+    let c = other.plan();
+    assert_eq!(a.len(), c.len());
+    assert!(a
+        .iter()
+        .zip(&c)
+        .all(|(x, y)| x.start == y.start && x.len == y.len && x.seed != y.seed));
+}
+
+#[test]
+fn record_bytes_matches_encoded_size() {
+    let farm = LinkFarm::new(FarmGrid::new(FarmAxes::paper_point(), 1).unwrap());
+    let plan = farm.plan();
+    let records = farm.run_shard(&plan[0]);
+    let mut out = Vec::new();
+    farm.encode(&plan[0], &records, &mut out);
+    assert_eq!(out.len(), records.len() * RECORD_BYTES);
+}

@@ -16,7 +16,8 @@ use std::collections::BTreeMap;
 
 use dft::campaign::{NetlistCampaign, PreparedCampaign, UniverseSel};
 use link::ber::BerModel;
-use rt::exec::{self, Frame, Shard};
+use link::farm::{FarmAxes, FarmGrid, LinkFarm};
+use rt::exec::{self, Frame, Shard, ShardJob};
 
 use crate::json::Value;
 
@@ -29,6 +30,13 @@ pub const MAX_VECTORS: u64 = 4096;
 
 /// Upper bound on BER sweep points per job (bounds the result body).
 pub const MAX_POINTS: u64 = 4096;
+
+/// Upper bound on link-farm grid cells per job (bounds the result body
+/// and the sweep runtime).
+pub const FARM_MAX_CELLS: usize = 4096;
+
+/// Upper bound on values per link-farm axis.
+const FARM_MAX_AXIS: usize = 32;
 
 /// Sweep points per BER shard.
 const BER_SHARD_SIZE: usize = 256;
@@ -74,6 +82,14 @@ pub enum JobSpec {
         /// Number of sweep points.
         points: u64,
     },
+    /// A fabric-scale link-farm sweep: the cartesian product of
+    /// [`link::farm::FarmAxes`] run as sharded grid cells.
+    LinkFarm {
+        /// The validated sweep axes.
+        axes: FarmAxes,
+        /// Monte-Carlo base seed.
+        seed: u64,
+    },
 }
 
 fn kind_str(sel: UniverseSel) -> &'static str {
@@ -81,6 +97,45 @@ fn kind_str(sel: UniverseSel) -> &'static str {
         UniverseSel::StuckAt => "stuck_at",
         UniverseSel::Transition => "transition",
         UniverseSel::Both => "netlist",
+    }
+}
+
+fn f64_axis(v: &Value, key: &str, default: &[f64]) -> Result<Vec<f64>, String> {
+    match v.get(key) {
+        None => Ok(default.to_vec()),
+        Some(Value::Arr(items)) => {
+            if items.is_empty() || items.len() > FARM_MAX_AXIS {
+                return Err(format!("\"{key}\" must hold 1..={FARM_MAX_AXIS} values"));
+            }
+            items
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .ok_or_else(|| format!("\"{key}\" must hold numbers"))
+                })
+                .collect()
+        }
+        Some(_) => Err(format!("\"{key}\" must be an array")),
+    }
+}
+
+fn usize_axis(v: &Value, key: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+    match v.get(key) {
+        None => Ok(default.to_vec()),
+        Some(Value::Arr(items)) => {
+            if items.is_empty() || items.len() > FARM_MAX_AXIS {
+                return Err(format!("\"{key}\" must hold 1..={FARM_MAX_AXIS} values"));
+            }
+            items
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("\"{key}\" must hold integers"))
+                })
+                .collect()
+        }
+        Some(_) => Err(format!("\"{key}\" must be an array")),
     }
 }
 
@@ -173,6 +228,29 @@ impl JobSpec {
                     points,
                 })
             }
+            "link_farm" => {
+                let axes = FarmAxes {
+                    lengths_mm: f64_axis(v, "lengths_mm", &[10.0])?,
+                    swings_mv: f64_axis(v, "swings_mv", &[60.0])?,
+                    segments: usize_axis(v, "segments", &[10])?,
+                    sigmas_mv: f64_axis(v, "sigmas_mv", &[0.0])?,
+                    rates_gbps: f64_axis(v, "rates_gbps", &[2.5])?,
+                    lanes: usize_axis(v, "lanes", &[2])?,
+                    couplings: f64_axis(v, "couplings", &[0.0])?,
+                };
+                axes.validate().map_err(|e| e.to_string())?;
+                if axes.total() > FARM_MAX_CELLS {
+                    return Err(format!(
+                        "grid holds {} cells, limit {FARM_MAX_CELLS}",
+                        axes.total()
+                    ));
+                }
+                let seed = match v.get("seed") {
+                    None => 7,
+                    Some(n) => n.as_u64().ok_or("\"seed\" must be an integer")?,
+                };
+                Ok(JobSpec::LinkFarm { axes, seed })
+            }
             _ => Err(format!("unknown kind {kind:?}")),
         }
     }
@@ -217,6 +295,22 @@ impl JobSpec {
                 m.insert("sigma_ui".into(), Value::Num(*sigma_ui));
                 m.insert("points".into(), Value::Num(*points as f64));
             }
+            JobSpec::LinkFarm { axes, seed } => {
+                let f_arr =
+                    |vals: &[f64]| Value::Arr(vals.iter().map(|&x| Value::Num(x)).collect());
+                let u_arr = |vals: &[usize]| {
+                    Value::Arr(vals.iter().map(|&x| Value::Num(x as f64)).collect())
+                };
+                m.insert("kind".into(), Value::Str("link_farm".into()));
+                m.insert("lengths_mm".into(), f_arr(&axes.lengths_mm));
+                m.insert("swings_mv".into(), f_arr(&axes.swings_mv));
+                m.insert("segments".into(), u_arr(&axes.segments));
+                m.insert("sigmas_mv".into(), f_arr(&axes.sigmas_mv));
+                m.insert("rates_gbps".into(), f_arr(&axes.rates_gbps));
+                m.insert("lanes".into(), u_arr(&axes.lanes));
+                m.insert("couplings".into(), f_arr(&axes.couplings));
+                m.insert("seed".into(), Value::Num(*seed as f64));
+            }
         }
         Value::Obj(m)
     }
@@ -247,6 +341,7 @@ impl JobSpec {
         match self {
             JobSpec::Campaign { sel, .. } => kind_str(*sel),
             JobSpec::BerSweep { .. } => "ber_sweep",
+            JobSpec::LinkFarm { .. } => "link_farm",
         }
     }
 
@@ -297,6 +392,12 @@ impl JobSpec {
                 model: BerModel::new(*center_ui, *half_width_ui, *sigma_ui),
                 points: *points as usize,
             }),
+            JobSpec::LinkFarm { axes, seed } => {
+                let grid = FarmGrid::new(axes.clone(), *seed).map_err(|e| e.to_string())?;
+                Ok(PreparedJob::Farm {
+                    farm: LinkFarm::new(grid),
+                })
+            }
         }
     }
 }
@@ -320,6 +421,11 @@ pub enum PreparedJob {
         /// Total sweep points.
         points: usize,
     },
+    /// A link-farm sweep delegating to [`link::farm::LinkFarm`].
+    Farm {
+        /// The validated grid wrapped as a sharded job.
+        farm: LinkFarm,
+    },
 }
 
 impl PreparedJob {
@@ -328,6 +434,7 @@ impl PreparedJob {
         match self {
             PreparedJob::Campaign { prep, .. } => prep.shards(),
             PreparedJob::Ber { points, .. } => exec::plan(*points, BER_SHARD_SIZE, BER_SHARD_SEED),
+            PreparedJob::Farm { farm } => farm.plan(),
         }
     }
 
@@ -360,6 +467,13 @@ impl PreparedJob {
                 }
                 out
             }
+            PreparedJob::Farm { farm } => {
+                rt::obs::count("serve.farm.cells", shard.len as u64);
+                let records = farm.run_shard(shard);
+                let mut out = Vec::with_capacity(records.len() * link::farm::RECORD_BYTES);
+                ShardJob::encode(farm, shard, &records, &mut out);
+                out
+            }
         };
         Frame {
             shard: shard.index as u32,
@@ -383,6 +497,10 @@ impl PreparedJob {
                 } else {
                     None
                 }
+            }
+            PreparedJob::Farm { farm } => {
+                let records = ShardJob::decode(farm, shard, payload)?;
+                Some(records.iter().map(|r| u64::from(r.failing)).sum())
             }
         }
     }
@@ -446,6 +564,51 @@ impl PreparedJob {
                 }
                 m.insert("kind".into(), Value::Str("ber_sweep".into()));
                 m.insert("points".into(), Value::Arr(curve));
+            }
+            PreparedJob::Farm { farm } => {
+                let mut records = Vec::with_capacity(farm.grid().total());
+                for (shard, payload) in shards.iter().zip(payloads) {
+                    records.extend(
+                        ShardJob::decode(farm, shard, payload)
+                            .expect("scheduler validated every payload"),
+                    );
+                }
+                let mut cells = Vec::with_capacity(records.len());
+                let mut instances = 0u64;
+                let mut failing = 0u64;
+                let mut dc_detected = 0u64;
+                let mut activated = 0u64;
+                let mut min_eye = f64::INFINITY;
+                let mut max_ber = 0.0f64;
+                for r in &records {
+                    instances += u64::from(r.instances);
+                    failing += u64::from(r.failing);
+                    dc_detected += u64::from(r.dc_detected);
+                    activated += u64::from(r.xtalk_activated());
+                    min_eye = min_eye.min(r.eye_coupled_mv);
+                    max_ber = max_ber.max(r.ber);
+                    cells.push(Value::Arr(vec![
+                        Value::Num(f64::from(r.index)),
+                        Value::Num(r.eye_uncoupled_mv),
+                        Value::Num(r.eye_coupled_mv),
+                        Value::Num(r.ber),
+                        Value::Num(r.margin_ui),
+                        Value::Num(f64::from(r.failing)),
+                        Value::Num(f64::from(r.failing_uncoupled)),
+                        Value::Num(f64::from(r.dc_detected)),
+                    ]));
+                }
+                let mut summary = BTreeMap::new();
+                summary.insert("cells".to_string(), Value::Num(records.len() as f64));
+                summary.insert("instances".to_string(), Value::Num(instances as f64));
+                summary.insert("failing".to_string(), Value::Num(failing as f64));
+                summary.insert("dc_detected".to_string(), Value::Num(dc_detected as f64));
+                summary.insert("xtalk_activated".to_string(), Value::Num(activated as f64));
+                summary.insert("min_eye_coupled_mv".to_string(), Value::Num(min_eye));
+                summary.insert("max_ber".to_string(), Value::Num(max_ber));
+                m.insert("kind".into(), Value::Str("link_farm".into()));
+                m.insert("summary".into(), Value::Obj(summary));
+                m.insert("cells".into(), Value::Arr(cells));
             }
         }
         Value::Obj(m).canonical()
@@ -575,6 +738,106 @@ mod tests {
         assert!(field("transition", "total") > 0);
         assert_eq!(parsed.get("kind").and_then(Value::as_str), Some("netlist"));
         // Corrupt payloads are rejected, not trusted.
+        assert_eq!(job.payload_detections(&shards[0], &[7u8; 3]), None);
+    }
+
+    #[test]
+    fn link_farm_fingerprint_is_spelling_invariant() {
+        let a = spec(r#"{"kind":"link_farm","lengths_mm":[5,10],"couplings":[0.0,0.08],"seed":7}"#);
+        let b = spec(
+            r#"{ "seed": 7.0, "couplings": [0, 8e-2], "kind": "link_farm",
+                 "lengths_mm": [5.0, 10.0], "swings_mv": [60.0], "segments": [10],
+                 "sigmas_mv": [0], "rates_gbps": [2.5], "lanes": [2] }"#,
+        );
+        assert_eq!(a, b, "defaults spell out to the same spec");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Canonical form re-parses to the same spec (resume contract).
+        let c = JobSpec::from_value(&json::parse(&a.canonical()).unwrap()).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        // Axis order is grid order, so reordering is a different job.
+        let d = spec(r#"{"kind":"link_farm","lengths_mm":[10,5],"couplings":[0.0,0.08],"seed":7}"#);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn bad_link_farm_specs_are_rejected() {
+        for body in [
+            r#"{"kind":"link_farm","lengths_mm":[]}"#,
+            r#"{"kind":"link_farm","lengths_mm":"10"}"#,
+            r#"{"kind":"link_farm","lengths_mm":[999]}"#,
+            r#"{"kind":"link_farm","lanes":[0]}"#,
+            r#"{"kind":"link_farm","couplings":[-0.5]}"#,
+            r#"{"kind":"link_farm","seed":"x"}"#,
+            // 17^4 > 4096 cells: the grid cap trips before any work.
+            r#"{"kind":"link_farm","lengths_mm":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17],
+                "swings_mv":[10,20,30,40,50,60,70,80,90,100,110,120,130,140,150,160,170],
+                "sigmas_mv":[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16],
+                "couplings":[0,0.01,0.02,0.03,0.04,0.05,0.06,0.07,0.08,0.09,0.1,0.11,0.12,0.13,0.14,0.15,0.16]}"#,
+        ] {
+            let v = json::parse(body).unwrap();
+            assert!(JobSpec::from_value(&v).is_err(), "accepted {body}");
+        }
+    }
+
+    #[test]
+    fn link_farm_job_shards_reproduce_the_library_run() {
+        use link::farm::{FarmAxes, FarmGrid, LinkFarm};
+        use rt::exec::RetryPolicy;
+        let s = spec(
+            r#"{"kind":"link_farm","lengths_mm":[5,10],"lanes":[4],
+                "sigmas_mv":[8.0],"segments":[4],"couplings":[0.0,0.08],"seed":7}"#,
+        );
+        assert_eq!(s.kind(), "link_farm");
+        let job = s.prepare().unwrap();
+        let shards = job.shards();
+        let mut payloads = vec![Vec::new(); shards.len()];
+        let mut detections = 0;
+        for shard in shards.iter().rev() {
+            let frame = job.run_shard(shard);
+            assert_eq!(frame.records as usize, shard.len);
+            detections += job
+                .payload_detections(shard, &frame.payload)
+                .expect("fresh payload validates");
+            payloads[shard.index] = frame.payload;
+        }
+        // The served shards and the library farm agree record for record.
+        let mut axes = FarmAxes::paper_point();
+        axes.lengths_mm = vec![5.0, 10.0];
+        axes.lanes = vec![4];
+        axes.sigmas_mv = vec![8.0];
+        axes.segments = vec![4];
+        axes.couplings = vec![0.0, 0.08];
+        let farm = LinkFarm::new(FarmGrid::new(axes, 7).unwrap());
+        let reference = farm.run(1, &RetryPolicy::none(), None);
+        let failing: u64 = reference.records.iter().map(|r| u64::from(r.failing)).sum();
+        assert_eq!(detections, failing);
+        let body = job.finalize(s.fingerprint(), &payloads);
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(
+            parsed.get("kind").and_then(Value::as_str),
+            Some("link_farm")
+        );
+        let summary = parsed.get("summary").unwrap();
+        assert_eq!(
+            summary.get("cells").and_then(Value::as_u64),
+            Some(reference.records.len() as u64)
+        );
+        assert_eq!(
+            summary.get("failing").and_then(Value::as_u64),
+            Some(failing)
+        );
+        assert!(
+            summary
+                .get("xtalk_activated")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0,
+            "the coupled half of the grid must activate faults"
+        );
+        // Byte-identical on recomputation, corrupt payloads rejected.
+        let again: Vec<Vec<u8>> = shards.iter().map(|s| job.run_shard(s).payload).collect();
+        assert_eq!(job.finalize(s.fingerprint(), &again), body);
         assert_eq!(job.payload_detections(&shards[0], &[7u8; 3]), None);
     }
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Docs-vs-workspace drift gate.
+#
+# Every `cargo run ... --bin <name>` command quoted in the prose docs
+# must name a binary that actually exists in the workspace, and every
+# `cargo run -p <crate> --example <name>` must name a real example.
+# This catches the classic drift where a binary is renamed or removed
+# and a README/GUIDE command silently stops working.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=(README.md EXPERIMENTS.md DESIGN.md ARCHITECTURE.md ROADMAP.md docs/GUIDE.md)
+
+# The workspace's bin targets are exactly the files under each crate's
+# src/bin/ plus the `serve` crate's named [[bin]] (also serve). Examples
+# live flat under examples/.
+mapfile -t bins < <(find crates/*/src/bin -name '*.rs' -exec basename {} .rs \; | sort -u)
+bins+=(serve) # crates/serve [[bin]] name = crate name
+mapfile -t examples < <(find examples -maxdepth 1 -name '*.rs' -exec basename {} .rs \; | sort -u)
+
+have() {
+    local needle=$1
+    shift
+    local x
+    for x in "$@"; do [[ $x == "$needle" ]] && return 0; done
+    return 1
+}
+
+fail=0
+for doc in "${docs[@]}"; do
+    [[ -f $doc ]] || { echo "check_docs: missing doc file $doc" >&2; fail=1; continue; }
+
+    # `cargo run ... --bin <name>` (prose or console blocks, any flags).
+    while read -r name; do
+        if ! have "$name" "${bins[@]}"; then
+            echo "check_docs: $doc references missing binary '$name'" >&2
+            fail=1
+        fi
+    done < <(grep -oE 'cargo run[^`)]*--bin [A-Za-z0-9_-]+' "$doc" \
+                 | sed -E 's/.*--bin ([A-Za-z0-9_-]+).*/\1/' | sort -u)
+
+    # `cargo run -p <crate> --example <name>`.
+    while read -r name; do
+        if ! have "$name" "${examples[@]}"; then
+            echo "check_docs: $doc references missing example '$name'" >&2
+            fail=1
+        fi
+    done < <(grep -oE 'cargo run[^`)]*--example [A-Za-z0-9_-]+' "$doc" \
+                 | sed -E 's/.*--example ([A-Za-z0-9_-]+).*/\1/' | sort -u)
+done
+
+if [[ $fail -ne 0 ]]; then
+    echo "check_docs: FAILED — docs reference targets the workspace does not build" >&2
+    exit 1
+fi
+echo "check_docs: OK (${#bins[@]} bins, ${#examples[@]} examples, ${#docs[@]} docs)"

@@ -20,6 +20,7 @@ bins=(
     test_program_listing
     reproduction_report
     obs_campaign
+    link_farm
 )
 
 for bin in "${bins[@]}"; do

@@ -41,6 +41,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
 echo "==> cargo test --doc --offline"
 cargo test -q --doc --offline
 
+# Prose docs must not drift from the workspace: every `cargo run --bin`
+# / `--example` command quoted in README/GUIDE/EXPERIMENTS/... must name
+# a target that actually builds.
+echo "==> scripts/check_docs.sh"
+./scripts/check_docs.sh
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
